@@ -1,0 +1,241 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// bench per artifact; see DESIGN.md's experiment index) plus native
+// kernel micro-benchmarks. The experiment benches run at a reduced
+// suite scale so `go test -bench=.` completes in minutes; use
+// cmd/spmvbench -scale 1.0 for the full reproduction (recorded in
+// EXPERIMENTS.md).
+package spmvtuner
+
+import (
+	"testing"
+
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/experiments"
+	"github.com/sparsekit/spmvtuner/internal/formats"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/kernels"
+	"github.com/sparsekit/spmvtuner/internal/machine"
+	"github.com/sparsekit/spmvtuner/internal/native"
+	"github.com/sparsekit/spmvtuner/internal/sim"
+	"github.com/sparsekit/spmvtuner/internal/solver"
+)
+
+// benchCfg keeps experiment benches affordable; EXPERIMENTS.md records
+// the scale-1.0 runs.
+var benchCfg = experiments.Config{Scale: 0.1, CorpusSize: 60}
+
+// BenchmarkFig1 regenerates Fig 1: speedups of blindly applied single
+// optimizations on the KNC model.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig1(benchCfg)
+		if len(res.Rows) != 32 {
+			b.Fatal("fig1 incomplete")
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Fig 3: baseline + per-class bounds on KNC.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig3(benchCfg)
+		if len(res.Rows) != 32 {
+			b.Fatal("fig3 incomplete")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table IV: feature-guided classifier
+// accuracy under Leave-One-Out cross validation.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table4(benchCfg)
+		b.ReportMetric(100*res.Rows[1].CV.ExactMatchRatio, "exact%")
+		b.ReportMetric(100*res.Rows[1].CV.PartialMatchRatio, "partial%")
+	}
+}
+
+// BenchmarkFig7KNC regenerates Fig 7a (no Inspector-Executor on KNC).
+func BenchmarkFig7KNC(b *testing.B) { benchFig7(b, "knc") }
+
+// BenchmarkFig7KNL regenerates Fig 7b.
+func BenchmarkFig7KNL(b *testing.B) { benchFig7(b, "knl") }
+
+// BenchmarkFig7Broadwell regenerates Fig 7c.
+func BenchmarkFig7Broadwell(b *testing.B) { benchFig7(b, "bdw") }
+
+func benchFig7(b *testing.B, platform string) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(platform, benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AvgProfVsMKL, "prof-x")
+		b.ReportMetric(res.AvgFeatVsMKL, "feat-x")
+		if res.AvgIEVsMKL > 0 {
+			b.ReportMetric(res.AvgIEVsMKL, "ie-x")
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates Table V: amortization iterations on KNL.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table5(benchCfg)
+		for _, row := range res.Rows {
+			if row.Optimizer == "feature-guided" {
+				b.ReportMetric(row.Avg, "feat-iters")
+			}
+		}
+	}
+}
+
+// BenchmarkAblateDelta regenerates ablation A1 (delta width).
+func BenchmarkAblateDelta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblateDelta(benchCfg)
+	}
+}
+
+// BenchmarkAblateSplit regenerates ablation A2 (split threshold).
+func BenchmarkAblateSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblateSplit(benchCfg)
+	}
+}
+
+// BenchmarkAblateSched regenerates ablation A3 (schedule policies).
+func BenchmarkAblateSched(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblateSched(benchCfg)
+	}
+}
+
+// BenchmarkAblatePrefetch regenerates ablation A4 (prefetch MLP).
+func BenchmarkAblatePrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblatePrefetch(benchCfg)
+	}
+}
+
+// BenchmarkAblatePartitionedML regenerates ablation A5 (partitioned
+// irregularity detection).
+func BenchmarkAblatePartitionedML(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.PartitionedML(benchCfg)
+	}
+}
+
+// BenchmarkSimulatedSpMV times one cost-model evaluation (the unit of
+// every modeled experiment) on a mid-size matrix.
+func BenchmarkSimulatedSpMV(b *testing.B) {
+	e := sim.New(machine.KNL())
+	m := gen.UniformRandom(200000, 8, 1)
+	e.Run(ex.Config{Matrix: m}) // build the profile outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(ex.Config{Matrix: m, Opt: ex.Optim{Vectorize: true, Prefetch: true}})
+	}
+}
+
+// Native kernel micro-benchmarks: the real Go kernels on the host.
+func benchNativeKernel(b *testing.B, k kernels.RangeKernel) {
+	m := gen.UniformRandom(100000, 10, 1)
+	x := make([]float64, m.NCols)
+	y := make([]float64, m.NRows)
+	for i := range x {
+		x[i] = 1
+	}
+	b.SetBytes(m.Bytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k(m, x, y, 0, m.NRows)
+	}
+}
+
+// BenchmarkKernelCSR times the scalar Fig 2 kernel.
+func BenchmarkKernelCSR(b *testing.B) { benchNativeKernel(b, kernels.CSRRange) }
+
+// BenchmarkKernelUnrolled4 times the 4-way unrolled kernel.
+func BenchmarkKernelUnrolled4(b *testing.B) { benchNativeKernel(b, kernels.CSRUnrolled4Range) }
+
+// BenchmarkKernelVector8 times the 8-accumulator vectorization stand-in.
+func BenchmarkKernelVector8(b *testing.B) { benchNativeKernel(b, kernels.CSRVector8Range) }
+
+// BenchmarkKernelPrefetch times the software-prefetch kernel.
+func BenchmarkKernelPrefetch(b *testing.B) { benchNativeKernel(b, kernels.CSRPrefetchRange) }
+
+// BenchmarkKernelDelta times the DeltaCSR kernel.
+func BenchmarkKernelDelta(b *testing.B) {
+	m := gen.Banded(100000, 12, 0.9, 1)
+	d := formats.Compress(m)
+	x := make([]float64, m.NCols)
+	y := make([]float64, m.NRows)
+	for i := range x {
+		x[i] = 1
+	}
+	b.SetBytes(d.Bytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.MulVec(x, y)
+	}
+}
+
+// BenchmarkKernelSplit times the two-phase decomposed kernel (Fig 6).
+func BenchmarkKernelSplit(b *testing.B) {
+	m := gen.FewDenseRows(100000, 5, 3, 60000, 1)
+	s := formats.SplitAuto(m)
+	x := make([]float64, m.NCols)
+	y := make([]float64, m.NRows)
+	for i := range x {
+		x[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MulVec(x, y)
+	}
+}
+
+// BenchmarkNativeTunedSpMV times the full tuned parallel multiply on
+// the host through the public API.
+func BenchmarkNativeTunedSpMV(b *testing.B) {
+	m, err := SuiteMatrix("poisson3Db", 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuned := NewTuner().Tune(m)
+	x := make([]float64, m.Cols())
+	y := make([]float64, m.Rows())
+	for i := range x {
+		x[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tuned.MulVec(x, y)
+	}
+}
+
+// BenchmarkStreamTriad reports the host's measured memory bandwidth.
+func BenchmarkStreamTriad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gbs := native.StreamTriad(1<<22, 0, 1)
+		b.ReportMetric(gbs, "GB/s")
+	}
+}
+
+// BenchmarkCGSolve times a CG solve with the tuned kernel (the Table V
+// application context).
+func BenchmarkCGSolve(b *testing.B) {
+	g := gen.Poisson2D(120, 120)
+	bvec := make([]float64, g.NRows)
+	for i := range bvec {
+		bvec[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solver.CG(g.MulVec, bvec, solver.Options{Tol: 1e-8})
+		if err != nil || !res.Converged {
+			b.Fatal("CG failed")
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command mtxgen writes synthetic sparse matrices in Matrix Market
+// format: either one of the paper-suite recipes or a raw generator.
+//
+//	mtxgen -suite webbase-1M -scale 0.5 -o webbase.mtx
+//	mtxgen -gen powerlaw -n 100000 -deg 8 -o graph.mtx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/mmio"
+	"github.com/sparsekit/spmvtuner/internal/suite"
+)
+
+func main() {
+	var (
+		suiteName = flag.String("suite", "", "evaluation-suite recipe name")
+		generator = flag.String("gen", "", "raw generator: dense, banded, poisson2d, poisson3d, uniform, powerlaw, fewdense, shortrows, clustered, blockdiag, graph, unstructured")
+		n         = flag.Int("n", 10000, "rows (generator-dependent meaning)")
+		deg       = flag.Int("deg", 8, "nonzeros per row (where applicable)")
+		scale     = flag.Float64("scale", 1.0, "suite scale")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		out       = flag.String("o", "", "output path (default stdout)")
+		list      = flag.Bool("list", false, "list suite recipe names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range suite.Evaluation() {
+			fmt.Printf("%-22s N=%-8d NNZ=%-9d %s\n", r.Name, r.PaperN, r.PaperNNZ, r.Regime)
+		}
+		return
+	}
+
+	m, err := build(*suiteName, *generator, *n, *deg, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtxgen:", err)
+		os.Exit(1)
+	}
+
+	if *out == "" {
+		if err := mmio.Write(os.Stdout, m); err != nil {
+			fmt.Fprintln(os.Stderr, "mtxgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := mmio.WriteFile(*out, m); err != nil {
+		fmt.Fprintln(os.Stderr, "mtxgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d x %d, %d nonzeros\n", *out, m.NRows, m.NCols, m.NNZ())
+}
+
+func build(suiteName, generator string, n, deg int, scale float64, seed int64) (*matrix.CSR, error) {
+	switch {
+	case suiteName != "" && generator != "":
+		return nil, fmt.Errorf("use either -suite or -gen, not both")
+	case suiteName != "":
+		m := suite.ByName(suiteName, scale)
+		if m == nil {
+			return nil, fmt.Errorf("unknown suite matrix %q (use -list)", suiteName)
+		}
+		return m, nil
+	case generator != "":
+		return rawGen(generator, n, deg, seed)
+	default:
+		return nil, fmt.Errorf("provide -suite NAME or -gen KIND")
+	}
+}
+
+func rawGen(kind string, n, deg int, seed int64) (*matrix.CSR, error) {
+	switch kind {
+	case "dense":
+		return gen.Dense(n, seed), nil
+	case "banded":
+		return gen.Banded(n, deg, 0.8, seed), nil
+	case "poisson2d":
+		side := isqrt(n)
+		return gen.Poisson2D(side, side), nil
+	case "poisson3d":
+		side := icbrt(n)
+		return gen.Poisson3D(side, side, side), nil
+	case "uniform":
+		return gen.UniformRandom(n, deg, seed), nil
+	case "powerlaw":
+		return gen.PowerLaw(n, float64(deg), 2.0, n/2, seed), nil
+	case "fewdense":
+		return gen.FewDenseRows(n, deg, 4, n/2, seed), nil
+	case "shortrows":
+		return gen.ShortRows(n, maxInt(1, deg), seed), nil
+	case "clustered":
+		return gen.ClusteredFEM(n, 64, deg, seed), nil
+	case "blockdiag":
+		return gen.BlockDiagonal(maxInt(1, n/64), 64, seed), nil
+	case "graph":
+		return gen.Graph(log2ceil(n), float64(deg), 0.57, 0.19, 0.19, seed), nil
+	case "unstructured":
+		return gen.Unstructured3D(n, deg, 0.05, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", kind)
+	}
+}
+
+func isqrt(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+func icbrt(n int) int {
+	s := 1
+	for s*s*s < n {
+		s++
+	}
+	return s
+}
+
+func log2ceil(n int) int {
+	e := 0
+	for 1<<e < n {
+		e++
+	}
+	return e
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

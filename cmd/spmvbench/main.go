@@ -1,0 +1,118 @@
+// Command spmvbench regenerates the paper's tables and figures from
+// the reproduction (see DESIGN.md for the experiment index):
+//
+//	spmvbench -exp fig1                 # Fig 1 on the KNC model
+//	spmvbench -exp fig3                 # Fig 3 bounds on KNC
+//	spmvbench -exp fig7 -platform knl   # one Fig 7 panel
+//	spmvbench -exp table4               # classifier accuracy
+//	spmvbench -exp table5               # overhead amortization
+//	spmvbench -exp platforms            # Table III
+//	spmvbench -exp all -scale 0.25      # everything, smaller suite
+//
+// Ablations: ablate-delta, ablate-split, ablate-sched,
+// ablate-prefetch, ablate-partitioned-ml.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/sparsekit/spmvtuner/internal/experiments"
+	"github.com/sparsekit/spmvtuner/internal/report"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig1, fig3, fig7, table4, table5, platforms, features, ablate-*, all")
+		platform = flag.String("platform", "", "fig7 platform: knc, knl, bdw (default: all three)")
+		scale    = flag.Float64("scale", 1.0, "suite size multiplier (1.0 = reproduction size)")
+		corpus   = flag.Int("corpus", 210, "training corpus size")
+		matrices = flag.String("matrix", "", "comma-separated suite subset")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, CorpusSize: *corpus}
+	if *matrices != "" {
+		cfg.Matrices = strings.Split(*matrices, ",")
+	}
+
+	emit := func(t *report.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	runFig7 := func(code string) error {
+		res, err := experiments.Fig7(code, cfg)
+		if err != nil {
+			return err
+		}
+		emit(res.Table())
+		return nil
+	}
+
+	var err error
+	switch *exp {
+	case "fig1":
+		emit(experiments.Fig1(cfg).Table())
+	case "fig3":
+		emit(experiments.Fig3(cfg).Table())
+	case "table4":
+		emit(experiments.Table4(cfg).Table())
+	case "table5":
+		emit(experiments.Table5(cfg).Table())
+	case "fig7":
+		if *platform != "" {
+			err = runFig7(*platform)
+		} else {
+			for _, code := range []string{"knc", "knl", "bdw"} {
+				if err = runFig7(code); err != nil {
+					break
+				}
+			}
+		}
+	case "platforms":
+		emit(experiments.Platforms())
+	case "features":
+		emit(experiments.FeatureTable(cfg))
+	case "ablate-delta":
+		emit(experiments.AblateDelta(cfg).Table())
+	case "ablate-split":
+		emit(experiments.AblateSplit(cfg).Table())
+	case "ablate-sched":
+		emit(experiments.AblateSched(cfg).Table())
+	case "ablate-prefetch":
+		emit(experiments.AblatePrefetch(cfg).Table())
+	case "ablate-partitioned-ml":
+		emit(experiments.PartitionedML(cfg).Table())
+	case "all":
+		emit(experiments.Platforms())
+		emit(experiments.Fig1(cfg).Table())
+		emit(experiments.Fig3(cfg).Table())
+		emit(experiments.Table4(cfg).Table())
+		for _, code := range []string{"knc", "knl", "bdw"} {
+			if err = runFig7(code); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			emit(experiments.Table5(cfg).Table())
+			emit(experiments.AblateDelta(cfg).Table())
+			emit(experiments.AblateSplit(cfg).Table())
+			emit(experiments.AblateSched(cfg).Table())
+			emit(experiments.AblatePrefetch(cfg).Table())
+			emit(experiments.PartitionedML(cfg).Table())
+		}
+	default:
+		err = fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spmvbench:", err)
+		os.Exit(1)
+	}
+}

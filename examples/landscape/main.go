@@ -1,0 +1,43 @@
+// landscape: a miniature of the paper's Fig 7 — classify and optimize
+// a handful of structurally different matrices on all three modeled
+// platforms, showing how the same matrix hits different bottlenecks on
+// different machines (e.g. human_gene1 is latency bound on KNC but
+// bandwidth bound on KNL, Section IV-C).
+package main
+
+import (
+	"fmt"
+
+	"github.com/sparsekit/spmvtuner"
+)
+
+func main() {
+	matrices := []string{
+		"poisson3Db",  // unstructured FEM: irregular accesses
+		"consph",      // clustered FEM: bandwidth
+		"ASIC_680k",   // circuit with ultra-dense rows: imbalance
+		"webbase-1M",  // short-row web crawl: loop overhead
+		"human_gene1", // dense scattered rows: platform-dependent
+	}
+	platforms := []string{"knc", "knl", "bdw"}
+
+	fmt.Printf("%-14s", "matrix")
+	for _, p := range platforms {
+		fmt.Printf("  %-34s", p)
+	}
+	fmt.Println()
+
+	for _, name := range matrices {
+		m, err := spmvtuner.SuiteMatrix(name, 0.5)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-14s", name)
+		for _, p := range platforms {
+			a := spmvtuner.NewTuner(spmvtuner.OnPlatform(p)).Analyze(m)
+			fmt.Printf("  %-12s %5.1f->%5.1f Gflop/s  ", a.Classes, a.BaselineGflops, a.OptimizedGflops)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nclasses: MB=bandwidth ML=latency IMB=imbalance CMP=compute ({}=nothing to fix)")
+}

@@ -1,0 +1,244 @@
+// Package cache models the data-cache behaviour of the irregular
+// x-vector accesses in SpMV. The paper's ML (memory latency) class
+// exists because accesses x[colind[j]] have pattern-dependent locality
+// that hardware prefetchers cannot cover; this package quantifies that
+// locality. It provides an exact set-associative LRU simulator for
+// validation and a fully-associative LRU working-set estimator used by
+// the cost model to count per-row x misses in one O(NNZ) pass.
+package cache
+
+import (
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// SetAssoc is a set-associative LRU cache over line addresses. It is
+// exact and deliberately simple: the reference model for tests and for
+// small-matrix studies.
+type SetAssoc struct {
+	sets       int
+	ways       int
+	lines      [][]int64 // per set, MRU first
+	hits       int64
+	misses     int64
+	insertions int64
+}
+
+// NewSetAssoc builds a cache with the given number of sets and ways.
+// Both must be positive.
+func NewSetAssoc(sets, ways int) *SetAssoc {
+	if sets < 1 || ways < 1 {
+		panic("cache: sets and ways must be positive")
+	}
+	c := &SetAssoc{sets: sets, ways: ways, lines: make([][]int64, sets)}
+	for i := range c.lines {
+		c.lines[i] = make([]int64, 0, ways)
+	}
+	return c
+}
+
+// Access touches a line address; it returns true on hit. Misses insert
+// the line, evicting the LRU way when the set is full.
+func (c *SetAssoc) Access(line int64) bool {
+	set := c.lines[int(uint64(line)%uint64(c.sets))]
+	for i, l := range set {
+		if l == line {
+			// Move to MRU position.
+			copy(set[1:i+1], set[:i])
+			set[0] = line
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	c.insertions++
+	if len(set) < c.ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set[:len(set)-1])
+	set[0] = line
+	c.lines[int(uint64(line)%uint64(c.sets))] = set
+	return false
+}
+
+// Stats returns accumulated hits and misses.
+func (c *SetAssoc) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// Reset clears contents and counters.
+func (c *SetAssoc) Reset() {
+	for i := range c.lines {
+		c.lines[i] = c.lines[i][:0]
+	}
+	c.hits, c.misses, c.insertions = 0, 0, 0
+}
+
+// lru is an exact fully-associative LRU over a bounded line-id space
+// with O(1) array-indexed access: SpMV x-line ids lie in
+// [0, NCols/lineElems], so a direct-indexed position table replaces
+// hashing. Nodes live in flat slices (intrusive doubly-linked list)
+// to keep the O(NNZ) estimation pass allocation-free and fast.
+type lru struct {
+	cap  int
+	size int
+	// Doubly linked list over node slots 0..cap-1; head = MRU.
+	next, prev []int32
+	lineOf     []int64
+	head, tail int32
+	// posOf[line] = node slot + 1, 0 = absent.
+	posOf []int32
+	// free slots stack.
+	free []int32
+}
+
+// newLRU builds an LRU of capacity lines over the id space
+// [0, numLines).
+func newLRU(capacity int, numLines int64) *lru {
+	c := &lru{
+		cap:    capacity,
+		next:   make([]int32, capacity),
+		prev:   make([]int32, capacity),
+		lineOf: make([]int64, capacity),
+		posOf:  make([]int32, numLines),
+		head:   -1,
+		tail:   -1,
+	}
+	c.free = make([]int32, capacity)
+	for i := range c.free {
+		c.free[i] = int32(capacity - 1 - i)
+	}
+	return c
+}
+
+func (c *lru) unlink(n int32) {
+	if c.prev[n] >= 0 {
+		c.next[c.prev[n]] = c.next[n]
+	} else {
+		c.head = c.next[n]
+	}
+	if c.next[n] >= 0 {
+		c.prev[c.next[n]] = c.prev[n]
+	} else {
+		c.tail = c.prev[n]
+	}
+}
+
+func (c *lru) pushFront(n int32) {
+	c.prev[n] = -1
+	c.next[n] = c.head
+	if c.head >= 0 {
+		c.prev[c.head] = n
+	}
+	c.head = n
+	if c.tail < 0 {
+		c.tail = n
+	}
+}
+
+// access returns true on hit.
+func (c *lru) access(line int64) bool {
+	if p := c.posOf[line]; p != 0 {
+		n := p - 1
+		if c.head != n {
+			c.unlink(n)
+			c.pushFront(n)
+		}
+		return true
+	}
+	var n int32
+	if len(c.free) > 0 {
+		n = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+		c.size++
+	} else {
+		// Evict LRU.
+		n = c.tail
+		c.unlink(n)
+		c.posOf[c.lineOf[n]] = 0
+	}
+	c.lineOf[n] = line
+	c.posOf[line] = n + 1
+	c.pushFront(n)
+	return false
+}
+
+// XMissProfile holds the per-row x-access miss estimate for one
+// (matrix, cache-capacity) pair.
+type XMissProfile struct {
+	// PerRow[i] counts x-vector lines missed while processing row i.
+	PerRow []int32
+	// Total is the sum over rows.
+	Total int64
+	// UniqueLines is the number of distinct x lines the matrix touches
+	// at all: the compulsory-miss floor (the paper's M_xy,min term).
+	UniqueLines int64
+	// LineElems is the elements-per-line the profile was built with.
+	LineElems int
+	// CapacityLines is the modeled x-cache capacity in lines.
+	CapacityLines int
+}
+
+// EstimateXMisses runs the matrix's column-index stream through a
+// fully-associative LRU of capacityLines lines of lineElems float64
+// entries and records misses per row. Fully-associative LRU is the
+// standard working-set idealization; the set-associative simulator in
+// this package exists to verify it stays close for SpMV streams.
+func EstimateXMisses(m *matrix.CSR, lineElems, capacityLines int) XMissProfile {
+	if lineElems < 1 {
+		lineElems = 1
+	}
+	if capacityLines < 1 {
+		capacityLines = 1
+	}
+	p := XMissProfile{
+		PerRow:        make([]int32, m.NRows),
+		LineElems:     lineElems,
+		CapacityLines: capacityLines,
+	}
+	numLines := int64(m.NCols+lineElems-1)/int64(lineElems) + 1
+	c := newLRU(capacityLines, numLines)
+	seen := make([]bool, numLines)
+	for i := 0; i < m.NRows; i++ {
+		var miss int32
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			line := int64(m.ColInd[j]) / int64(lineElems)
+			if !c.access(line) {
+				miss++
+			}
+			if !seen[line] {
+				seen[line] = true
+				p.UniqueLines++
+			}
+		}
+		p.PerRow[i] = miss
+		p.Total += int64(miss)
+	}
+	return p
+}
+
+// UniqueXLines counts the distinct x-vector cache lines the matrix
+// touches: the compulsory traffic floor for the input vector.
+func UniqueXLines(m *matrix.CSR, lineElems int) int64 {
+	if lineElems < 1 {
+		lineElems = 1
+	}
+	numLines := int64(m.NCols+lineElems-1)/int64(lineElems) + 1
+	seen := make([]bool, numLines)
+	var n int64
+	for _, c := range m.ColInd {
+		line := int64(c) / int64(lineElems)
+		if !seen[line] {
+			seen[line] = true
+			n++
+		}
+	}
+	return n
+}
+
+// SumRange returns the total misses over the row range [lo, hi): the
+// per-thread aggregation the cost model performs for each partition.
+func (p XMissProfile) SumRange(lo, hi int) int64 {
+	var s int64
+	for i := lo; i < hi; i++ {
+		s += int64(p.PerRow[i])
+	}
+	return s
+}

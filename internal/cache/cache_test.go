@@ -1,0 +1,207 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+func TestSetAssocBasics(t *testing.T) {
+	c := NewSetAssoc(1, 2) // fully associative, 2 lines
+	if c.Access(1) {
+		t.Fatal("first access should miss")
+	}
+	if !c.Access(1) {
+		t.Fatal("second access should hit")
+	}
+	c.Access(2)
+	c.Access(3) // evicts 1 (LRU)
+	if c.Access(1) {
+		t.Fatal("line 1 should have been evicted")
+	}
+	if !c.Access(3) {
+		t.Fatal("line 3 should still be resident")
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 4 {
+		t.Fatalf("stats = %d/%d, want 2 hits / 4 misses", hits, misses)
+	}
+}
+
+func TestSetAssocLRUOrder(t *testing.T) {
+	c := NewSetAssoc(1, 3)
+	for _, l := range []int64{1, 2, 3} {
+		c.Access(l)
+	}
+	c.Access(1) // refresh 1; LRU is now 2
+	c.Access(4) // evict 2
+	// Probe residents first: probing a missing line would insert it
+	// and evict a resident.
+	if !c.Access(1) || !c.Access(3) || !c.Access(4) {
+		t.Fatal("1, 3, 4 should be resident")
+	}
+	if c.Access(2) {
+		t.Fatal("2 should have been the LRU victim")
+	}
+}
+
+func TestSetAssocSetConflicts(t *testing.T) {
+	// 2 sets x 1 way: lines 0 and 2 collide in set 0, line 1 sits in
+	// set 1 undisturbed.
+	c := NewSetAssoc(2, 1)
+	c.Access(0)
+	c.Access(1)
+	c.Access(2) // evicts 0
+	if c.Access(0) {
+		t.Fatal("0 should have been evicted by conflict")
+	}
+	if !c.Access(1) {
+		t.Fatal("1 should be untouched in its own set")
+	}
+}
+
+func TestSetAssocReset(t *testing.T) {
+	c := NewSetAssoc(4, 2)
+	c.Access(10)
+	c.Reset()
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatal("Reset did not clear stats")
+	}
+	if c.Access(10) {
+		t.Fatal("Reset did not clear contents")
+	}
+}
+
+func TestNewSetAssocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero ways did not panic")
+		}
+	}()
+	NewSetAssoc(4, 0)
+}
+
+func TestEstimateXMissesDenseRow(t *testing.T) {
+	// One row touching columns 0..63 with 8-elem lines: 8 lines, all
+	// cold -> 8 misses, 8 unique lines.
+	coo := matrix.NewCOO(1, 64)
+	for c := 0; c < 64; c++ {
+		coo.Add(0, c, 1)
+	}
+	p := EstimateXMisses(coo.ToCSR(), 8, 100)
+	if p.Total != 8 || p.UniqueLines != 8 || p.PerRow[0] != 8 {
+		t.Fatalf("profile = %+v, want 8 cold misses", p)
+	}
+}
+
+func TestEstimateXMissesReuseAcrossRows(t *testing.T) {
+	// Two identical rows: with capacity, second row hits everything.
+	coo := matrix.NewCOO(2, 64)
+	for c := 0; c < 64; c += 8 {
+		coo.Add(0, c, 1)
+		coo.Add(1, c, 1)
+	}
+	p := EstimateXMisses(coo.ToCSR(), 8, 64)
+	if p.PerRow[0] != 8 || p.PerRow[1] != 0 {
+		t.Fatalf("rows = %v, want [8 0]", p.PerRow)
+	}
+	// With capacity 1 line, every access of row 2 misses again except
+	// consecutive same-line references.
+	p1 := EstimateXMisses(coo.ToCSR(), 8, 1)
+	if p1.PerRow[1] != 8 {
+		t.Fatalf("tiny cache second row misses = %d, want 8", p1.PerRow[1])
+	}
+}
+
+func TestEstimateXMissesBandedBeatsRandom(t *testing.T) {
+	n := 4096
+	banded := gen.Banded(n, 8, 1.0, 1)
+	random := gen.UniformRandom(n, 17, 1)
+	capLines := 256
+	pb := EstimateXMisses(banded, 8, capLines)
+	pr := EstimateXMisses(random, 8, capLines)
+	// Equal-ish nnz; banded reuse should produce far fewer misses.
+	bandRate := float64(pb.Total) / float64(banded.NNZ())
+	randRate := float64(pr.Total) / float64(random.NNZ())
+	if bandRate*2 > randRate {
+		t.Fatalf("banded miss rate %.3f not clearly below random %.3f", bandRate, randRate)
+	}
+}
+
+func TestUniqueXLines(t *testing.T) {
+	coo := matrix.NewCOO(3, 100)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 7, 1)  // same 8-line as 0
+	coo.Add(2, 64, 1) // new line
+	m := coo.ToCSR()
+	if got := UniqueXLines(m, 8); got != 2 {
+		t.Fatalf("unique lines = %d, want 2", got)
+	}
+	if got := UniqueXLines(m, 1); got != 3 {
+		t.Fatalf("unique 1-elem lines = %d, want 3", got)
+	}
+}
+
+func TestSumRange(t *testing.T) {
+	m := gen.UniformRandom(100, 5, 3)
+	p := EstimateXMisses(m, 8, 16)
+	if p.SumRange(0, 100) != p.Total {
+		t.Fatal("SumRange over all rows != Total")
+	}
+	if p.SumRange(0, 50)+p.SumRange(50, 100) != p.Total {
+		t.Fatal("SumRange not additive")
+	}
+	if p.SumRange(10, 10) != 0 {
+		t.Fatal("empty range should sum to 0")
+	}
+}
+
+// Property: misses are bounded below by unique lines (compulsory) and
+// above by nnz; infinite capacity hits the compulsory floor exactly;
+// capacity is monotone (more capacity never adds misses).
+func TestMissBoundsQuick(t *testing.T) {
+	f := func(seed int64, rawCap uint16) bool {
+		n := 64 + int(uint64(seed)%128)
+		m := gen.UniformRandom(n, 5, seed)
+		capLines := 1 + int(rawCap)%512
+		p := EstimateXMisses(m, 8, capLines)
+		if p.Total < p.UniqueLines || p.Total > int64(m.NNZ()) {
+			return false
+		}
+		inf := EstimateXMisses(m, 8, 1<<20)
+		if inf.Total != inf.UniqueLines {
+			return false
+		}
+		bigger := EstimateXMisses(m, 8, capLines*2)
+		return bigger.Total <= p.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the fully-associative estimator matches a 1-set SetAssoc
+// simulator exactly (they are the same policy).
+func TestEstimatorMatchesSimulatorQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 32 + int(uint64(seed)%64)
+		m := gen.UniformRandom(n, 4, seed)
+		capLines := 32
+		p := EstimateXMisses(m, 8, capLines)
+		sim := NewSetAssoc(1, capLines)
+		var simMisses int64
+		for i := 0; i < m.NRows; i++ {
+			for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+				if !sim.Access(int64(m.ColInd[j]) / 8) {
+					simMisses++
+				}
+			}
+		}
+		return simMisses == p.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

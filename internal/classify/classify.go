@@ -1,0 +1,269 @@
+// Package classify defines the bottleneck classes of Section III-A and
+// the profile-guided rule classifier of Fig 4. Classification is
+// multilabel: a matrix can be simultaneously latency bound and
+// imbalanced, and the optimizer applies the union of the matching
+// optimizations.
+package classify
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/sparsekit/spmvtuner/internal/bounds"
+)
+
+// Class is one SpMV performance bottleneck.
+type Class uint8
+
+const (
+	// MB: memory bandwidth bound — utilization near the STREAM peak,
+	// usually regular sparsity structure.
+	MB Class = iota
+	// ML: memory latency bound — poor x locality from a highly
+	// irregular pattern that hardware prefetchers cannot cover.
+	ML
+	// IMB: thread imbalance — uneven row lengths or regions of
+	// different sparsity patterns.
+	IMB
+	// CMP: computational bottlenecks — cache-resident working sets
+	// near the Roofline ridge, or nonzeros concentrated in a few
+	// dense rows.
+	CMP
+	numClasses = 4
+)
+
+// String returns the paper's class name.
+func (c Class) String() string {
+	switch c {
+	case MB:
+		return "MB"
+	case ML:
+		return "ML"
+	case IMB:
+		return "IMB"
+	case CMP:
+		return "CMP"
+	default:
+		return "?"
+	}
+}
+
+// AllClasses lists the four bottleneck classes.
+func AllClasses() []Class { return []Class{MB, ML, IMB, CMP} }
+
+// Set is a bitset of classes; the zero Set means "not classified" —
+// the matrix is not worth optimizing with any pool member (the
+// feature-guided classifier's dummy class).
+type Set uint8
+
+// NewSet builds a Set from classes.
+func NewSet(cs ...Class) Set {
+	var s Set
+	for _, c := range cs {
+		s = s.Add(c)
+	}
+	return s
+}
+
+// Add returns s with c included.
+func (s Set) Add(c Class) Set { return s | 1<<c }
+
+// Has reports whether c is in s.
+func (s Set) Has(c Class) bool { return s&(1<<c) != 0 }
+
+// Empty reports whether no class was assigned.
+func (s Set) Empty() bool { return s == 0 }
+
+// Count returns the number of classes in s.
+func (s Set) Count() int {
+	n := 0
+	for c := Class(0); c < numClasses; c++ {
+		if s.Has(c) {
+			n++
+		}
+	}
+	return n
+}
+
+// Classes lists the members in canonical order.
+func (s Set) Classes() []Class {
+	var out []Class
+	for c := Class(0); c < numClasses; c++ {
+		if s.Has(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Intersects reports whether the two sets share a class, or both are
+// empty (an exact agreement on "not worth optimizing" counts as a
+// partial match in Table IV's Partial Match Ratio).
+func (s Set) Intersects(o Set) bool {
+	if s == 0 && o == 0 {
+		return true
+	}
+	return s&o != 0
+}
+
+// String renders like the paper's figure annotations: "{ML,IMB}".
+func (s Set) String() string {
+	if s.Empty() {
+		return "{}"
+	}
+	names := make([]string, 0, 4)
+	for _, c := range s.Classes() {
+		names = append(names, c.String())
+	}
+	return "{" + strings.Join(names, ",") + "}"
+}
+
+// Labels converts the set to the fixed-width boolean label vector used
+// by the decision-tree classifier: one output per class plus the
+// trailing dummy "none" output.
+func (s Set) Labels() []bool {
+	out := make([]bool, numClasses+1)
+	for c := Class(0); c < numClasses; c++ {
+		out[c] = s.Has(c)
+	}
+	out[numClasses] = s.Empty()
+	return out
+}
+
+// SetFromLabels inverts Labels. A set "none" output overrides any class
+// bits (a tree leaf votes for unclassified).
+func SetFromLabels(labels []bool) Set {
+	if len(labels) > int(numClasses) && labels[numClasses] {
+		return 0
+	}
+	var s Set
+	for c := Class(0); c < numClasses && int(c) < len(labels); c++ {
+		if labels[c] {
+			s = s.Add(c)
+		}
+	}
+	return s
+}
+
+// NumLabels is the width of the label vectors (4 classes + dummy).
+const NumLabels = int(numClasses) + 1
+
+// Thresholds are the hyperparameters of the profile-guided classifier.
+// The paper tunes T_ML and T_IMB by exhaustive grid search (Fig 4:
+// T_ML = 1.25, T_IMB = 1.24); T_MBApprox implements the "P_CSR ≈ P_MB"
+// test as a minimum ratio of baseline to bandwidth bound.
+type Thresholds struct {
+	TML      float64
+	TIMB     float64
+	TMBAprox float64
+}
+
+// DefaultThresholds returns the paper's tuned values (Fig 4) with the
+// bandwidth-proximity tolerance used throughout this reproduction.
+func DefaultThresholds() Thresholds {
+	return Thresholds{TML: 1.25, TIMB: 1.24, TMBAprox: 0.5}
+}
+
+// ProfileGuided is the rule classifier of Fig 4.
+type ProfileGuided struct {
+	Th Thresholds
+}
+
+// NewProfileGuided returns the classifier with the paper's tuned
+// thresholds.
+func NewProfileGuided() ProfileGuided {
+	return ProfileGuided{Th: DefaultThresholds()}
+}
+
+// Classify implements the algorithm of Fig 4 verbatim:
+//
+//	if P_IMB/P_CSR > T_IMB            -> IMB
+//	if P_ML/P_CSR  > T_ML             -> ML
+//	if P_CSR ≈ P_MB and P_MB < P_CMP < P_peak -> MB
+//	if P_MB > P_CMP or P_CMP > P_peak -> CMP
+func (p ProfileGuided) Classify(b bounds.Bounds) Set {
+	var s Set
+	if b.PCSR <= 0 {
+		return s
+	}
+	if b.PIMB/b.PCSR > p.Th.TIMB {
+		s = s.Add(IMB)
+	}
+	if b.PML/b.PCSR > p.Th.TML {
+		s = s.Add(ML)
+	}
+	if b.PCSR/b.PMB >= p.Th.TMBAprox && b.PMB < b.PCMP && b.PCMP < b.Ppeak {
+		s = s.Add(MB)
+	}
+	if b.PMB > b.PCMP || b.PCMP > b.Ppeak {
+		s = s.Add(CMP)
+	}
+	return s
+}
+
+// GridAxis is one hyperparameter sweep dimension.
+type GridAxis struct {
+	Name   string
+	Values []float64
+}
+
+// GridPoint is one candidate assignment, keyed by axis name.
+type GridPoint map[string]float64
+
+// GridSearch exhaustively evaluates the objective over the cartesian
+// product of the axes and returns the point with the maximum objective
+// value (ties: first found). It is the tuning procedure of Section
+// III-C; the objective the paper maximizes is the average performance
+// gain of the selected optimizations over a training set.
+func GridSearch(axes []GridAxis, objective func(GridPoint) float64) (GridPoint, float64) {
+	best := GridPoint{}
+	bestVal := 0.0
+	first := true
+
+	idx := make([]int, len(axes))
+	for {
+		pt := GridPoint{}
+		for i, ax := range axes {
+			pt[ax.Name] = ax.Values[idx[i]]
+		}
+		v := objective(pt)
+		if first || v > bestVal {
+			bestVal = v
+			best = pt
+			first = false
+		}
+		// Advance the odometer.
+		i := 0
+		for ; i < len(axes); i++ {
+			idx[i]++
+			if idx[i] < len(axes[i].Values) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(axes) {
+			break
+		}
+	}
+	return best, bestVal
+}
+
+// Span builds an inclusive value range for a grid axis.
+func Span(lo, hi, step float64) []float64 {
+	var vs []float64
+	for v := lo; v <= hi+1e-12; v += step {
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+// SortedClassNames renders a set's classes sorted alphabetically; used
+// by reports that must match across runs.
+func SortedClassNames(s Set) []string {
+	names := make([]string, 0, 4)
+	for _, c := range s.Classes() {
+		names = append(names, c.String())
+	}
+	sort.Strings(names)
+	return names
+}

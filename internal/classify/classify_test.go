@@ -1,0 +1,229 @@
+package classify
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/sparsekit/spmvtuner/internal/bounds"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/machine"
+	"github.com/sparsekit/spmvtuner/internal/sim"
+)
+
+func TestSetOperations(t *testing.T) {
+	s := NewSet(ML, IMB)
+	if !s.Has(ML) || !s.Has(IMB) || s.Has(MB) || s.Has(CMP) {
+		t.Fatalf("set membership wrong: %v", s)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("count = %d, want 2", s.Count())
+	}
+	if s.Empty() {
+		t.Fatal("non-empty set reported empty")
+	}
+	if got := s.String(); got != "{ML,IMB}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := NewSet().String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestSetIntersects(t *testing.T) {
+	a := NewSet(ML, IMB)
+	b := NewSet(IMB, CMP)
+	c := NewSet(MB)
+	if !a.Intersects(b) {
+		t.Fatal("{ML,IMB} should intersect {IMB,CMP}")
+	}
+	if a.Intersects(c) {
+		t.Fatal("{ML,IMB} should not intersect {MB}")
+	}
+	// Two empty sets agree on "not worth optimizing".
+	if !NewSet().Intersects(NewSet()) {
+		t.Fatal("empty sets should count as intersecting")
+	}
+	if NewSet().Intersects(a) {
+		t.Fatal("empty should not intersect non-empty")
+	}
+}
+
+func TestLabelsRoundTrip(t *testing.T) {
+	for _, s := range []Set{NewSet(), NewSet(MB), NewSet(ML, CMP), NewSet(MB, ML, IMB, CMP)} {
+		l := s.Labels()
+		if len(l) != NumLabels {
+			t.Fatalf("labels width %d, want %d", len(l), NumLabels)
+		}
+		if got := SetFromLabels(l); got != s {
+			t.Fatalf("round trip %v -> %v", s, got)
+		}
+	}
+	// Dummy output wins over class bits.
+	l := NewSet(ML).Labels()
+	l[NumLabels-1] = true
+	if got := SetFromLabels(l); !got.Empty() {
+		t.Fatalf("dummy label should clear classes, got %v", got)
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	want := map[Class]string{MB: "MB", ML: "ML", IMB: "IMB", CMP: "CMP", Class(9): "?"}
+	for c, w := range want {
+		if c.String() != w {
+			t.Fatalf("%d String = %q, want %q", c, c.String(), w)
+		}
+	}
+	if len(AllClasses()) != 4 {
+		t.Fatal("AllClasses should list 4 classes")
+	}
+}
+
+// Synthetic bound patterns exercising each Fig 4 rule.
+func TestClassifyRules(t *testing.T) {
+	p := NewProfileGuided()
+	cases := []struct {
+		name string
+		b    bounds.Bounds
+		want Set
+	}{
+		{
+			name: "pure bandwidth bound",
+			b:    bounds.Bounds{PCSR: 18, PML: 19, PIMB: 19, PMB: 20, PCMP: 25, Ppeak: 30},
+			want: NewSet(MB),
+		},
+		{
+			name: "latency bound",
+			b:    bounds.Bounds{PCSR: 4, PML: 12, PIMB: 4.5, PMB: 20, PCMP: 25, Ppeak: 30},
+			want: NewSet(ML),
+		},
+		{
+			name: "imbalance",
+			b:    bounds.Bounds{PCSR: 4, PML: 4.5, PIMB: 12, PMB: 20, PCMP: 25, Ppeak: 30},
+			want: NewSet(IMB),
+		},
+		{
+			name: "compute: PMB above PCMP",
+			b:    bounds.Bounds{PCSR: 6, PML: 6.5, PIMB: 7, PMB: 20, PCMP: 12, Ppeak: 30},
+			want: NewSet(CMP),
+		},
+		{
+			name: "compute: PCMP above Ppeak (cache resident)",
+			b:    bounds.Bounds{PCSR: 20, PML: 22, PIMB: 22, PMB: 30, PCMP: 55, Ppeak: 50},
+			want: NewSet(CMP),
+		},
+		{
+			name: "latency plus imbalance",
+			b:    bounds.Bounds{PCSR: 3, PML: 9, PIMB: 8, PMB: 20, PCMP: 25, Ppeak: 30},
+			want: NewSet(ML, IMB),
+		},
+		{
+			name: "unclassified",
+			b:    bounds.Bounds{PCSR: 10, PML: 10.5, PIMB: 11, PMB: 30, PCMP: 35, Ppeak: 40},
+			want: NewSet(),
+		},
+		{
+			name: "zero baseline",
+			b:    bounds.Bounds{},
+			want: NewSet(),
+		},
+	}
+	for _, tc := range cases {
+		if got := p.Classify(tc.b); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDefaultThresholdsMatchPaper(t *testing.T) {
+	th := DefaultThresholds()
+	if th.TML != 1.25 || th.TIMB != 1.24 {
+		t.Fatalf("thresholds %+v do not match Fig 4 (T_ML=1.25, T_IMB=1.24)", th)
+	}
+}
+
+func TestEndToEndClassification(t *testing.T) {
+	e := sim.New(machine.KNC())
+	p := NewProfileGuided()
+
+	irr := gen.UniformRandom(400000, 9, 1)
+	if s := p.Classify(bounds.Measure(e, irr)); !s.Has(ML) {
+		t.Errorf("uniform random should include ML, got %v", s)
+	}
+	skew := gen.FewDenseRows(100000, 5, 3, 60000, 1)
+	if s := p.Classify(bounds.Measure(e, skew)); !s.Has(IMB) {
+		t.Errorf("few-dense-rows should include IMB, got %v", s)
+	}
+	reg := gen.Banded(400000, 8, 1.0, 1)
+	if s := p.Classify(bounds.Measure(e, reg)); s.Has(ML) || s.Has(IMB) {
+		t.Errorf("large banded should not be ML or IMB, got %v", s)
+	}
+}
+
+func TestGridSearchFindsMaximum(t *testing.T) {
+	axes := []GridAxis{
+		{Name: "a", Values: Span(0, 2, 0.5)},
+		{Name: "b", Values: Span(-1, 1, 0.25)},
+	}
+	// Objective peaks at a=1.5, b=0.25.
+	obj := func(p GridPoint) float64 {
+		da, db := p["a"]-1.5, p["b"]-0.25
+		return 10 - da*da - db*db
+	}
+	best, val := GridSearch(axes, obj)
+	if best["a"] != 1.5 || best["b"] != 0.25 {
+		t.Fatalf("grid search found %v (val %.3f)", best, val)
+	}
+	if val != 10 {
+		t.Fatalf("objective at optimum = %g, want 10", val)
+	}
+}
+
+func TestGridSearchSingleAxis(t *testing.T) {
+	axes := []GridAxis{{Name: "x", Values: []float64{1, 2, 3}}}
+	best, _ := GridSearch(axes, func(p GridPoint) float64 { return -p["x"] })
+	if best["x"] != 1 {
+		t.Fatalf("best x = %g, want 1", best["x"])
+	}
+}
+
+func TestSpan(t *testing.T) {
+	vs := Span(1.0, 1.5, 0.25)
+	if len(vs) != 3 || vs[0] != 1.0 || vs[2] != 1.5 {
+		t.Fatalf("Span = %v", vs)
+	}
+}
+
+func TestSortedClassNames(t *testing.T) {
+	names := SortedClassNames(NewSet(CMP, MB, ML))
+	if len(names) != 3 || names[0] != "CMP" || names[1] != "MB" || names[2] != "ML" {
+		t.Fatalf("sorted names = %v", names)
+	}
+}
+
+// Property: Labels/SetFromLabels round-trips every possible set.
+func TestLabelsRoundTripQuick(t *testing.T) {
+	f := func(raw uint8) bool {
+		s := Set(raw & 0x0F)
+		return SetFromLabels(s.Labels()) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: classification is monotone in the ML ratio — raising P_ML
+// can only add the ML class, never remove others.
+func TestClassifyMonotoneQuick(t *testing.T) {
+	p := NewProfileGuided()
+	f := func(seed int64) bool {
+		base := bounds.Bounds{PCSR: 5, PML: 5, PIMB: 6, PMB: 20, PCMP: 15, Ppeak: 30}
+		lo := p.Classify(base)
+		base.PML = 5 * (1.5 + float64(uint64(seed)%100)/100)
+		hi := p.Classify(base)
+		// hi must contain everything lo had, plus ML.
+		return hi&lo == lo && hi.Has(ML)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Package core wires the paper's primary contribution into one
+// pipeline: bottleneck analysis (Section III-B bounds), classification
+// (profile-guided rules of Fig 4 or a trained feature-guided decision
+// tree), and optimization selection (Table II). The public facade and
+// the command-line tools are thin wrappers over this package.
+package core
+
+import (
+	"github.com/sparsekit/spmvtuner/internal/bounds"
+	"github.com/sparsekit/spmvtuner/internal/classify"
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/features"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/ml"
+	"github.com/sparsekit/spmvtuner/internal/opt"
+)
+
+// Mode selects the classifier driving optimization selection.
+type Mode int
+
+const (
+	// ProfileGuided runs the micro-benchmark bounds and the Fig 4
+	// rules (more accurate, costs profiling runs).
+	ProfileGuided Mode = iota
+	// FeatureGuided applies a pre-trained decision tree to structural
+	// features (cheapest, Section III-D).
+	FeatureGuided
+)
+
+// Pipeline is a configured optimizer: an executor (modeled platform or
+// native host) plus the classification machinery.
+type Pipeline struct {
+	Exec ex.Executor
+	Mode Mode
+	// Tree and TreeFeatures are required in FeatureGuided mode.
+	Tree         *ml.Tree
+	TreeFeatures []features.Name
+	// Thresholds for the profile-guided rules (zero value: paper's).
+	Thresholds classify.Thresholds
+}
+
+// New builds a profile-guided pipeline over the executor.
+func New(e ex.Executor) *Pipeline {
+	return &Pipeline{Exec: e, Thresholds: classify.DefaultThresholds()}
+}
+
+// Analysis is the full diagnosis of one matrix on the pipeline's
+// platform.
+type Analysis struct {
+	// Bounds holds P_CSR and the per-class upper bounds.
+	Bounds bounds.Bounds
+	// Classes is the detected bottleneck set.
+	Classes classify.Set
+	// Features is the Table I feature set.
+	Features features.Set
+	// Plan is the selected optimization configuration with its
+	// preprocessing cost.
+	Plan opt.Plan
+	// Optimized is the modeled/measured result of the plan.
+	Optimized ex.Result
+}
+
+// featureParams derives extraction parameters from the executor's
+// platform.
+func (p *Pipeline) featureParams() features.Params {
+	mdl := p.Exec.Machine()
+	return features.Params{LLCBytes: mdl.LLCBytes(), CacheLineBytes: mdl.CacheLineBytes}
+}
+
+// optimizer materializes the configured opt.Optimizer.
+func (p *Pipeline) optimizer() opt.Optimizer {
+	fp := p.featureParams()
+	switch p.Mode {
+	case FeatureGuided:
+		if p.Tree == nil {
+			// Fall back to profile-guided rather than failing: the
+			// feature-guided mode is an optimization of the decision
+			// cost, not a different contract.
+			break
+		}
+		return opt.NewFeatureGuided(p.Tree, p.TreeFeatures, fp)
+	}
+	pg := opt.NewProfileGuided(fp)
+	pg.Th = p.Thresholds
+	return pg
+}
+
+// Analyze diagnoses the matrix: bounds, classes, features, the chosen
+// plan and its modeled result.
+func (p *Pipeline) Analyze(m *matrix.CSR) Analysis {
+	a := Analysis{
+		Bounds:   bounds.Measure(p.Exec, m),
+		Features: features.Extract(m, p.featureParams()),
+	}
+	plan := p.optimizer().Plan(p.Exec, m)
+	a.Plan = plan
+	if plan.HasClasses {
+		a.Classes = plan.Classes
+	} else {
+		a.Classes = classify.ProfileGuided{Th: p.Thresholds}.Classify(a.Bounds)
+	}
+	a.Optimized = opt.Evaluate(p.Exec, m, plan)
+	return a
+}
+
+// PlanOnly selects an optimization without measuring bounds twice —
+// the lightweight entry point the facade's Tune uses.
+func (p *Pipeline) PlanOnly(m *matrix.CSR) opt.Plan {
+	return p.optimizer().Plan(p.Exec, m)
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/sparsekit/spmvtuner/internal/classify"
+	"github.com/sparsekit/spmvtuner/internal/features"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/machine"
+	"github.com/sparsekit/spmvtuner/internal/ml"
+	"github.com/sparsekit/spmvtuner/internal/sim"
+)
+
+func TestAnalyzeProfileGuided(t *testing.T) {
+	p := New(sim.New(machine.KNC()))
+	m := gen.UniformRandom(400000, 9, 1)
+	a := p.Analyze(m)
+	if !a.Classes.Has(classify.ML) {
+		t.Fatalf("uniform random should include ML, got %v", a.Classes)
+	}
+	if !a.Plan.Opt.Prefetch {
+		t.Fatalf("ML must select prefetch: %v", a.Plan.Opt)
+	}
+	if a.Optimized.Gflops <= a.Bounds.PCSR {
+		t.Fatalf("optimization did not improve: %.2f vs %.2f", a.Optimized.Gflops, a.Bounds.PCSR)
+	}
+	if a.Features.NNZAvg <= 0 {
+		t.Fatal("features missing")
+	}
+}
+
+func TestFeatureGuidedModeUsesTree(t *testing.T) {
+	names := features.ONNZSubset()
+	labels := classify.NewSet(classify.IMB).Labels()
+	ds, err := ml.NewDataset([]ml.Sample{
+		{X: make([]float64, len(names)), Y: labels},
+		{X: make([]float64, len(names)), Y: labels},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(sim.New(machine.KNC()))
+	p.Mode = FeatureGuided
+	p.Tree = ml.Fit(ds, ml.TreeParams{})
+	p.TreeFeatures = names
+
+	m := gen.FewDenseRows(100000, 5, 3, 60000, 2)
+	a := p.Analyze(m)
+	// The constant tree always says IMB; the skewed matrix then gets
+	// the decomposition.
+	if !a.Classes.Has(classify.IMB) || !a.Plan.Opt.Split {
+		t.Fatalf("feature-guided path broken: %v / %v", a.Classes, a.Plan.Opt)
+	}
+}
+
+func TestFeatureGuidedWithoutTreeFallsBack(t *testing.T) {
+	p := New(sim.New(machine.KNC()))
+	p.Mode = FeatureGuided // no tree installed
+	m := gen.UniformRandom(200000, 8, 3)
+	a := p.Analyze(m)
+	if a.Plan.Optimizer != "profile-guided" {
+		t.Fatalf("expected profile-guided fallback, got %s", a.Plan.Optimizer)
+	}
+}
+
+func TestPlanOnlyMatchesAnalyze(t *testing.T) {
+	p := New(sim.New(machine.KNL()))
+	m := gen.Banded(300000, 8, 0.9, 4)
+	plan := p.PlanOnly(m)
+	a := p.Analyze(m)
+	if plan.Opt != a.Plan.Opt {
+		t.Fatalf("PlanOnly %v != Analyze plan %v", plan.Opt, a.Plan.Opt)
+	}
+}

@@ -1,0 +1,145 @@
+// Package exec defines the executor abstraction the tuner runs SpMV
+// configurations through. Two implementations exist: internal/sim, an
+// analytic cost model of the paper's platforms (KNC, KNL, Broadwell),
+// and internal/native, real goroutine execution on the host. Bounds,
+// classifiers and optimizers are written against this interface so the
+// whole pipeline runs identically on modeled and real hardware.
+package exec
+
+import (
+	"fmt"
+
+	"github.com/sparsekit/spmvtuner/internal/machine"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/sched"
+)
+
+// Optim selects the software optimizations applied to one SpMV run —
+// the knobs of the paper's optimization pool (Table II) plus the two
+// modified "bound kernels" of Section III-B.
+type Optim struct {
+	// Vectorize enables SIMD execution (8 lanes on Phi, 4 on
+	// Broadwell; emulated by unrolled multi-accumulator kernels in
+	// native execution).
+	Vectorize bool
+	// Prefetch enables software prefetching of x[colind[j+d]] into L1
+	// (the ML-class optimization).
+	Prefetch bool
+	// Unroll enables inner-loop unrolling (the CMP-class
+	// optimization's scalar half).
+	Unroll bool
+	// Compress stores the matrix in DeltaCSR (the MB-class
+	// optimization).
+	Compress bool
+	// Split decomposes long rows per Fig 5 (the IMB-class
+	// optimization for uneven row lengths).
+	Split bool
+	// Schedule selects the row-scheduling policy; the zero value is
+	// the paper's default static nnz-balanced partitioning.
+	Schedule sched.Policy
+
+	// RegularizeX turns every access to x into a regular access by
+	// pointing all column indices at the row index: the P_ML bound
+	// kernel. Not a real optimization — it changes results.
+	RegularizeX bool
+	// UnitStride removes indirect references entirely, reading x[i]
+	// only: the P_CMP bound kernel. Not a real optimization.
+	UnitStride bool
+}
+
+// IsBoundKernel reports whether the configuration is a measurement
+// probe rather than a semantics-preserving optimization.
+func (o Optim) IsBoundKernel() bool { return o.RegularizeX || o.UnitStride }
+
+// String renders the enabled optimizations compactly, e.g.
+// "compress+vec+prefetch@static-nnz".
+func (o Optim) String() string {
+	s := ""
+	add := func(tag string, on bool) {
+		if !on {
+			return
+		}
+		if s != "" {
+			s += "+"
+		}
+		s += tag
+	}
+	add("compress", o.Compress)
+	add("vec", o.Vectorize)
+	add("prefetch", o.Prefetch)
+	add("unroll", o.Unroll)
+	add("split", o.Split)
+	add("regx", o.RegularizeX)
+	add("unit", o.UnitStride)
+	if s == "" {
+		s = "none"
+	}
+	return fmt.Sprintf("%s@%s", s, o.Schedule)
+}
+
+// Config is one executable SpMV setup.
+type Config struct {
+	Matrix *matrix.CSR
+	// Threads overrides the platform thread count when positive.
+	Threads int
+	Opt     Optim
+}
+
+// Result reports one SpMV execution (or model evaluation).
+type Result struct {
+	// Seconds is the wall time of a single SpMV operation.
+	Seconds float64
+	// ThreadSeconds is each thread's busy time for one operation; the
+	// P_IMB bound takes its median.
+	ThreadSeconds []float64
+	// Gflops is 2*NNZ / Seconds / 1e9.
+	Gflops float64
+	// MemBytes is the estimated (sim) or modeled (native) main-memory
+	// traffic of one operation.
+	MemBytes float64
+	// Breakdown explains which resource bound the run (sim only;
+	// zero-valued for native runs).
+	Breakdown Breakdown
+}
+
+// Breakdown decomposes the modeled execution time of the critical
+// thread into the three roofline terms of the cost model.
+type Breakdown struct {
+	ComputeSeconds   float64
+	BandwidthSeconds float64
+	LatencySeconds   float64
+	// GlobalBWSeconds is the chip-level bandwidth floor
+	// total_bytes / B_max.
+	GlobalBWSeconds float64
+}
+
+// Binding names the dominant term.
+func (b Breakdown) Binding() string {
+	max, name := b.ComputeSeconds, "compute"
+	if b.BandwidthSeconds > max {
+		max, name = b.BandwidthSeconds, "bandwidth"
+	}
+	if b.LatencySeconds > max {
+		max, name = b.LatencySeconds, "latency"
+	}
+	if b.GlobalBWSeconds > max {
+		name = "bandwidth"
+	}
+	return name
+}
+
+// Executor runs SpMV configurations on some platform.
+type Executor interface {
+	// Machine returns the platform model this executor represents.
+	Machine() machine.Model
+	// Run evaluates one configuration and returns its result.
+	Run(cfg Config) Result
+}
+
+// GflopsOf converts a per-operation time into a rate for m.
+func GflopsOf(m *matrix.CSR, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return m.Flops() / seconds / 1e9
+}

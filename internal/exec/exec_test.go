@@ -1,0 +1,76 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/sched"
+)
+
+func TestOptimString(t *testing.T) {
+	cases := []struct {
+		o    Optim
+		want string
+	}{
+		{Optim{}, "none@static-nnz"},
+		{Optim{Vectorize: true, Compress: true}, "compress+vec@static-nnz"},
+		{Optim{Prefetch: true, Schedule: sched.Auto}, "prefetch@auto"},
+		{Optim{Split: true, Unroll: true}, "unroll+split@static-nnz"},
+		{Optim{RegularizeX: true}, "regx@static-nnz"},
+		{Optim{UnitStride: true}, "unit@static-nnz"},
+	}
+	for _, c := range cases {
+		if got := c.o.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.o, got, c.want)
+		}
+	}
+}
+
+func TestIsBoundKernel(t *testing.T) {
+	if (Optim{Vectorize: true}).IsBoundKernel() {
+		t.Fatal("vectorize is not a bound kernel")
+	}
+	if !(Optim{RegularizeX: true}).IsBoundKernel() || !(Optim{UnitStride: true}).IsBoundKernel() {
+		t.Fatal("bound kernels not detected")
+	}
+}
+
+func TestBreakdownBinding(t *testing.T) {
+	cases := []struct {
+		b    Breakdown
+		want string
+	}{
+		{Breakdown{ComputeSeconds: 3, BandwidthSeconds: 1, LatencySeconds: 1}, "compute"},
+		{Breakdown{ComputeSeconds: 1, BandwidthSeconds: 3, LatencySeconds: 1}, "bandwidth"},
+		{Breakdown{ComputeSeconds: 1, BandwidthSeconds: 1, LatencySeconds: 3}, "latency"},
+		{Breakdown{ComputeSeconds: 2, GlobalBWSeconds: 5}, "bandwidth"},
+	}
+	for _, c := range cases {
+		if got := c.b.Binding(); got != c.want {
+			t.Errorf("Binding(%+v) = %q, want %q", c.b, got, c.want)
+		}
+	}
+}
+
+func TestGflopsOf(t *testing.T) {
+	coo := matrix.NewCOO(2, 2)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 1, 1)
+	m := coo.ToCSR() // 2 nnz -> 4 flops
+	if got := GflopsOf(m, 1e-9); got < 4-1e-9 || got > 4+1e-9 {
+		t.Fatalf("GflopsOf = %g, want 4", got)
+	}
+	if GflopsOf(m, 0) != 0 {
+		t.Fatal("zero seconds must yield zero rate")
+	}
+}
+
+func TestOptimStringMentionsSchedule(t *testing.T) {
+	for _, p := range []sched.Policy{sched.StaticNNZ, sched.Dynamic, sched.Guided} {
+		s := Optim{Schedule: p}.String()
+		if !strings.HasSuffix(s, p.String()) {
+			t.Errorf("%q does not end with schedule %q", s, p)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/sparsekit/spmvtuner/internal/features"
+	"github.com/sparsekit/spmvtuner/internal/machine"
+	"github.com/sparsekit/spmvtuner/internal/report"
+	"github.com/sparsekit/spmvtuner/internal/suite"
+)
+
+// Platforms renders Table III: the technical characteristics of the
+// experimental platforms.
+func Platforms() *report.Table {
+	t := report.New("Table III: experimental platforms",
+		"codename", "model", "cores/threads", "clock", "L2", "L3", "STREAM main/llc")
+	for _, m := range machine.All() {
+		l3 := "-"
+		if m.L3Bytes > 0 {
+			l3 = fmt.Sprintf("%d MiB", m.L3Bytes>>20)
+		}
+		t.Add(m.Codename, m.Name,
+			fmt.Sprintf("%d/%d", m.Cores, m.Threads()),
+			fmt.Sprintf("%.2f GHz", m.FreqGHz),
+			fmt.Sprintf("%d MiB", m.L2Bytes>>20),
+			l3,
+			fmt.Sprintf("%g/%g GB/s", m.StreamMainGBs, m.StreamLLCGBs))
+	}
+	return t
+}
+
+// FeatureTable extracts the Table I features for every suite matrix
+// (experiment E4): the raw inputs of the feature-guided classifier.
+func FeatureTable(cfg Config) *report.Table {
+	c := cfg.withDefaults()
+	fp := featureParams(machine.KNC())
+	t := report.New("Table I features over the evaluation suite (KNC parameters)",
+		"matrix", "rows", "nnz", "density", "nnz avg", "nnz max", "nnz sd",
+		"bw avg", "scatter avg", "clustering", "misses avg", "fits LLC")
+	for _, r := range suite.Evaluation() {
+		m := r.Build(c.Scale)
+		fs := features.Extract(m, fp)
+		t.Add(r.Name,
+			report.F(float64(m.NRows)), report.F(float64(m.NNZ())),
+			report.F(fs.Density), report.F(fs.NNZAvg), report.F(fs.NNZMax), report.F(fs.NNZSd),
+			report.F(fs.BWAvg), report.F(fs.ScatterAvg), report.F(fs.ClusteringAvg),
+			report.F(fs.MissesAvg), report.F(fs.Size))
+	}
+	return t
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"github.com/sparsekit/spmvtuner/internal/features"
+	"github.com/sparsekit/spmvtuner/internal/machine"
+	"github.com/sparsekit/spmvtuner/internal/ml"
+	"github.com/sparsekit/spmvtuner/internal/report"
+)
+
+// Table4Row is one feature-guided classifier configuration and its
+// accuracy (Table IV).
+type Table4Row struct {
+	Label      string
+	Complexity string
+	Names      []features.Name
+	CV         ml.CVResult
+}
+
+// Table4Result reproduces Table IV: decision-tree classifiers over
+// increasing feature-extraction complexity, scored with Leave-One-Out
+// cross validation against labels from the profile-guided classifier.
+type Table4Result struct {
+	Platform   string
+	CorpusSize int
+	Rows       []Table4Row
+	// GreedySelected is the forward-selected subset (the tractable
+	// stand-in for the paper's exhaustive feature search).
+	GreedySelected []features.Name
+}
+
+// Table4 trains and cross-validates the two Table IV feature sets on
+// the KNC model, plus a greedy forward-selected subset.
+func Table4(cfg Config) Table4Result {
+	c := cfg.withDefaults()
+	res := Table4Result{Platform: "knc", CorpusSize: c.CorpusSize}
+
+	full := corpusDataset(machine.KNC(), c.CorpusSize, c.Scale)
+
+	onSet := features.ONSubset()
+	onnzSet := features.ONNZSubset()
+	res.Rows = append(res.Rows, Table4Row{
+		Label: "O(N) set", Complexity: "O(N)", Names: onSet,
+		CV: ml.LeaveOneOut(projectTo(full, onSet), treeParams),
+	})
+	res.Rows = append(res.Rows, Table4Row{
+		Label: "O(NNZ) set", Complexity: "O(NNZ)", Names: onnzSet,
+		CV: ml.LeaveOneOut(projectTo(full, onnzSet), treeParams),
+	})
+
+	// Greedy forward selection over all Table I features (5-fold CV
+	// inside the search to keep it tractable, LOO for the final score).
+	kfold := func(ds *ml.Dataset, p ml.TreeParams) ml.CVResult { return ml.KFold(ds, p, 5) }
+	sel, _ := ml.GreedyFeatureSearch(full, treeParams, 6, kfold)
+	all := features.AllNames()
+	var selNames []features.Name
+	for _, i := range sel {
+		selNames = append(selNames, all[i])
+	}
+	res.GreedySelected = selNames
+	res.Rows = append(res.Rows, Table4Row{
+		Label: "greedy-selected", Complexity: "O(NNZ)", Names: selNames,
+		CV: ml.LeaveOneOut(full.Project(sel), treeParams),
+	})
+	return res
+}
+
+// Table renders the result.
+func (r Table4Result) Table() *report.Table {
+	t := report.New("Table IV: feature-guided decision-tree classifiers ("+r.Platform+")",
+		"features", "complexity", "exact %", "partial %")
+	for _, row := range r.Rows {
+		t.Add(row.Label, row.Complexity,
+			report.F(100*row.CV.ExactMatchRatio), report.F(100*row.CV.PartialMatchRatio))
+	}
+	t.AddNote("labels from the profile-guided classifier; Leave-One-Out over %d matrices", r.CorpusSize)
+	t.AddNote("paper (210 matrices, KNC): O(N) 80/95, O(NNZ) 84/100")
+	return t
+}

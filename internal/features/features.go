@@ -1,0 +1,260 @@
+// Package features extracts the structural matrix features of Table I
+// of the paper, used by the feature-guided classifier. Each feature's
+// extraction cost matches the complexity column of the table: the O(1)
+// features read only matrix metadata, the O(N) features scan row
+// extents, and the O(NNZ) features scan every stored element.
+package features
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// Set holds every Table I feature for one matrix. Scatter is the
+// paper's scatter_i = nnz_i / bw_i statistic; Table IV refers to the
+// same quantity as "dispersion", and both names resolve to it.
+type Set struct {
+	// Size is 1 when the SpMV working set fits in the last-level
+	// cache, 0 otherwise (Θ(1)).
+	Size float64
+	// Density is NNZ/N^2 (Θ(1)).
+	Density float64
+
+	// Row-length statistics nnz_i (Θ(N)).
+	NNZMin, NNZMax, NNZAvg, NNZSd float64
+
+	// Row-bandwidth statistics bw_i: the column distance between the
+	// first and last nonzero of row i (Θ(N)).
+	BWMin, BWMax, BWAvg, BWSd float64
+
+	// Scatter statistics scatter_i = nnz_i / bw_i (Θ(N)).
+	ScatterAvg, ScatterSd float64
+
+	// ClusteringAvg averages clustering_i = ngroups_i / nnz_i, where
+	// ngroups_i counts runs of consecutive columns in row i (Θ(NNZ)).
+	ClusteringAvg float64
+
+	// MissesAvg averages misses_i: stored elements whose column
+	// distance from the previous element in the row exceeds the number
+	// of elements in a cache line (Θ(NNZ)).
+	MissesAvg float64
+}
+
+// Params fixes the platform-dependent inputs of feature extraction.
+type Params struct {
+	// LLCBytes is the last-level cache capacity used by the size
+	// feature.
+	LLCBytes int64
+	// CacheLineBytes sets the miss-distance threshold (elements per
+	// line = CacheLineBytes / 8 for float64 x entries).
+	CacheLineBytes int
+}
+
+// DefaultParams matches a 64-byte line and a 30 MiB LLC (the KNC L2 of
+// Table III) when the caller has no platform in hand.
+var DefaultParams = Params{LLCBytes: 30 << 20, CacheLineBytes: 64}
+
+// WorkingSetBytes returns the memory footprint of one SpMV: the CSR
+// arrays plus the x and y vectors — the quantity compared against the
+// LLC for the size feature and the bandwidth adjustment of Section
+// III-B (footnote 2).
+func WorkingSetBytes(m *matrix.CSR) int64 {
+	return m.Bytes() + int64(m.NCols)*8 + int64(m.NRows)*8
+}
+
+// Extract computes the full feature set of Table I for m.
+func Extract(m *matrix.CSR, p Params) Set {
+	var s Set
+	if WorkingSetBytes(m) <= p.LLCBytes {
+		s.Size = 1
+	}
+	n := m.NRows
+	if n == 0 {
+		return s
+	}
+	s.Density = float64(m.NNZ()) / (float64(n) * float64(m.NCols))
+
+	lineElems := int32(p.CacheLineBytes / 8)
+	if lineElems < 1 {
+		lineElems = 1
+	}
+
+	var (
+		nnzMin, nnzMax       = math.Inf(1), math.Inf(-1)
+		bwMin, bwMax         = math.Inf(1), math.Inf(-1)
+		nnzSum, nnzSq        float64
+		bwSum, bwSq          float64
+		scatSum, scatSq      float64
+		clusterSum, missText float64
+	)
+	for i := 0; i < n; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		nnz := float64(hi - lo)
+		var bw, scatter float64
+		if hi > lo {
+			bw = float64(m.ColInd[hi-1]-m.ColInd[lo]) + 1
+			scatter = nnz / bw
+		}
+		nnzSum += nnz
+		nnzSq += nnz * nnz
+		bwSum += bw
+		bwSq += bw * bw
+		scatSum += scatter
+		scatSq += scatter * scatter
+		if nnz < nnzMin {
+			nnzMin = nnz
+		}
+		if nnz > nnzMax {
+			nnzMax = nnz
+		}
+		if bw < bwMin {
+			bwMin = bw
+		}
+		if bw > bwMax {
+			bwMax = bw
+		}
+		// O(NNZ) features: groups of consecutive columns and
+		// line-distance misses within the row.
+		if hi > lo {
+			groups := 1.0
+			misses := 1.0 // first element of a row is a potential miss
+			for j := lo + 1; j < hi; j++ {
+				d := m.ColInd[j] - m.ColInd[j-1]
+				if d != 1 {
+					groups++
+				}
+				if d > lineElems {
+					misses++
+				}
+			}
+			clusterSum += groups / nnz
+			missText += misses
+		}
+	}
+	fn := float64(n)
+	s.NNZMin, s.NNZMax = nnzMin, nnzMax
+	s.NNZAvg = nnzSum / fn
+	s.NNZSd = math.Sqrt(maxf(0, nnzSq/fn-s.NNZAvg*s.NNZAvg))
+	s.BWMin, s.BWMax = bwMin, bwMax
+	s.BWAvg = bwSum / fn
+	s.BWSd = math.Sqrt(maxf(0, bwSq/fn-s.BWAvg*s.BWAvg))
+	s.ScatterAvg = scatSum / fn
+	s.ScatterSd = math.Sqrt(maxf(0, scatSq/fn-s.ScatterAvg*s.ScatterAvg))
+	s.ClusteringAvg = clusterSum / fn
+	s.MissesAvg = missText / fn
+	return s
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Name identifies one feature for selection by the ML layer.
+type Name string
+
+// Feature names. "dispersion*" aliases (Table IV's name for scatter)
+// are accepted by Get.
+const (
+	FSize          Name = "size"
+	FDensity       Name = "density"
+	FNNZMin        Name = "nnz_min"
+	FNNZMax        Name = "nnz_max"
+	FNNZAvg        Name = "nnz_avg"
+	FNNZSd         Name = "nnz_sd"
+	FBWMin         Name = "bw_min"
+	FBWMax         Name = "bw_max"
+	FBWAvg         Name = "bw_avg"
+	FBWSd          Name = "bw_sd"
+	FScatterAvg    Name = "scatter_avg"
+	FScatterSd     Name = "scatter_sd"
+	FClusteringAvg Name = "clustering_avg"
+	FMissesAvg     Name = "misses_avg"
+)
+
+// AllNames lists every Table I feature in declaration order.
+func AllNames() []Name {
+	return []Name{
+		FSize, FDensity,
+		FNNZMin, FNNZMax, FNNZAvg, FNNZSd,
+		FBWMin, FBWMax, FBWAvg, FBWSd,
+		FScatterAvg, FScatterSd,
+		FClusteringAvg, FMissesAvg,
+	}
+}
+
+// ONSubset is the paper's Table IV O(N)-extraction feature set:
+// nnz{min,max,sd}, bw_avg, dispersion{avg,sd}.
+func ONSubset() []Name {
+	return []Name{FNNZMin, FNNZMax, FNNZSd, FBWAvg, FScatterAvg, FScatterSd}
+}
+
+// ONNZSubset is the paper's Table IV O(NNZ)-extraction feature set:
+// size, bw{avg,sd}, nnz{min,max,avg,sd}, misses_avg, dispersion_sd.
+func ONNZSubset() []Name {
+	return []Name{FSize, FBWAvg, FBWSd, FNNZMin, FNNZMax, FNNZAvg, FNNZSd, FMissesAvg, FScatterSd}
+}
+
+// Get returns the named feature value. Unknown names panic: feature
+// lists are static program data, not user input.
+func (s Set) Get(n Name) float64 {
+	switch n {
+	case FSize:
+		return s.Size
+	case FDensity:
+		return s.Density
+	case FNNZMin:
+		return s.NNZMin
+	case FNNZMax:
+		return s.NNZMax
+	case FNNZAvg:
+		return s.NNZAvg
+	case FNNZSd:
+		return s.NNZSd
+	case FBWMin:
+		return s.BWMin
+	case FBWMax:
+		return s.BWMax
+	case FBWAvg:
+		return s.BWAvg
+	case FBWSd:
+		return s.BWSd
+	case FScatterAvg, "dispersion_avg":
+		return s.ScatterAvg
+	case FScatterSd, "dispersion_sd":
+		return s.ScatterSd
+	case FClusteringAvg:
+		return s.ClusteringAvg
+	case FMissesAvg:
+		return s.MissesAvg
+	default:
+		panic(fmt.Sprintf("features: unknown feature %q", n))
+	}
+}
+
+// Vector projects the set onto the given feature names, in order.
+func (s Set) Vector(names []Name) []float64 {
+	v := make([]float64, len(names))
+	for i, n := range names {
+		v[i] = s.Get(n)
+	}
+	return v
+}
+
+// String renders the features sorted by name for debugging and the
+// spmvclassify tool.
+func (s Set) String() string {
+	names := AllNames()
+	sorted := append([]Name(nil), names...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := ""
+	for _, n := range sorted {
+		out += fmt.Sprintf("%-15s %12.4g\n", n, s.Get(n))
+	}
+	return out
+}

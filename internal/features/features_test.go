@@ -1,0 +1,228 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// handMatrix builds a 4x8 matrix with known statistics:
+//
+//	row 0: cols 0,1,2     (nnz 3, bw 3, contiguous: 1 group)
+//	row 1: cols 0,7       (nnz 2, bw 8, 2 groups, 1 far jump)
+//	row 2: col  4         (nnz 1, bw 1, 1 group)
+//	row 3: cols 2,3,6,7   (nnz 4, bw 6, 2 groups)
+func handMatrix() *matrix.CSR {
+	coo := matrix.NewCOO(4, 8)
+	for _, c := range []int{0, 1, 2} {
+		coo.Add(0, c, 1)
+	}
+	coo.Add(1, 0, 1)
+	coo.Add(1, 7, 1)
+	coo.Add(2, 4, 1)
+	for _, c := range []int{2, 3, 6, 7} {
+		coo.Add(3, c, 1)
+	}
+	return coo.ToCSR()
+}
+
+func TestHandComputedFeatures(t *testing.T) {
+	m := handMatrix()
+	// Line of 2 elements => distances > 2 count as misses.
+	s := Extract(m, Params{LLCBytes: 1, CacheLineBytes: 16})
+
+	if s.Size != 0 {
+		t.Error("size: working set cannot fit in a 1-byte LLC")
+	}
+	if want := 10.0 / 32.0; math.Abs(s.Density-want) > 1e-12 {
+		t.Errorf("density = %g, want %g", s.Density, want)
+	}
+	if s.NNZMin != 1 || s.NNZMax != 4 || s.NNZAvg != 2.5 {
+		t.Errorf("nnz stats = %g/%g/%g, want 1/4/2.5", s.NNZMin, s.NNZMax, s.NNZAvg)
+	}
+	// Population sd of {3,2,1,4} around 2.5: sqrt(5/4).
+	if want := math.Sqrt(1.25); math.Abs(s.NNZSd-want) > 1e-12 {
+		t.Errorf("nnz sd = %g, want %g", s.NNZSd, want)
+	}
+	if s.BWMin != 1 || s.BWMax != 8 {
+		t.Errorf("bw min/max = %g/%g, want 1/8", s.BWMin, s.BWMax)
+	}
+	if want := (3.0 + 8 + 1 + 6) / 4; math.Abs(s.BWAvg-want) > 1e-12 {
+		t.Errorf("bw avg = %g, want %g", s.BWAvg, want)
+	}
+	// scatter per row: 1, 0.25, 1, 4/6.
+	if want := (1 + 0.25 + 1 + 4.0/6) / 4; math.Abs(s.ScatterAvg-want) > 1e-12 {
+		t.Errorf("scatter avg = %g, want %g", s.ScatterAvg, want)
+	}
+	// groups per row: 1, 2, 1, 2 -> clustering_i = groups/nnz = 1/3, 1, 1, 1/2.
+	if want := (1.0/3 + 1 + 1 + 0.5) / 4; math.Abs(s.ClusteringAvg-want) > 1e-12 {
+		t.Errorf("clustering avg = %g, want %g", s.ClusteringAvg, want)
+	}
+	// misses with threshold 2: row0: first only (distances 1,1) = 1;
+	// row1: first + jump 7 = 2; row2: 1; row3: first + jump 3 = 2.
+	if want := (1.0 + 2 + 1 + 2) / 4; math.Abs(s.MissesAvg-want) > 1e-12 {
+		t.Errorf("misses avg = %g, want %g", s.MissesAvg, want)
+	}
+}
+
+func TestSizeFeatureFlips(t *testing.T) {
+	m := gen.Banded(100, 2, 1.0, 1)
+	ws := WorkingSetBytes(m)
+	fits := Extract(m, Params{LLCBytes: ws + 1, CacheLineBytes: 64})
+	spills := Extract(m, Params{LLCBytes: ws - 1, CacheLineBytes: 64})
+	if fits.Size != 1 || spills.Size != 0 {
+		t.Fatalf("size feature: fits=%g spills=%g", fits.Size, spills.Size)
+	}
+}
+
+func TestDenseMatrixFeatures(t *testing.T) {
+	m := gen.Dense(32, 1)
+	s := Extract(m, DefaultParams)
+	if s.Density != 1 {
+		t.Errorf("dense density = %g, want 1", s.Density)
+	}
+	if s.NNZMin != 32 || s.NNZMax != 32 || s.NNZSd != 0 {
+		t.Errorf("dense rows: %g/%g sd %g", s.NNZMin, s.NNZMax, s.NNZSd)
+	}
+	if s.ClusteringAvg != 1.0/32 {
+		t.Errorf("dense clustering = %g, want 1/32", s.ClusteringAvg)
+	}
+	if s.ScatterAvg != 1 {
+		t.Errorf("dense scatter = %g, want 1", s.ScatterAvg)
+	}
+}
+
+func TestIrregularVsRegularMisses(t *testing.T) {
+	reg := gen.Banded(2000, 4, 1.0, 1)
+	irr := gen.UniformRandom(2000, 9, 1)
+	sReg := Extract(reg, DefaultParams)
+	sIrr := Extract(irr, DefaultParams)
+	if sIrr.MissesAvg <= sReg.MissesAvg {
+		t.Fatalf("uniform misses %g should exceed banded %g", sIrr.MissesAvg, sReg.MissesAvg)
+	}
+	if sIrr.ScatterAvg >= sReg.ScatterAvg {
+		t.Fatalf("uniform scatter %g should be below banded %g", sIrr.ScatterAvg, sReg.ScatterAvg)
+	}
+}
+
+func TestImbalanceShowsInNNZSd(t *testing.T) {
+	bal := gen.UniformRandom(1000, 8, 1)
+	imb := gen.FewDenseRows(1000, 8, 2, 800, 1)
+	if Extract(imb, DefaultParams).NNZSd <= Extract(bal, DefaultParams).NNZSd {
+		t.Fatal("few-dense-rows matrix should have larger nnz_sd")
+	}
+}
+
+func TestVectorAndSubsets(t *testing.T) {
+	m := handMatrix()
+	s := Extract(m, DefaultParams)
+	on := s.Vector(ONSubset())
+	if len(on) != 6 {
+		t.Fatalf("O(N) subset length %d, want 6", len(on))
+	}
+	onnz := s.Vector(ONNZSubset())
+	if len(onnz) != 9 {
+		t.Fatalf("O(NNZ) subset length %d, want 9", len(onnz))
+	}
+	all := s.Vector(AllNames())
+	if len(all) != 14 {
+		t.Fatalf("all features length %d, want 14 (Table I)", len(all))
+	}
+}
+
+func TestDispersionAlias(t *testing.T) {
+	s := Extract(handMatrix(), DefaultParams)
+	if s.Get("dispersion_avg") != s.Get(FScatterAvg) {
+		t.Fatal("dispersion_avg alias broken")
+	}
+	if s.Get("dispersion_sd") != s.Get(FScatterSd) {
+		t.Fatal("dispersion_sd alias broken")
+	}
+}
+
+func TestGetUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown feature name did not panic")
+		}
+	}()
+	Extract(handMatrix(), DefaultParams).Get("bogus")
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	m := (&matrix.COO{Rows: 0, Cols: 0}).ToCSR()
+	s := Extract(m, DefaultParams)
+	if s.Density != 0 || s.NNZAvg != 0 {
+		t.Fatal("empty matrix features should be zero")
+	}
+}
+
+func TestStringListsEverything(t *testing.T) {
+	out := Extract(handMatrix(), DefaultParams).String()
+	for _, n := range AllNames() {
+		if !containsName(out, string(n)) {
+			t.Fatalf("String() missing feature %s", n)
+		}
+	}
+}
+
+func containsName(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// Properties: every feature is finite and nonnegative for generator
+// outputs; min <= avg <= max orderings hold; clustering and scatter lie
+// in (0, 1].
+func TestFeatureInvariantsQuick(t *testing.T) {
+	f := func(seed int64, sel uint8) bool {
+		n := 60 + int(uint64(seed)%120)
+		var m *matrix.CSR
+		switch sel % 5 {
+		case 0:
+			m = gen.UniformRandom(n, 4, seed)
+		case 1:
+			m = gen.PowerLaw(n, 5, 2.1, n, seed)
+		case 2:
+			m = gen.Banded(n, 5, 0.7, seed)
+		case 3:
+			m = gen.ShortRows(n, 3, seed)
+		case 4:
+			m = gen.ClusteredFEM(n, 16, 6, seed)
+		}
+		s := Extract(m, DefaultParams)
+		for _, name := range AllNames() {
+			v := s.Get(name)
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return false
+			}
+		}
+		if !(s.NNZMin <= s.NNZAvg && s.NNZAvg <= s.NNZMax) {
+			return false
+		}
+		if !(s.BWMin <= s.BWAvg && s.BWAvg <= s.BWMax) {
+			return false
+		}
+		if s.ClusteringAvg <= 0 || s.ClusteringAvg > 1 {
+			return false
+		}
+		if s.ScatterAvg <= 0 || s.ScatterAvg > 1+1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,314 @@
+package formats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+func randomMatrix(seed int64, n int) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	coo := matrix.NewCOO(n, n)
+	for k := 0; k < 4*n; k++ {
+		coo.Add(rng.Intn(n), rng.Intn(n), rng.NormFloat64())
+	}
+	return coo.ToCSR()
+}
+
+func mulEqual(t *testing.T, name string, m *matrix.CSR, mul func(x, y []float64)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, m.NRows)
+	m.MulVec(x, want)
+	got := make([]float64, m.NRows)
+	mul(x, got)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("%s: y[%d] = %g, want %g", name, i, got[i], want[i])
+		}
+	}
+}
+
+func TestDeltaRoundTrip8(t *testing.T) {
+	m := gen.Banded(500, 20, 0.6, 3) // deltas all small -> width 8
+	d := CompressDelta(m, Delta8)
+	if !d.Decompress().Equal(m) {
+		t.Fatal("delta8 round trip changed matrix")
+	}
+	if len(d.Overflow) != 0 {
+		t.Fatalf("banded matrix should need no overflow, got %d", len(d.Overflow))
+	}
+}
+
+func TestDeltaRoundTrip16(t *testing.T) {
+	m := gen.UniformRandom(3000, 8, 5) // wide deltas
+	d := CompressDelta(m, Delta16)
+	if !d.Decompress().Equal(m) {
+		t.Fatal("delta16 round trip changed matrix")
+	}
+}
+
+func TestDeltaOverflowEscape(t *testing.T) {
+	// A row with one huge delta forces the escape path under Delta8.
+	coo := matrix.NewCOO(2, 100000)
+	coo.Add(0, 0, 1)
+	coo.Add(0, 70000, 2) // delta 70000 >> 255 and > 65535
+	coo.Add(1, 5, 3)
+	m := coo.ToCSR()
+	for _, w := range []DeltaWidth{Delta8, Delta16} {
+		d := CompressDelta(m, w)
+		if len(d.Overflow) != 1 {
+			t.Fatalf("width %d: overflow = %d, want 1", w, len(d.Overflow))
+		}
+		if !d.Decompress().Equal(m) {
+			t.Fatalf("width %d: escape round trip failed", w)
+		}
+	}
+}
+
+func TestChooseWidth(t *testing.T) {
+	if w := ChooseWidth(gen.Banded(500, 10, 0.8, 1)); w != Delta8 {
+		t.Fatalf("banded width = %d, want 8", w)
+	}
+	// Uniform random over a huge column space: deltas mostly > 255,
+	// so 8-bit pays 4-byte overflow per element and 16-bit wins.
+	m := gen.UniformRandom(20000, 4, 2)
+	if w := ChooseWidth(m); w != Delta16 {
+		t.Fatalf("uniform width = %d, want 16", w)
+	}
+}
+
+func TestDeltaCompressionRatio(t *testing.T) {
+	m := gen.Banded(2000, 16, 0.9, 4)
+	d := Compress(m)
+	r := d.CompressionRatio()
+	if r <= 1 {
+		t.Fatalf("compression ratio = %g, want > 1 for banded matrix", r)
+	}
+	// CSR index bytes are 4/nnz; delta8 gets ~1/nnz, so the whole
+	// matrix (12B/nnz) should shrink by roughly 11/12... at least 15%.
+	if r < 1.15 {
+		t.Fatalf("compression ratio = %g, want >= 1.15", r)
+	}
+}
+
+func TestDeltaMulVec(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		m := randomMatrix(seed, 200)
+		d := Compress(m)
+		mulEqual(t, "delta", m, d.MulVec)
+	}
+}
+
+func TestDeltaMulVecRowsParallelSlices(t *testing.T) {
+	m := gen.UniformRandom(1000, 6, 9)
+	d := Compress(m)
+	offs := d.OverflowOffsets()
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	want := make([]float64, m.NRows)
+	m.MulVec(x, want)
+	got := make([]float64, m.NRows)
+	// Simulate 4 threads starting mid-stream using overflow offsets.
+	bounds := []int{0, 250, 500, 750, 1000}
+	for t2 := 0; t2 < 4; t2++ {
+		lo, hi := bounds[t2], bounds[t2+1]
+		d.MulVecRows(x, got, lo, hi, offs[lo])
+	}
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-9 {
+			t.Fatalf("parallel delta y[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOverflowOffsetsTotal(t *testing.T) {
+	m := gen.UniformRandom(2000, 5, 21)
+	d := CompressDelta(m, Delta8)
+	offs := d.OverflowOffsets()
+	if offs[len(offs)-1] != len(d.Overflow) {
+		t.Fatalf("offsets end %d != overflow length %d", offs[len(offs)-1], len(d.Overflow))
+	}
+}
+
+func TestDeltaEmptyRows(t *testing.T) {
+	coo := matrix.NewCOO(5, 5)
+	coo.Add(0, 1, 1)
+	coo.Add(4, 4, 2) // rows 1..3 empty
+	m := coo.ToCSR()
+	d := Compress(m)
+	if !d.Decompress().Equal(m) {
+		t.Fatal("empty-row round trip failed")
+	}
+	mulEqual(t, "delta-empty", m, d.MulVec)
+}
+
+func TestDeltaBytesSmallerThanCSR(t *testing.T) {
+	m := gen.ClusteredFEM(4096, 64, 30, 6)
+	d := Compress(m)
+	if d.Bytes() >= m.Bytes() {
+		t.Fatalf("delta bytes %d >= csr bytes %d", d.Bytes(), m.Bytes())
+	}
+}
+
+func TestSplitExtractsLongRows(t *testing.T) {
+	m := gen.FewDenseRows(2000, 5, 3, 1200, 7)
+	s := Split(m, 256)
+	if s.NumLongRows() != 3 {
+		t.Fatalf("long rows = %d, want 3", s.NumLongRows())
+	}
+	if s.NNZ() != m.NNZ() {
+		t.Fatalf("split nnz = %d, want %d", s.NNZ(), m.NNZ())
+	}
+	// The base part must contain no row above the threshold.
+	for i := 0; i < s.Base.NRows; i++ {
+		if s.Base.RowNNZ(i) > s.Threshold {
+			t.Fatalf("base row %d still long: %d", i, s.Base.RowNNZ(i))
+		}
+	}
+}
+
+func TestSplitReassemble(t *testing.T) {
+	m := gen.FewDenseRows(1500, 4, 2, 900, 8)
+	s := Split(m, 128)
+	if !s.Reassemble().Equal(m) {
+		t.Fatal("reassemble changed matrix")
+	}
+}
+
+func TestSplitMulVec(t *testing.T) {
+	m := gen.FewDenseRows(1000, 5, 2, 700, 9)
+	s := Split(m, 100)
+	mulEqual(t, "split", m, s.MulVec)
+}
+
+func TestSplitNoLongRows(t *testing.T) {
+	m := gen.Banded(400, 3, 0.9, 2)
+	s := SplitAuto(m)
+	if s.NumLongRows() != 0 {
+		t.Fatalf("banded matrix split %d long rows, want 0", s.NumLongRows())
+	}
+	mulEqual(t, "split-nolong", m, s.MulVec)
+}
+
+func TestSplitAllRowsLong(t *testing.T) {
+	m := gen.Dense(64, 3)
+	s := Split(m, 10) // every row is long
+	if s.NumLongRows() != 64 {
+		t.Fatalf("long rows = %d, want 64", s.NumLongRows())
+	}
+	if s.Base.NNZ() != 0 {
+		t.Fatalf("base nnz = %d, want 0", s.Base.NNZ())
+	}
+	mulEqual(t, "split-all", m, s.MulVec)
+}
+
+func TestLongRowPartialSums(t *testing.T) {
+	m := gen.FewDenseRows(500, 4, 1, 400, 10)
+	s := Split(m, 64)
+	if s.NumLongRows() != 1 {
+		t.Fatalf("long rows = %d, want 1", s.NumLongRows())
+	}
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = 1
+	}
+	lo, hi := s.LongPtr[0], s.LongPtr[1]
+	mid := (lo + hi) / 2
+	full := s.LongRowPartial(0, x, lo, hi)
+	parts := s.LongRowPartial(0, x, lo, mid) + s.LongRowPartial(0, x, mid, hi)
+	if math.Abs(full-parts) > 1e-9 {
+		t.Fatalf("partials %g != full %g", parts, full)
+	}
+}
+
+func TestDefaultSplitThreshold(t *testing.T) {
+	m := gen.Banded(1000, 4, 1.0, 1)
+	th := DefaultSplitThreshold(m)
+	if th < 256 {
+		t.Fatalf("threshold floor broken: %d", th)
+	}
+	md := gen.FewDenseRows(5000, 4, 3, 4000, 2)
+	thd := DefaultSplitThreshold(md)
+	if thd >= 4000 {
+		t.Fatalf("threshold %d would miss the 4000-long dense rows", thd)
+	}
+}
+
+// Property: delta compression round-trips for both widths on arbitrary
+// generator outputs.
+func TestDeltaRoundTripQuick(t *testing.T) {
+	f := func(seed int64, wide bool, sel uint8) bool {
+		n := 80 + int(uint64(seed)%160)
+		var m *matrix.CSR
+		switch sel % 4 {
+		case 0:
+			m = gen.UniformRandom(n, 5, seed)
+		case 1:
+			m = gen.Banded(n, 6, 0.5, seed)
+		case 2:
+			m = gen.PowerLaw(n, 5, 2.0, n, seed)
+		case 3:
+			m = gen.ShortRows(n, 3, seed)
+		}
+		w := Delta8
+		if wide {
+			w = Delta16
+		}
+		return CompressDelta(m, w).Decompress().Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: split + reassemble is the identity for any threshold.
+func TestSplitRoundTripQuick(t *testing.T) {
+	f := func(seed int64, rawTh uint16) bool {
+		n := 100 + int(uint64(seed)%200)
+		m := gen.PowerLaw(n, 6, 1.8, n, seed)
+		th := 1 + int(rawTh)%64
+		s := Split(m, th)
+		return s.Reassemble().Equal(m) && s.NNZ() == m.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SplitCSR SpMV equals CSR SpMV.
+func TestSplitMulQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 100 + int(uint64(seed)%150)
+		m := gen.FewDenseRows(n, 4, 2, n/2, seed)
+		s := Split(m, 32)
+		x := make([]float64, n)
+		rng := rand.New(rand.NewSource(seed))
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		got := make([]float64, n)
+		m.MulVec(x, want)
+		s.MulVec(x, got)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-8*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package formats
+
+import (
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/stats"
+)
+
+// SplitCSR is the matrix decomposition of Fig 5: rows longer than a
+// threshold are removed from the base CSR matrix and kept in a separate
+// long-row structure. SpMV runs in two steps (Fig 6): the base part
+// with the usual row partitioning, then each long row computed by all
+// threads with a reduction of partial sums — converting inter-row
+// imbalance into intra-row parallelism.
+type SplitCSR struct {
+	// Base holds every row, with long rows emptied.
+	Base *matrix.CSR
+	// LongRowIdx lists the indices of the extracted long rows
+	// (the paper's lrowind).
+	LongRowIdx []int32
+	// LongPtr indexes LongCol/LongVal per extracted row; length
+	// len(LongRowIdx)+1.
+	LongPtr []int64
+	LongCol []int32
+	LongVal []float64
+
+	Threshold int
+	Name      string
+}
+
+// DefaultSplitThreshold mirrors the paper's detection heuristic: a row
+// is "long" when it dwarfs the average row length (the classifier
+// compares nnzmax against nnzavg). The floor keeps tiny matrices from
+// splitting on noise.
+func DefaultSplitThreshold(m *matrix.CSR) int {
+	lens := m.RowLengths()
+	fl := make([]float64, len(lens))
+	for i, l := range lens {
+		fl[i] = float64(l)
+	}
+	avg := stats.Mean(fl)
+	th := int(16 * avg)
+	if th < 256 {
+		th = 256
+	}
+	return th
+}
+
+// Split decomposes m at the given threshold. Rows with nnz > threshold
+// move to the long-row structure.
+func Split(m *matrix.CSR, threshold int) *SplitCSR {
+	s := &SplitCSR{Threshold: threshold, Name: m.Name}
+	// First pass: identify long rows and sizes.
+	var longNNZ, baseNNZ int64
+	for i := 0; i < m.NRows; i++ {
+		l := int64(m.RowPtr[i+1] - m.RowPtr[i])
+		if l > int64(threshold) {
+			s.LongRowIdx = append(s.LongRowIdx, int32(i))
+			longNNZ += l
+		} else {
+			baseNNZ += l
+		}
+	}
+	base := &matrix.CSR{
+		NRows:  m.NRows,
+		NCols:  m.NCols,
+		RowPtr: make([]int64, m.NRows+1),
+		ColInd: make([]int32, 0, baseNNZ),
+		Val:    make([]float64, 0, baseNNZ),
+		Name:   m.Name,
+	}
+	s.LongPtr = make([]int64, 1, len(s.LongRowIdx)+1)
+	s.LongCol = make([]int32, 0, longNNZ)
+	s.LongVal = make([]float64, 0, longNNZ)
+	li := 0
+	for i := 0; i < m.NRows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		isLong := li < len(s.LongRowIdx) && s.LongRowIdx[li] == int32(i)
+		if isLong {
+			s.LongCol = append(s.LongCol, m.ColInd[lo:hi]...)
+			s.LongVal = append(s.LongVal, m.Val[lo:hi]...)
+			s.LongPtr = append(s.LongPtr, int64(len(s.LongCol)))
+			li++
+		} else {
+			base.ColInd = append(base.ColInd, m.ColInd[lo:hi]...)
+			base.Val = append(base.Val, m.Val[lo:hi]...)
+		}
+		base.RowPtr[i+1] = int64(len(base.ColInd))
+	}
+	s.Base = base
+	return s
+}
+
+// SplitAuto decomposes m at DefaultSplitThreshold(m).
+func SplitAuto(m *matrix.CSR) *SplitCSR {
+	return Split(m, DefaultSplitThreshold(m))
+}
+
+// NNZ returns the total stored elements across both parts.
+func (s *SplitCSR) NNZ() int { return s.Base.NNZ() + len(s.LongVal) }
+
+// NumLongRows returns the number of extracted long rows.
+func (s *SplitCSR) NumLongRows() int { return len(s.LongRowIdx) }
+
+// LongNNZ returns the number of elements held by the long-row part.
+func (s *SplitCSR) LongNNZ() int { return len(s.LongVal) }
+
+// Reassemble reconstructs the original CSR matrix; inverse of Split.
+func (s *SplitCSR) Reassemble() *matrix.CSR {
+	coo := matrix.NewCOO(s.Base.NRows, s.Base.NCols)
+	for i := 0; i < s.Base.NRows; i++ {
+		for j := s.Base.RowPtr[i]; j < s.Base.RowPtr[i+1]; j++ {
+			coo.Add(i, int(s.Base.ColInd[j]), s.Base.Val[j])
+		}
+	}
+	for k, row := range s.LongRowIdx {
+		for j := s.LongPtr[k]; j < s.LongPtr[k+1]; j++ {
+			coo.Add(int(row), int(s.LongCol[j]), s.LongVal[j])
+		}
+	}
+	m := coo.ToCSR()
+	m.Name = s.Name
+	return m
+}
+
+// MulVec computes y = A*x sequentially: base rows first, then long
+// rows (Fig 6's two-step schedule, single threaded).
+func (s *SplitCSR) MulVec(x, y []float64) {
+	s.Base.MulVec(x, y)
+	for k, row := range s.LongRowIdx {
+		var sum float64
+		for j := s.LongPtr[k]; j < s.LongPtr[k+1]; j++ {
+			sum += s.LongVal[j] * x[s.LongCol[j]]
+		}
+		y[row] += sum
+	}
+}
+
+// LongRowPartial computes the partial dot product of extracted long row
+// k over the element range [lo, hi) of that row's segment — the unit of
+// work each thread takes in the Fig 6 step-2 reduction.
+func (s *SplitCSR) LongRowPartial(k int, x []float64, lo, hi int64) float64 {
+	var sum float64
+	for j := lo; j < hi; j++ {
+		sum += s.LongVal[j] * x[s.LongCol[j]]
+	}
+	return sum
+}

@@ -1,0 +1,479 @@
+// Package gen produces synthetic sparse matrices with controlled
+// structural signatures. It substitutes for the University of Florida
+// (SuiteSparse) collection used by the paper (see DESIGN.md, S5): each
+// generator targets one of the structural regimes that drive SpMV
+// bottlenecks — regular stencils (bandwidth bound), uniformly random
+// columns (latency bound), power-law row lengths (imbalance), a few
+// ultra-dense rows (imbalance + compute), very short rows (loop
+// overhead), and clustered FEM-like blocks (good locality).
+//
+// All generators are deterministic functions of their parameters and
+// seed, so suites and training corpora are reproducible.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// val draws a nonzero value; magnitudes stay in [0.1, 1.1) so kernels
+// cannot hit denormals and correctness comparisons stay well scaled.
+func val(rng *rand.Rand) float64 {
+	return 0.1 + rng.Float64()
+}
+
+// Dense generates a fully dense n x n matrix stored as CSR. The paper's
+// small-dense/large-dense endpoints use it to probe the compute-bound
+// (CMP) and bandwidth-bound (MB) corners.
+func Dense(n int, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	m := &matrix.CSR{
+		NRows:  n,
+		NCols:  n,
+		RowPtr: make([]int64, n+1),
+		ColInd: make([]int32, n*n),
+		Val:    make([]float64, n*n),
+		Name:   fmt.Sprintf("dense-%d", n),
+	}
+	for i := 0; i < n; i++ {
+		m.RowPtr[i+1] = int64((i + 1) * n)
+		base := i * n
+		for j := 0; j < n; j++ {
+			m.ColInd[base+j] = int32(j)
+			m.Val[base+j] = val(rng)
+		}
+	}
+	return m
+}
+
+// Banded generates an n x n matrix whose rows hold nonzeros inside a
+// band of half-width hw around the diagonal, keeping each position with
+// probability fill. Narrow bands have near-perfect x locality: the MB
+// regime of FEM/stencil matrices like barrier2-12 or parabolic_fem.
+func Banded(n, hw int, fill float64, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	coo := matrix.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i-hw, i+hw
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		for j := lo; j <= hi; j++ {
+			if j == i || rng.Float64() < fill {
+				coo.Add(i, j, val(rng))
+			}
+		}
+	}
+	m := coo.ToCSR()
+	m.Name = fmt.Sprintf("banded-%d-hw%d", n, hw)
+	return m
+}
+
+// Poisson2D generates the 5-point finite difference Laplacian on an
+// nx x ny grid: the canonical regular sparse matrix (~5 nnz/row).
+func Poisson2D(nx, ny int) *matrix.CSR {
+	n := nx * ny
+	coo := matrix.NewCOO(n, n)
+	idx := func(i, j int) int { return i*ny + j }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			r := idx(i, j)
+			coo.Add(r, r, 4)
+			if i > 0 {
+				coo.Add(r, idx(i-1, j), -1)
+			}
+			if i < nx-1 {
+				coo.Add(r, idx(i+1, j), -1)
+			}
+			if j > 0 {
+				coo.Add(r, idx(i, j-1), -1)
+			}
+			if j < ny-1 {
+				coo.Add(r, idx(i, j+1), -1)
+			}
+		}
+	}
+	m := coo.ToCSR()
+	m.Name = fmt.Sprintf("poisson2d-%dx%d", nx, ny)
+	return m
+}
+
+// Poisson3D generates the 7-point Laplacian on an nx x ny x nz grid
+// (~7 nnz/row), the G3_circuit/thermal2-style regular workload.
+func Poisson3D(nx, ny, nz int) *matrix.CSR {
+	n := nx * ny * nz
+	coo := matrix.NewCOO(n, n)
+	idx := func(i, j, k int) int { return (i*ny+j)*nz + k }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				r := idx(i, j, k)
+				coo.Add(r, r, 6)
+				if i > 0 {
+					coo.Add(r, idx(i-1, j, k), -1)
+				}
+				if i < nx-1 {
+					coo.Add(r, idx(i+1, j, k), -1)
+				}
+				if j > 0 {
+					coo.Add(r, idx(i, j-1, k), -1)
+				}
+				if j < ny-1 {
+					coo.Add(r, idx(i, j+1, k), -1)
+				}
+				if k > 0 {
+					coo.Add(r, idx(i, j, k-1), -1)
+				}
+				if k < nz-1 {
+					coo.Add(r, idx(i, j, k+1), -1)
+				}
+			}
+		}
+	}
+	m := coo.ToCSR()
+	m.Name = fmt.Sprintf("poisson3d-%dx%dx%d", nx, ny, nz)
+	return m
+}
+
+// Unstructured3D mimics an unstructured 3D FEM discretization
+// (poisson3Db-like): stencil-like local neighbors plus a fraction of
+// medium-range edges from node renumbering, which spoils hardware
+// prefetching without full randomness.
+func Unstructured3D(n, deg int, scatter float64, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	b := newRowBuilder(n, n)
+	spread := int(math.Max(8, scatter*float64(n)))
+	for i := 0; i < n; i++ {
+		b.add(i, i)
+		for k := 0; k < deg-1; k++ {
+			var j int
+			if rng.Float64() < 0.5 {
+				// Local neighbor within a small window.
+				j = i + rng.Intn(17) - 8
+			} else {
+				// Medium-range edge within the scatter window.
+				j = i + rng.Intn(2*spread+1) - spread
+			}
+			if j < 0 || j >= n {
+				continue
+			}
+			b.add(i, j)
+		}
+	}
+	m := b.toCSR(rng)
+	m.Name = fmt.Sprintf("unstructured3d-%d-d%d", n, deg)
+	return m
+}
+
+// UniformRandom generates rows of exactly deg nonzeros at uniformly
+// random columns: the worst case for x-vector locality, the ML
+// (memory latency) regime.
+func UniformRandom(n, deg int, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	b := newRowBuilder(n, n)
+	for i := 0; i < n; i++ {
+		for b.rowLen(i) < deg {
+			b.add(i, rng.Intn(n))
+		}
+	}
+	m := b.toCSR(rng)
+	m.Name = fmt.Sprintf("uniform-%d-d%d", n, deg)
+	return m
+}
+
+// PowerLaw generates a scale-free matrix: row i has a Zipf-distributed
+// length (exponent alpha, mean targeting avgDeg, capped at maxDeg), and
+// columns are drawn with preferential skew so a few hub columns are
+// extremely popular. This is the web-graph/social-network regime
+// (flickr, eu-2005, wikipedia-*): imbalance plus irregular access.
+func PowerLaw(n int, avgDeg float64, alpha float64, maxDeg int, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	if maxDeg <= 0 {
+		maxDeg = n
+	}
+	// Draw raw Zipf-like degrees: deg = floor(u^(-1/(alpha-1))) scaled
+	// to reach the requested mean.
+	raw := make([]float64, n)
+	var sum float64
+	for i := range raw {
+		u := rng.Float64()
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		raw[i] = math.Pow(u, -1/(alpha-1))
+		if raw[i] > float64(maxDeg) {
+			raw[i] = float64(maxDeg)
+		}
+		sum += raw[i]
+	}
+	scale := avgDeg * float64(n) / sum
+	b := newRowBuilder(n, n)
+	for i := 0; i < n; i++ {
+		deg := int(raw[i]*scale + 0.5)
+		if deg < 1 {
+			deg = 1
+		}
+		if deg > maxDeg {
+			deg = maxDeg
+		}
+		if deg > n {
+			deg = n
+		}
+		attempts := 0
+		for b.rowLen(i) < deg && attempts < 4*deg+16 {
+			attempts++
+			// Preferential column choice: squaring the uniform sample
+			// concentrates mass on low-numbered "hub" columns.
+			u := rng.Float64()
+			j := int(u * u * float64(n))
+			if j >= n {
+				j = n - 1
+			}
+			b.add(i, j)
+		}
+	}
+	m := b.toCSR(rng)
+	m.Name = fmt.Sprintf("powerlaw-%d-a%.1f", n, alpha)
+	return m
+}
+
+// FewDenseRows generates a mostly uniform sparse matrix in which ndense
+// rows carry denseLen nonzeros each — the ASIC_680k/rajat30/FullChip
+// signature the paper's IMB+CMP class and the Fig 5 decomposition
+// target.
+func FewDenseRows(n, baseDeg, ndense, denseLen int, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	if denseLen > n {
+		denseLen = n
+	}
+	b := newRowBuilder(n, n)
+	// Dense rows at deterministic, spread-out positions.
+	densePos := make(map[int]bool, ndense)
+	for k := 0; k < ndense; k++ {
+		densePos[(k*n)/ndense+k%7] = true
+	}
+	for i := 0; i < n; i++ {
+		b.add(i, i)
+		if densePos[i] {
+			stride := n / denseLen
+			if stride < 1 {
+				stride = 1
+			}
+			for j := 0; j < n && b.rowLen(i) < denseLen; j += stride {
+				b.add(i, j)
+			}
+			continue
+		}
+		for b.rowLen(i) < baseDeg {
+			// Mostly local with occasional far column.
+			var j int
+			if rng.Float64() < 0.8 {
+				j = i + rng.Intn(65) - 32
+			} else {
+				j = rng.Intn(n)
+			}
+			if j < 0 || j >= n {
+				continue
+			}
+			b.add(i, j)
+		}
+	}
+	m := b.toCSR(rng)
+	m.Name = fmt.Sprintf("fewdense-%d-k%d", n, ndense)
+	return m
+}
+
+// ShortRows generates rows of 1..maxDeg nonzeros (webbase-1M-like):
+// the loop-overhead CMP regime where the inner trip count is tiny.
+func ShortRows(n, maxDeg int, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	b := newRowBuilder(n, n)
+	for i := 0; i < n; i++ {
+		deg := 1 + rng.Intn(maxDeg)
+		for b.rowLen(i) < deg {
+			var j int
+			if rng.Float64() < 0.6 {
+				j = i + rng.Intn(9) - 4
+			} else {
+				j = rng.Intn(n)
+			}
+			if j < 0 || j >= n {
+				continue
+			}
+			b.add(i, j)
+		}
+	}
+	m := b.toCSR(rng)
+	m.Name = fmt.Sprintf("shortrows-%d-d%d", n, maxDeg)
+	return m
+}
+
+// ClusteredFEM generates block-clustered rows: each row's nonzeros fall
+// inside its block of size blk plus a few coupling entries to adjacent
+// blocks. This is the consph/pkustk08/boneS10 signature: long-ish rows,
+// excellent x locality, bandwidth bound.
+func ClusteredFEM(n, blk, deg int, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	b := newRowBuilder(n, n)
+	for i := 0; i < n; i++ {
+		base := (i / blk) * blk
+		b.add(i, i)
+		for b.rowLen(i) < deg {
+			var j int
+			if rng.Float64() < 0.9 {
+				j = base + rng.Intn(blk)
+			} else {
+				j = base + rng.Intn(3*blk) - blk
+			}
+			if j < 0 || j >= n {
+				continue
+			}
+			b.add(i, j)
+		}
+	}
+	m := b.toCSR(rng)
+	m.Name = fmt.Sprintf("clustered-%d-b%d", n, blk)
+	return m
+}
+
+// BlockDiagonal generates nb dense blocks of size blk on the diagonal
+// (TSOPF/ins2-like electrically-partitioned systems).
+func BlockDiagonal(nb, blk int, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	n := nb * blk
+	coo := matrix.NewCOO(n, n)
+	for bIdx := 0; bIdx < nb; bIdx++ {
+		base := bIdx * blk
+		for i := 0; i < blk; i++ {
+			for j := 0; j < blk; j++ {
+				coo.Add(base+i, base+j, val(rng))
+			}
+		}
+	}
+	m := coo.ToCSR()
+	m.Name = fmt.Sprintf("blockdiag-%dx%d", nb, blk)
+	return m
+}
+
+// Graph generates an RMAT-style graph adjacency matrix with the classic
+// (a, b, c, d) quadrant probabilities; avgDeg edges per row on average.
+// RMAT with skewed quadrants yields community structure plus heavy
+// tails, matching citation/co-purchase networks (citationCiteseer,
+// amazon-2008, web-Google).
+func Graph(scale int, avgDeg float64, a, b, c float64, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	edges := int(avgDeg * float64(n))
+	rb := newRowBuilder(n, n)
+	for e := 0; e < edges; e++ {
+		r, col := 0, 0
+		for bit := scale - 1; bit >= 0; bit-- {
+			u := rng.Float64()
+			switch {
+			case u < a: // top-left
+			case u < a+b:
+				col |= 1 << bit
+			case u < a+b+c:
+				r |= 1 << bit
+			default:
+				r |= 1 << bit
+				col |= 1 << bit
+			}
+		}
+		rb.add(r, col)
+	}
+	// Guarantee no empty rows: diagonal fallback keeps features sane.
+	for i := 0; i < n; i++ {
+		if rb.rowLen(i) == 0 {
+			rb.add(i, i)
+		}
+	}
+	m := rb.toCSR(rng)
+	m.Name = fmt.Sprintf("rmat-%d", scale)
+	return m
+}
+
+// Diagonal generates a pure diagonal matrix (1 nnz/row): a degenerate
+// edge case for formats and schedulers.
+func Diagonal(n int, seed int64) *matrix.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	m := &matrix.CSR{
+		NRows:  n,
+		NCols:  n,
+		RowPtr: make([]int64, n+1),
+		ColInd: make([]int32, n),
+		Val:    make([]float64, n),
+		Name:   fmt.Sprintf("diagonal-%d", n),
+	}
+	for i := 0; i < n; i++ {
+		m.RowPtr[i+1] = int64(i + 1)
+		m.ColInd[i] = int32(i)
+		m.Val[i] = val(rng)
+	}
+	return m
+}
+
+// rowBuilder accumulates unique (row, col) pairs efficiently. The COO
+// builder sums duplicates, which would silently reduce nnz below a
+// generator's target; rowBuilder rejects duplicates instead.
+type rowBuilder struct {
+	rows, cols int
+	colsPerRow [][]int32
+	seen       []map[int32]bool
+}
+
+func newRowBuilder(rows, cols int) *rowBuilder {
+	return &rowBuilder{
+		rows:       rows,
+		cols:       cols,
+		colsPerRow: make([][]int32, rows),
+		seen:       make([]map[int32]bool, rows),
+	}
+}
+
+func (b *rowBuilder) rowLen(i int) int { return len(b.colsPerRow[i]) }
+
+// add inserts column j into row i unless already present. Linear scan
+// for short rows, map for long rows: short rows dominate in practice.
+func (b *rowBuilder) add(i, j int) {
+	c := int32(j)
+	row := b.colsPerRow[i]
+	if b.seen[i] != nil {
+		if b.seen[i][c] {
+			return
+		}
+		b.seen[i][c] = true
+		b.colsPerRow[i] = append(row, c)
+		return
+	}
+	for _, e := range row {
+		if e == c {
+			return
+		}
+	}
+	b.colsPerRow[i] = append(row, c)
+	if len(b.colsPerRow[i]) == 48 {
+		// Switch this row to map-based dedup.
+		m := make(map[int32]bool, 96)
+		for _, e := range b.colsPerRow[i] {
+			m[e] = true
+		}
+		b.seen[i] = m
+	}
+}
+
+func (b *rowBuilder) toCSR(rng *rand.Rand) *matrix.CSR {
+	coo := matrix.NewCOO(b.rows, b.cols)
+	for i, row := range b.colsPerRow {
+		for _, c := range row {
+			coo.Add(i, int(c), val(rng))
+		}
+	}
+	return coo.ToCSR()
+}

@@ -1,0 +1,261 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/stats"
+)
+
+func validate(t *testing.T, m *matrix.CSR) {
+	t.Helper()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("%s: %v", m.Name, err)
+	}
+}
+
+func TestDense(t *testing.T) {
+	m := Dense(17, 1)
+	validate(t, m)
+	if m.NNZ() != 17*17 {
+		t.Fatalf("nnz = %d, want %d", m.NNZ(), 17*17)
+	}
+	for i := 0; i < m.NRows; i++ {
+		if m.RowNNZ(i) != 17 {
+			t.Fatalf("row %d nnz = %d", i, m.RowNNZ(i))
+		}
+	}
+}
+
+func TestDiagonal(t *testing.T) {
+	m := Diagonal(100, 1)
+	validate(t, m)
+	if m.NNZ() != 100 {
+		t.Fatalf("nnz = %d, want 100", m.NNZ())
+	}
+	for i := 0; i < 100; i++ {
+		if m.ColInd[i] != int32(i) {
+			t.Fatalf("colind[%d] = %d", i, m.ColInd[i])
+		}
+	}
+}
+
+func TestPoisson2DStencil(t *testing.T) {
+	m := Poisson2D(10, 10)
+	validate(t, m)
+	// Interior rows have 5 nonzeros, corners 3, edges 4.
+	if m.RowNNZ(0) != 3 {
+		t.Errorf("corner row nnz = %d, want 3", m.RowNNZ(0))
+	}
+	if m.RowNNZ(5*10+5) != 5 {
+		t.Errorf("interior row nnz = %d, want 5", m.RowNNZ(55))
+	}
+	if m.NNZ() != 5*100-4*10-4*10+8-8+4*2 && m.NNZ() <= 0 {
+		t.Errorf("unexpected nnz %d", m.NNZ())
+	}
+}
+
+func TestPoisson3DStencil(t *testing.T) {
+	m := Poisson3D(6, 6, 6)
+	validate(t, m)
+	interior := (2*6+2)*6 + 2 // an interior point index: (i=2,j=2,k=2)
+	if m.RowNNZ(interior) != 7 {
+		t.Errorf("interior row nnz = %d, want 7", m.RowNNZ(interior))
+	}
+	// Laplacian rows sum to >= 0 with diagonal dominance.
+	for i := 0; i < m.NRows; i++ {
+		var sum float64
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			sum += m.Val[j]
+		}
+		if sum < 0 {
+			t.Fatalf("row %d sum %g < 0: not diagonally dominant", i, sum)
+		}
+	}
+}
+
+func TestBandedStaysInBand(t *testing.T) {
+	hw := 5
+	m := Banded(200, hw, 0.7, 3)
+	validate(t, m)
+	for i := 0; i < m.NRows; i++ {
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			d := int(m.ColInd[j]) - i
+			if d < -hw || d > hw {
+				t.Fatalf("row %d column %d outside band", i, m.ColInd[j])
+			}
+		}
+	}
+}
+
+func TestUniformRandomDegree(t *testing.T) {
+	m := UniformRandom(500, 8, 7)
+	validate(t, m)
+	for i := 0; i < m.NRows; i++ {
+		if m.RowNNZ(i) != 8 {
+			t.Fatalf("row %d nnz = %d, want exactly 8", i, m.RowNNZ(i))
+		}
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	m := PowerLaw(2000, 8, 2.1, 500, 11)
+	validate(t, m)
+	lens := m.RowLengths()
+	fl := make([]float64, len(lens))
+	for i, l := range lens {
+		fl[i] = float64(l)
+	}
+	if mx, av := stats.Max(fl), stats.Mean(fl); mx < 5*av {
+		t.Errorf("power law not skewed: max %g < 5*mean %g", mx, av)
+	}
+	if stats.MinInt(lens) < 1 {
+		t.Error("empty row in power-law matrix")
+	}
+}
+
+func TestFewDenseRows(t *testing.T) {
+	m := FewDenseRows(3000, 6, 4, 1500, 5)
+	validate(t, m)
+	lens := m.RowLengths()
+	long := 0
+	for _, l := range lens {
+		if l > 1000 {
+			long++
+		}
+	}
+	if long != 4 {
+		t.Fatalf("dense rows = %d, want 4", long)
+	}
+}
+
+func TestShortRowsBounded(t *testing.T) {
+	m := ShortRows(2000, 3, 13)
+	validate(t, m)
+	for i, l := range m.RowLengths() {
+		if l < 1 || l > 3 {
+			t.Fatalf("row %d length %d outside [1,3]", i, l)
+		}
+	}
+}
+
+func TestClusteredFEMLocality(t *testing.T) {
+	blk := 64
+	m := ClusteredFEM(2048, blk, 30, 17)
+	validate(t, m)
+	// Column span of each row should be modest (within ~3 blocks).
+	for i := 0; i < m.NRows; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		if hi == lo {
+			continue
+		}
+		span := int(m.ColInd[hi-1]) - int(m.ColInd[lo])
+		if span > 4*blk {
+			t.Fatalf("row %d span %d too wide for clustered matrix", i, span)
+		}
+	}
+}
+
+func TestBlockDiagonal(t *testing.T) {
+	m := BlockDiagonal(5, 16, 3)
+	validate(t, m)
+	if m.NNZ() != 5*16*16 {
+		t.Fatalf("nnz = %d, want %d", m.NNZ(), 5*16*16)
+	}
+	for i := 0; i < m.NRows; i++ {
+		base := (i / 16) * 16
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			if int(m.ColInd[j]) < base || int(m.ColInd[j]) >= base+16 {
+				t.Fatalf("row %d column %d escapes block", i, m.ColInd[j])
+			}
+		}
+	}
+}
+
+func TestGraphNoEmptyRows(t *testing.T) {
+	m := Graph(10, 8, 0.57, 0.19, 0.19, 23)
+	validate(t, m)
+	if m.NRows != 1024 {
+		t.Fatalf("rows = %d, want 1024", m.NRows)
+	}
+	for i, l := range m.RowLengths() {
+		if l == 0 {
+			t.Fatalf("row %d empty", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	gens := map[string]func() *matrix.CSR{
+		"uniform":  func() *matrix.CSR { return UniformRandom(300, 5, 99) },
+		"powerlaw": func() *matrix.CSR { return PowerLaw(300, 6, 2.0, 100, 99) },
+		"fewdense": func() *matrix.CSR { return FewDenseRows(300, 4, 2, 100, 99) },
+		"graph":    func() *matrix.CSR { return Graph(8, 6, 0.6, 0.15, 0.15, 99) },
+		"banded":   func() *matrix.CSR { return Banded(300, 4, 0.5, 99) },
+		"unstr":    func() *matrix.CSR { return Unstructured3D(300, 7, 0.05, 99) },
+		"short":    func() *matrix.CSR { return ShortRows(300, 3, 99) },
+	}
+	for name, g := range gens {
+		a, b := g(), g()
+		if !a.Equal(b) {
+			t.Errorf("%s: same seed produced different matrices", name)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := UniformRandom(300, 5, 1)
+	b := UniformRandom(300, 5, 2)
+	if a.Equal(b) {
+		t.Error("different seeds produced identical matrices")
+	}
+}
+
+// Property: every generator output validates and has no empty matrix.
+func TestGeneratorsValidQuick(t *testing.T) {
+	f := func(seed int64, sel uint8) bool {
+		n := 64 + int(seed%128+128)%128
+		var m *matrix.CSR
+		switch sel % 7 {
+		case 0:
+			m = UniformRandom(n, 4, seed)
+		case 1:
+			m = PowerLaw(n, 5, 2.2, n/2, seed)
+		case 2:
+			m = FewDenseRows(n, 3, 2, n/2, seed)
+		case 3:
+			m = ShortRows(n, 3, seed)
+		case 4:
+			m = ClusteredFEM(n, 16, 8, seed)
+		case 5:
+			m = Banded(n, 3, 0.6, seed)
+		case 6:
+			m = Unstructured3D(n, 5, 0.1, seed)
+		}
+		return m.Validate() == nil && m.NNZ() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowBuilderDedup(t *testing.T) {
+	b := newRowBuilder(2, 100)
+	for k := 0; k < 200; k++ {
+		b.add(0, k%10) // only 10 unique
+	}
+	if b.rowLen(0) != 10 {
+		t.Fatalf("rowLen = %d, want 10 unique", b.rowLen(0))
+	}
+	// Push a row past the map-switch threshold and dedup there too.
+	for k := 0; k < 100; k++ {
+		b.add(1, k)
+	}
+	for k := 0; k < 100; k++ {
+		b.add(1, k)
+	}
+	if b.rowLen(1) != 100 {
+		t.Fatalf("long rowLen = %d, want 100", b.rowLen(1))
+	}
+}

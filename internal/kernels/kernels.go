@@ -1,0 +1,220 @@
+// Package kernels provides the native Go SpMV kernels corresponding to
+// the simulator's configurations: the scalar CSR baseline (Fig 2),
+// unrolled multi-accumulator variants (the vectorization stand-in,
+// DESIGN.md S3), a software-prefetch variant using look-ahead touch
+// loads (S4), DeltaCSR kernels, the two-phase SplitCSR kernel (Fig 6),
+// and the two modified bound kernels of Section III-B. All kernels
+// operate on row ranges so the parallel executor can drive them under
+// any schedule.
+package kernels
+
+import (
+	"github.com/sparsekit/spmvtuner/internal/formats"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// RangeKernel computes y[lo:hi] for rows [lo, hi).
+type RangeKernel func(m *matrix.CSR, x, y []float64, lo, hi int)
+
+// CSRRange is the canonical scalar kernel of Fig 2 restricted to a row
+// range.
+func CSRRange(m *matrix.CSR, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var sum float64
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			sum += m.Val[j] * x[m.ColInd[j]]
+		}
+		y[i] = sum
+	}
+}
+
+// CSRUnrolled4Range unrolls the inner loop four-way with independent
+// accumulators (the CMP-class scalar optimization: exposes ILP and
+// halves loop bookkeeping).
+func CSRUnrolled4Range(m *matrix.CSR, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		jlo, jhi := m.RowPtr[i], m.RowPtr[i+1]
+		var s0, s1, s2, s3 float64
+		j := jlo
+		for ; j+4 <= jhi; j += 4 {
+			s0 += m.Val[j] * x[m.ColInd[j]]
+			s1 += m.Val[j+1] * x[m.ColInd[j+1]]
+			s2 += m.Val[j+2] * x[m.ColInd[j+2]]
+			s3 += m.Val[j+3] * x[m.ColInd[j+3]]
+		}
+		for ; j < jhi; j++ {
+			s0 += m.Val[j] * x[m.ColInd[j]]
+		}
+		y[i] = (s0 + s1) + (s2 + s3)
+	}
+}
+
+// CSRVector8Range is the vectorization stand-in: eight independent
+// accumulators mirroring an 8-lane SIMD unit (Go has no portable
+// intrinsics; the unrolled form is what an auto-vectorizer would
+// produce for gather-based SpMV).
+func CSRVector8Range(m *matrix.CSR, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		jlo, jhi := m.RowPtr[i], m.RowPtr[i+1]
+		var s0, s1, s2, s3, s4, s5, s6, s7 float64
+		j := jlo
+		for ; j+8 <= jhi; j += 8 {
+			s0 += m.Val[j] * x[m.ColInd[j]]
+			s1 += m.Val[j+1] * x[m.ColInd[j+1]]
+			s2 += m.Val[j+2] * x[m.ColInd[j+2]]
+			s3 += m.Val[j+3] * x[m.ColInd[j+3]]
+			s4 += m.Val[j+4] * x[m.ColInd[j+4]]
+			s5 += m.Val[j+5] * x[m.ColInd[j+5]]
+			s6 += m.Val[j+6] * x[m.ColInd[j+6]]
+			s7 += m.Val[j+7] * x[m.ColInd[j+7]]
+		}
+		var tail float64
+		for ; j < jhi; j++ {
+			tail += m.Val[j] * x[m.ColInd[j]]
+		}
+		y[i] = ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7)) + tail
+	}
+}
+
+// PrefetchDistance is the look-ahead distance in elements: the paper
+// fixes it to the elements per cache line (Section III-E).
+const PrefetchDistance = 8
+
+// CSRPrefetchRange inserts a look-ahead touch load of
+// x[colind[j+PrefetchDistance]] — a genuine prefetch: the load pulls
+// the line into cache ahead of its use (the ML-class optimization).
+func CSRPrefetchRange(m *matrix.CSR, x, y []float64, lo, hi int) {
+	var sink float64
+	nnz := int64(len(m.ColInd))
+	for i := lo; i < hi; i++ {
+		jlo, jhi := m.RowPtr[i], m.RowPtr[i+1]
+		var sum float64
+		for j := jlo; j < jhi; j++ {
+			if p := j + PrefetchDistance; p < nnz {
+				sink += x[m.ColInd[p]] // touch: brings the line in
+			}
+			sum += m.Val[j] * x[m.ColInd[j]]
+		}
+		y[i] = sum
+	}
+	// Keep the compiler from eliding the touch loads.
+	if sink == 0x1p-1000 {
+		y[lo] += sink
+	}
+}
+
+// RegularizedRange is the P_ML bound kernel: every access to x is made
+// regular by using the row index instead of the column index. It does
+// NOT compute A*x; it exists to measure what performance would be if
+// irregularity vanished (Section III-B).
+func RegularizedRange(m *matrix.CSR, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		xi := x[i%len(x)]
+		var sum float64
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			sum += m.Val[j] * xi
+		}
+		y[i] = sum
+	}
+}
+
+// UnitStrideRange is the P_CMP bound kernel: indirect references are
+// eliminated entirely — no colind loads, unit-stride access to x only.
+// Like RegularizedRange it is a measurement probe, not SpMV.
+func UnitStrideRange(m *matrix.CSR, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		xi := x[i%len(x)]
+		var sum float64
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			sum += m.Val[j] * xi
+		}
+		y[i] = sum
+	}
+}
+
+// DeltaRange runs the DeltaCSR kernel over a row range; overflowStart
+// must be the delta stream's overflow offset at row lo (see
+// DeltaCSR.OverflowOffsets).
+func DeltaRange(d *formats.DeltaCSR, x, y []float64, lo, hi, overflowStart int) {
+	d.MulVecRows(x, y, lo, hi, overflowStart)
+}
+
+// SplitPhase1 computes the base part of a SplitCSR over a row range.
+func SplitPhase1(s *formats.SplitCSR, x, y []float64, lo, hi int) {
+	CSRRange(s.Base, x, y, lo, hi)
+}
+
+// SplitPhase2Partial computes thread t's share of every long row: the
+// element range of each long row is divided evenly among nt threads
+// and the partial sums are written to partials[t*nLong+k] for a later
+// reduction (Fig 6's step 2).
+func SplitPhase2Partial(s *formats.SplitCSR, x []float64, partials []float64, t, nt int) {
+	nLong := s.NumLongRows()
+	for k := 0; k < nLong; k++ {
+		lo, hi := s.LongPtr[k], s.LongPtr[k+1]
+		span := hi - lo
+		plo := lo + span*int64(t)/int64(nt)
+		phi := lo + span*int64(t+1)/int64(nt)
+		partials[t*nLong+k] = s.LongRowPartial(k, x, plo, phi)
+	}
+}
+
+// SplitPhase2Reduce folds the per-thread partials into y.
+func SplitPhase2Reduce(s *formats.SplitCSR, partials []float64, y []float64, nt int) {
+	nLong := s.NumLongRows()
+	for k := 0; k < nLong; k++ {
+		var sum float64
+		for t := 0; t < nt; t++ {
+			sum += partials[t*nLong+k]
+		}
+		y[s.LongRowIdx[k]] += sum
+	}
+}
+
+// CSRVector8PrefetchRange combines the vectorized kernel with
+// look-ahead touch loads — the joint ML+{MB,CMP} configuration.
+func CSRVector8PrefetchRange(m *matrix.CSR, x, y []float64, lo, hi int) {
+	var sink float64
+	nnz := int64(len(m.ColInd))
+	for i := lo; i < hi; i++ {
+		jlo, jhi := m.RowPtr[i], m.RowPtr[i+1]
+		var s0, s1, s2, s3 float64
+		j := jlo
+		for ; j+8 <= jhi; j += 8 {
+			if p := j + 2*PrefetchDistance; p < nnz {
+				sink += x[m.ColInd[p]]
+			}
+			s0 += m.Val[j]*x[m.ColInd[j]] + m.Val[j+1]*x[m.ColInd[j+1]]
+			s1 += m.Val[j+2]*x[m.ColInd[j+2]] + m.Val[j+3]*x[m.ColInd[j+3]]
+			s2 += m.Val[j+4]*x[m.ColInd[j+4]] + m.Val[j+5]*x[m.ColInd[j+5]]
+			s3 += m.Val[j+6]*x[m.ColInd[j+6]] + m.Val[j+7]*x[m.ColInd[j+7]]
+		}
+		var tail float64
+		for ; j < jhi; j++ {
+			tail += m.Val[j] * x[m.ColInd[j]]
+		}
+		y[i] = (s0 + s1) + (s2 + s3) + tail
+	}
+	if sink == 0x1p-1000 {
+		y[lo] += sink
+	}
+}
+
+// Variant selects a range kernel by optimization flags (compression
+// and splitting are handled by the executor, which owns the converted
+// formats). Vectorization subsumes unrolling: the 8-accumulator kernel
+// is the unrolled form.
+func Variant(vectorize, prefetch, unroll bool) RangeKernel {
+	switch {
+	case vectorize && prefetch:
+		return CSRVector8PrefetchRange
+	case vectorize:
+		return CSRVector8Range
+	case prefetch:
+		return CSRPrefetchRange
+	case unroll:
+		return CSRUnrolled4Range
+	default:
+		return CSRRange
+	}
+}

@@ -1,0 +1,207 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sparsekit/spmvtuner/internal/formats"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+func vec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func checkAgainstReference(t *testing.T, name string, m *matrix.CSR, k RangeKernel) {
+	t.Helper()
+	x := vec(m.NCols, 1)
+	want := make([]float64, m.NRows)
+	m.MulVec(x, want)
+	got := make([]float64, m.NRows)
+	// Run the kernel in three uneven chunks to exercise range edges.
+	bounds := []int{0, m.NRows / 3, 2*m.NRows/3 + 1, m.NRows}
+	for b := 0; b+1 < len(bounds); b++ {
+		k(m, x, got, bounds[b], bounds[b+1])
+	}
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("%s: y[%d] = %g, want %g", name, i, got[i], want[i])
+		}
+	}
+}
+
+func testMatrices() map[string]*matrix.CSR {
+	return map[string]*matrix.CSR{
+		"uniform":   gen.UniformRandom(500, 7, 1),
+		"banded":    gen.Banded(500, 6, 0.7, 2),
+		"powerlaw":  gen.PowerLaw(500, 6, 2.0, 200, 3),
+		"short":     gen.ShortRows(500, 3, 4),
+		"dense":     gen.Dense(64, 5),
+		"diag":      gen.Diagonal(300, 6),
+		"empty-row": emptyRowMatrix(),
+	}
+}
+
+func emptyRowMatrix() *matrix.CSR {
+	coo := matrix.NewCOO(10, 10)
+	coo.Add(0, 3, 1.5)
+	coo.Add(9, 0, -2)
+	m := coo.ToCSR()
+	m.Name = "empty-rows"
+	return m
+}
+
+func TestComputeKernelsMatchReference(t *testing.T) {
+	kernelsUnderTest := map[string]RangeKernel{
+		"csr":          CSRRange,
+		"unrolled4":    CSRUnrolled4Range,
+		"vector8":      CSRVector8Range,
+		"prefetch":     CSRPrefetchRange,
+		"vec8prefetch": CSRVector8PrefetchRange,
+	}
+	for mname, m := range testMatrices() {
+		for kname, k := range kernelsUnderTest {
+			t.Run(mname+"/"+kname, func(t *testing.T) {
+				checkAgainstReference(t, kname, m, k)
+			})
+		}
+	}
+}
+
+func TestDeltaRangeMatchesReference(t *testing.T) {
+	for mname, m := range testMatrices() {
+		t.Run(mname, func(t *testing.T) {
+			d := formats.Compress(m)
+			offs := d.OverflowOffsets()
+			x := vec(m.NCols, 2)
+			want := make([]float64, m.NRows)
+			m.MulVec(x, want)
+			got := make([]float64, m.NRows)
+			bounds := []int{0, m.NRows / 2, m.NRows}
+			for b := 0; b+1 < len(bounds); b++ {
+				DeltaRange(d, x, got, bounds[b], bounds[b+1], offs[bounds[b]])
+			}
+			for i := range want {
+				if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("delta: y[%d] = %g, want %g", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSplitTwoPhaseMatchesReference(t *testing.T) {
+	m := gen.FewDenseRows(800, 5, 3, 500, 7)
+	s := formats.Split(m, 64)
+	if s.NumLongRows() == 0 {
+		t.Fatal("test matrix must split")
+	}
+	x := vec(m.NCols, 3)
+	want := make([]float64, m.NRows)
+	m.MulVec(x, want)
+
+	nt := 4
+	got := make([]float64, m.NRows)
+	// Phase 1 across static partitions.
+	for tid := 0; tid < nt; tid++ {
+		lo, hi := tid*m.NRows/nt, (tid+1)*m.NRows/nt
+		SplitPhase1(s, x, got, lo, hi)
+	}
+	// Phase 2: every thread computes a slice of every long row.
+	partials := make([]float64, nt*s.NumLongRows())
+	for tid := 0; tid < nt; tid++ {
+		SplitPhase2Partial(s, x, partials, tid, nt)
+	}
+	SplitPhase2Reduce(s, partials, got, nt)
+
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("split: y[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBoundKernelsRun(t *testing.T) {
+	// The bound kernels are probes, not SpMV: they must run without
+	// touching colind-indexed x (RegularizedRange) and produce the
+	// value-sum shape.
+	m := gen.UniformRandom(200, 5, 9)
+	x := vec(m.NCols, 4)
+	y := make([]float64, m.NRows)
+	RegularizedRange(m, x, y, 0, m.NRows)
+	for i := 0; i < m.NRows; i++ {
+		var sum float64
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			sum += m.Val[j]
+		}
+		want := sum * x[i%len(x)]
+		if math.Abs(y[i]-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("regularized y[%d] = %g, want %g", i, y[i], want)
+		}
+	}
+	y2 := make([]float64, m.NRows)
+	UnitStrideRange(m, x, y2, 0, m.NRows)
+	for i := range y {
+		if y[i] != y2[i] {
+			t.Fatal("bound kernels should agree on this input")
+		}
+	}
+}
+
+func TestVariantSelection(t *testing.T) {
+	type c struct{ vec, pref, unroll bool }
+	m := gen.Banded(100, 3, 1, 1)
+	for _, tc := range []c{
+		{false, false, false}, {true, false, false}, {false, true, false},
+		{false, false, true}, {true, true, false}, {true, false, true},
+	} {
+		k := Variant(tc.vec, tc.pref, tc.unroll)
+		if k == nil {
+			t.Fatalf("nil kernel for %+v", tc)
+		}
+		checkAgainstReference(t, "variant", m, k)
+	}
+}
+
+// Property: all compute kernels agree with the reference on arbitrary
+// generated matrices.
+func TestKernelsAgreeQuick(t *testing.T) {
+	f := func(seed int64, sel uint8) bool {
+		n := 50 + int(uint64(seed)%150)
+		var m *matrix.CSR
+		switch sel % 4 {
+		case 0:
+			m = gen.UniformRandom(n, 6, seed)
+		case 1:
+			m = gen.PowerLaw(n, 5, 2.0, n, seed)
+		case 2:
+			m = gen.ShortRows(n, 4, seed)
+		case 3:
+			m = gen.ClusteredFEM(n, 16, 10, seed)
+		}
+		x := vec(m.NCols, seed)
+		want := make([]float64, m.NRows)
+		m.MulVec(x, want)
+		for _, k := range []RangeKernel{CSRUnrolled4Range, CSRVector8Range, CSRPrefetchRange, CSRVector8PrefetchRange} {
+			got := make([]float64, m.NRows)
+			k(m, x, got, 0, m.NRows)
+			for i := range want {
+				if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

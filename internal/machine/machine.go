@@ -1,0 +1,277 @@
+// Package machine defines the platform models of Table III: the two
+// Intel Xeon Phi generations (Knights Corner and Knights Landing) and
+// the Broadwell Xeon the paper evaluates on, plus a Host model probed
+// from the running machine for native execution. The fields marked
+// "(model)" extend Table III with the microarchitectural constants the
+// cost simulator needs (miss latency, memory-level parallelism, SIMD
+// efficiency); their values follow the paper's qualitative statements —
+// e.g. Xeon Phi cache-miss latency "an order of magnitude higher
+// compared to multi-cores" (Section IV-C) — and public STREAM/latency
+// measurements for these parts.
+package machine
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Model describes one execution platform.
+type Model struct {
+	Name     string // marketing model, e.g. "Intel Xeon Phi 3120P"
+	Codename string // short id used on the command line: knc, knl, bdw, host
+
+	Cores          int
+	ThreadsPerCore int
+	FreqGHz        float64
+
+	L1DBytes       int64 // per core
+	L2Bytes        int64 // total across the chip
+	L3Bytes        int64 // total; 0 when absent (Xeon Phi)
+	CacheLineBytes int
+
+	// STREAM triad sustainable bandwidth (Table III): from main memory
+	// and from the last-level cache.
+	StreamMainGBs float64
+	StreamLLCGBs  float64
+
+	// PerCoreGBs bounds the bandwidth one core can draw even when the
+	// chip-level links are idle (model).
+	PerCoreGBs float64
+
+	// SIMDLanes is the number of float64 lanes per vector unit:
+	// 8 for the 512-bit Phi units, 4 for Broadwell AVX2 (model).
+	SIMDLanes int
+
+	// MissLatencyNs is the exposed main-memory miss latency (model).
+	MissLatencyNs float64
+
+	// MLP is the number of outstanding misses one core sustains
+	// without software prefetching; PrefetchMLP with it (model).
+	MLP         float64
+	PrefetchMLP float64
+
+	// HWPrefetchEff is the fraction of *regular-stream* miss latency
+	// the hardware prefetchers hide (model). KNC's prefetchers are
+	// weak (in-order cores), Broadwell's are strong.
+	HWPrefetchEff float64
+
+	// ScalarFlopsPerCycle is the per-core scalar multiply-add
+	// throughput in flops/cycle (model). KNC cannot dual-issue scalar
+	// FP; Broadwell can.
+	ScalarFlopsPerCycle float64
+
+	// ScalarStallCycles is the per-element pipeline stall of the
+	// scalar CSR loop on streaming data (load-to-use dependences,
+	// in-order issue). It dominates on KNC's in-order cores — the
+	// reason the paper's KNC baseline sits far below the bandwidth
+	// roof in Fig 3 — and nearly vanishes on Broadwell (model).
+	ScalarStallCycles float64
+
+	// VecRowSetupCycles is the per-row cost of entering the vectorized
+	// inner loop (mask generation, remainder handling). It is what
+	// makes blind vectorization a *slowdown* for very short rows
+	// (Fig 1) (model).
+	VecRowSetupCycles float64
+
+	// GatherCyclesPerElem is the per-element cost of vector gathers of
+	// x (model); KNC's gathers are microcoded and slow.
+	GatherCyclesPerElem float64
+
+	// RowOverheadCycles is the per-row loop overhead of the CSR kernel
+	// (pointer load, loop setup, store) (model); unrolling reduces it.
+	RowOverheadCycles float64
+}
+
+// KNC models the Intel Xeon Phi 3120P (Knights Corner) of Table III.
+func KNC() Model {
+	return Model{
+		Name:     "Intel Xeon Phi 3120P",
+		Codename: "knc",
+
+		Cores:          57,
+		ThreadsPerCore: 4,
+		FreqGHz:        1.10,
+
+		L1DBytes:       32 << 10,
+		L2Bytes:        30 << 20,
+		L3Bytes:        0,
+		CacheLineBytes: 64,
+
+		StreamMainGBs: 128,
+		StreamLLCGBs:  140,
+		PerCoreGBs:    4.5,
+
+		SIMDLanes:           8,
+		MissLatencyNs:       300, // in-order core, GDDR5: an order of magnitude above multicores
+		MLP:                 4,
+		PrefetchMLP:         16,
+		HWPrefetchEff:       0.50,
+		ScalarFlopsPerCycle: 0.5, // no out-of-order, 2-cycle scalar FMA cadence
+		ScalarStallCycles:   8,   // in-order core stalls on every load-use chain
+		VecRowSetupCycles:   28,  // mask/remainder setup is expensive on KNC
+		GatherCyclesPerElem: 1.0, // microcoded gathers
+		RowOverheadCycles:   14,
+	}
+}
+
+// KNL models the Intel Xeon Phi 7250 (Knights Landing) in Flat mode
+// with the working set allocated on MCDRAM (Section IV-A).
+func KNL() Model {
+	return Model{
+		Name:     "Intel Xeon Phi 7250",
+		Codename: "knl",
+
+		Cores:          68,
+		ThreadsPerCore: 4,
+		FreqGHz:        1.40,
+
+		L1DBytes:       32 << 10,
+		L2Bytes:        34 << 20,
+		L3Bytes:        0,
+		CacheLineBytes: 64,
+
+		StreamMainGBs: 395, // MCDRAM
+		StreamLLCGBs:  570,
+		PerCoreGBs:    9,
+
+		SIMDLanes:           8,
+		MissLatencyNs:       170, // MCDRAM latency, still far above Xeon DRAM-in-LLC terms
+		MLP:                 6,
+		PrefetchMLP:         24,
+		HWPrefetchEff:       0.70,
+		ScalarFlopsPerCycle: 1,
+		ScalarStallCycles:   2, // 2-wide out-of-order Silvermont-derived core
+		VecRowSetupCycles:   6,
+		GatherCyclesPerElem: 0.5,
+		RowOverheadCycles:   10,
+	}
+}
+
+// Broadwell models the Intel Xeon E5-2699 v4 of Table III.
+func Broadwell() Model {
+	return Model{
+		Name:     "Intel Xeon E5-2699 v4",
+		Codename: "bdw",
+
+		Cores:          22,
+		ThreadsPerCore: 2,
+		FreqGHz:        2.20,
+
+		L1DBytes:       32 << 10,
+		L2Bytes:        22 * (256 << 10),
+		L3Bytes:        55 << 20,
+		CacheLineBytes: 64,
+
+		StreamMainGBs: 60,
+		StreamLLCGBs:  200,
+		PerCoreGBs:    12,
+
+		SIMDLanes:           4, // AVX2
+		MissLatencyNs:       90,
+		MLP:                 10,
+		PrefetchMLP:         20,
+		HWPrefetchEff:       0.90,
+		ScalarFlopsPerCycle: 2,
+		ScalarStallCycles:   0.5, // deep out-of-order window hides stream latency
+		VecRowSetupCycles:   3,
+		GatherCyclesPerElem: 0.25,
+		RowOverheadCycles:   6,
+	}
+}
+
+// Host builds a rough model of the running machine for the native
+// executor: core count from the runtime, conservative desktop-class
+// constants elsewhere. Bandwidths should be calibrated with the STREAM
+// probe in internal/native before trusting host-model simulations.
+func Host() Model {
+	return Model{
+		Name:     "host",
+		Codename: "host",
+
+		Cores:          runtime.NumCPU(),
+		ThreadsPerCore: 1,
+		FreqGHz:        2.5,
+
+		L1DBytes:       32 << 10,
+		L2Bytes:        int64(runtime.NumCPU()) * (512 << 10),
+		L3Bytes:        16 << 20,
+		CacheLineBytes: 64,
+
+		StreamMainGBs: 20,
+		StreamLLCGBs:  80,
+		PerCoreGBs:    12,
+
+		SIMDLanes:           4,
+		MissLatencyNs:       100,
+		MLP:                 10,
+		PrefetchMLP:         16,
+		HWPrefetchEff:       0.85,
+		ScalarFlopsPerCycle: 2,
+		ScalarStallCycles:   0.5,
+		VecRowSetupCycles:   3,
+		GatherCyclesPerElem: 0.25,
+		RowOverheadCycles:   6,
+	}
+}
+
+// ByCodename resolves "knc", "knl", "bdw" or "host".
+func ByCodename(code string) (Model, error) {
+	switch code {
+	case "knc":
+		return KNC(), nil
+	case "knl":
+		return KNL(), nil
+	case "bdw", "broadwell":
+		return Broadwell(), nil
+	case "host":
+		return Host(), nil
+	default:
+		return Model{}, fmt.Errorf("machine: unknown platform %q (want knc, knl, bdw or host)", code)
+	}
+}
+
+// All returns the three paper platforms in presentation order.
+func All() []Model {
+	return []Model{KNC(), KNL(), Broadwell()}
+}
+
+// Threads returns the total hardware threads the paper's runs use
+// (all cores, OMP_PLACES=threads).
+func (m Model) Threads() int { return m.Cores * m.ThreadsPerCore }
+
+// LLCBytes returns the capacity of the last-level cache: L3 when
+// present, the aggregate L2 otherwise (the Xeon Phi case).
+func (m Model) LLCBytes() int64 {
+	if m.L3Bytes > 0 {
+		return m.L3Bytes
+	}
+	return m.L2Bytes
+}
+
+// LineElems returns the float64 elements per cache line.
+func (m Model) LineElems() int { return m.CacheLineBytes / 8 }
+
+// CyclesPerSecond returns core cycles per second.
+func (m Model) CyclesPerSecond() float64 { return m.FreqGHz * 1e9 }
+
+// PeakBandwidth returns the sustainable bandwidth in bytes/second for a
+// working set of the given size: the LLC rate when it fits (the paper
+// adjusts bandwidth upwards for cache-resident matrices, footnote 2),
+// the main-memory rate otherwise.
+func (m Model) PeakBandwidth(workingSetBytes int64) float64 {
+	if workingSetBytes <= m.LLCBytes() {
+		return m.StreamLLCGBs * 1e9
+	}
+	return m.StreamMainGBs * 1e9
+}
+
+// String renders the Table III row for this platform.
+func (m Model) String() string {
+	l3 := "-"
+	if m.L3Bytes > 0 {
+		l3 = fmt.Sprintf("%d MiB", m.L3Bytes>>20)
+	}
+	return fmt.Sprintf("%s (%s): %d cores x %d threads @ %.2f GHz, L2 %d MiB, L3 %s, STREAM %g/%g GB/s",
+		m.Name, m.Codename, m.Cores, m.ThreadsPerCore, m.FreqGHz, m.L2Bytes>>20, l3,
+		m.StreamMainGBs, m.StreamLLCGBs)
+}

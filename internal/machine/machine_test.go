@@ -1,0 +1,137 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIIIValues(t *testing.T) {
+	knc, knl, bdw := KNC(), KNL(), Broadwell()
+
+	// Table III, verbatim rows.
+	if knc.Cores != 57 || knc.ThreadsPerCore != 4 || knc.FreqGHz != 1.10 {
+		t.Errorf("KNC core config wrong: %+v", knc)
+	}
+	if knc.L2Bytes != 30<<20 || knc.L3Bytes != 0 {
+		t.Errorf("KNC caches wrong")
+	}
+	if knc.StreamMainGBs != 128 || knc.StreamLLCGBs != 140 {
+		t.Errorf("KNC STREAM wrong: %g/%g", knc.StreamMainGBs, knc.StreamLLCGBs)
+	}
+
+	if knl.Cores != 68 || knl.ThreadsPerCore != 4 || knl.FreqGHz != 1.40 {
+		t.Errorf("KNL core config wrong: %+v", knl)
+	}
+	if knl.L2Bytes != 34<<20 || knl.StreamMainGBs != 395 || knl.StreamLLCGBs != 570 {
+		t.Errorf("KNL memory config wrong")
+	}
+
+	if bdw.Cores != 22 || bdw.ThreadsPerCore != 2 || bdw.FreqGHz != 2.20 {
+		t.Errorf("Broadwell core config wrong: %+v", bdw)
+	}
+	if bdw.L3Bytes != 55<<20 || bdw.StreamMainGBs != 60 || bdw.StreamLLCGBs != 200 {
+		t.Errorf("Broadwell memory config wrong")
+	}
+}
+
+func TestThreadCounts(t *testing.T) {
+	if got := KNC().Threads(); got != 228 {
+		t.Errorf("KNC threads = %d, want 228", got)
+	}
+	if got := KNL().Threads(); got != 272 {
+		t.Errorf("KNL threads = %d, want 272", got)
+	}
+	if got := Broadwell().Threads(); got != 44 {
+		t.Errorf("Broadwell threads = %d, want 44", got)
+	}
+}
+
+func TestLLCSelection(t *testing.T) {
+	if got := KNC().LLCBytes(); got != 30<<20 {
+		t.Errorf("KNC LLC should be aggregate L2, got %d", got)
+	}
+	if got := Broadwell().LLCBytes(); got != 55<<20 {
+		t.Errorf("Broadwell LLC should be L3, got %d", got)
+	}
+}
+
+func TestPeakBandwidthSwitchesAtLLC(t *testing.T) {
+	m := KNL()
+	small := m.PeakBandwidth(1 << 20)
+	big := m.PeakBandwidth(1 << 30)
+	if small != 570e9 {
+		t.Errorf("cache-resident bandwidth = %g, want 570e9", small)
+	}
+	if big != 395e9 {
+		t.Errorf("memory-resident bandwidth = %g, want 395e9", big)
+	}
+}
+
+func TestPhiLatencyOrderOfMagnitude(t *testing.T) {
+	// Section IV-C: Phi miss latency is an order of magnitude higher
+	// than multicores. The models must preserve that relation.
+	if KNC().MissLatencyNs < 3*Broadwell().MissLatencyNs {
+		t.Error("KNC miss latency should dwarf Broadwell's")
+	}
+}
+
+func TestSIMDWidths(t *testing.T) {
+	if KNC().SIMDLanes != 8 || KNL().SIMDLanes != 8 {
+		t.Error("Xeon Phi models must have 8 f64 SIMD lanes (512-bit)")
+	}
+	if Broadwell().SIMDLanes != 4 {
+		t.Error("Broadwell must have 4 f64 SIMD lanes (AVX2)")
+	}
+}
+
+func TestByCodename(t *testing.T) {
+	for _, code := range []string{"knc", "knl", "bdw", "broadwell", "host"} {
+		if _, err := ByCodename(code); err != nil {
+			t.Errorf("ByCodename(%q): %v", code, err)
+		}
+	}
+	if _, err := ByCodename("gpu"); err == nil {
+		t.Error("unknown codename should error")
+	}
+}
+
+func TestAllPlatforms(t *testing.T) {
+	all := All()
+	if len(all) != 3 {
+		t.Fatalf("All() returned %d platforms, want 3", len(all))
+	}
+	if all[0].Codename != "knc" || all[1].Codename != "knl" || all[2].Codename != "bdw" {
+		t.Fatal("All() order must be knc, knl, bdw (paper presentation order)")
+	}
+}
+
+func TestHostUsesRuntime(t *testing.T) {
+	h := Host()
+	if h.Cores < 1 {
+		t.Fatal("host model has no cores")
+	}
+	if h.CacheLineBytes != 64 || h.LineElems() != 8 {
+		t.Fatal("host cache line wrong")
+	}
+}
+
+func TestStringRendersTableRow(t *testing.T) {
+	s := KNC().String()
+	for _, want := range []string{"knc", "57", "1.10", "128"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("KNC String() missing %q: %s", want, s)
+		}
+	}
+	if !strings.Contains(Broadwell().String(), "55 MiB") {
+		t.Error("Broadwell String() missing L3")
+	}
+	if !strings.Contains(KNL().String(), "L3 -") {
+		t.Error("KNL String() should render absent L3 as '-'")
+	}
+}
+
+func TestCyclesPerSecond(t *testing.T) {
+	if got := KNC().CyclesPerSecond(); got != 1.10e9 {
+		t.Fatalf("KNC cycles/s = %g", got)
+	}
+}

@@ -1,0 +1,264 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fig5Matrix builds the 6x6 example matrix from Fig 5 of the paper.
+func fig5Matrix() *CSR {
+	c := NewCOO(6, 6)
+	c.Add(0, 0, 7.5)
+	c.Add(1, 0, 6.8)
+	c.Add(1, 1, 5.7)
+	c.Add(1, 2, 3.8)
+	c.Add(1, 3, 1.0)
+	c.Add(1, 4, 1.0)
+	c.Add(1, 5, 1.0)
+	c.Add(2, 0, 2.4)
+	c.Add(2, 1, 6.2)
+	c.Add(3, 0, 9.7)
+	c.Add(3, 3, 2.3)
+	c.Add(4, 4, 5.8)
+	c.Add(5, 4, 6.6)
+	return c.ToCSR()
+}
+
+func TestCOOToCSRFig5(t *testing.T) {
+	m := fig5Matrix()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.NNZ() != 13 {
+		t.Fatalf("nnz = %d, want 13", m.NNZ())
+	}
+	wantPtr := []int64{0, 1, 7, 9, 11, 12, 13}
+	for i, w := range wantPtr {
+		if m.RowPtr[i] != w {
+			t.Errorf("rowptr[%d] = %d, want %d", i, m.RowPtr[i], w)
+		}
+	}
+	if m.RowNNZ(1) != 6 {
+		t.Errorf("row 1 nnz = %d, want 6", m.RowNNZ(1))
+	}
+}
+
+func TestCOODuplicatesSummed(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(0, 0, 2.5)
+	c.Add(1, 1, -1)
+	m := c.ToCSR()
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2 after duplicate summation", m.NNZ())
+	}
+	if got := m.Val[0]; got != 3.5 {
+		t.Errorf("summed value = %g, want 3.5", got)
+	}
+}
+
+func TestCOOUnsortedInput(t *testing.T) {
+	c := NewCOO(3, 3)
+	c.Add(2, 2, 3)
+	c.Add(0, 1, 1)
+	c.Add(1, 0, 2)
+	c.Add(0, 0, 4)
+	m := c.ToCSR()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate after unsorted build: %v", err)
+	}
+	if m.ColInd[0] != 0 || m.ColInd[1] != 1 {
+		t.Errorf("row 0 columns = %v, want sorted [0 1]", m.ColInd[:2])
+	}
+}
+
+func TestCOOAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add outside bounds did not panic")
+		}
+	}()
+	NewCOO(2, 2).Add(2, 0, 1)
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		rows, cols := 1+rng.Intn(30), 1+rng.Intn(30)
+		c := NewCOO(rows, cols)
+		for k := 0; k < rng.Intn(rows*cols+1); k++ {
+			c.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64())
+		}
+		m := c.ToCSR()
+		d := m.ToDense()
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		ys, yd := make([]float64, rows), make([]float64, rows)
+		m.MulVec(x, ys)
+		d.MulVec(x, yd)
+		for i := range ys {
+			if math.Abs(ys[i]-yd[i]) > 1e-9 {
+				t.Fatalf("trial %d: y[%d] = %g (csr) vs %g (dense)", trial, i, ys[i], yd[i])
+			}
+		}
+	}
+}
+
+func TestMulVecDimensionPanic(t *testing.T) {
+	m := fig5Matrix()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulVec with short x did not panic")
+		}
+	}()
+	m.MulVec(make([]float64, 3), make([]float64, 6))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	m := fig5Matrix()
+	tt := m.Transpose().Transpose()
+	if !m.Equal(tt) {
+		t.Fatal("transpose twice did not return the original matrix")
+	}
+}
+
+func TestTransposeValidatesAndMatchesDense(t *testing.T) {
+	m := fig5Matrix()
+	mt := m.Transpose()
+	if err := mt.Validate(); err != nil {
+		t.Fatalf("transpose invalid: %v", err)
+	}
+	d := m.ToDense()
+	for i := 0; i < m.NRows; i++ {
+		for j := 0; j < m.NCols; j++ {
+			if d.At(i, j) != mt.ToDense().At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*CSR)
+	}{
+		{"rowptr first nonzero", func(m *CSR) { m.RowPtr[0] = 1 }},
+		{"rowptr non-monotone", func(m *CSR) { m.RowPtr[2] = m.RowPtr[1] - 1 }},
+		{"rowptr tail mismatch", func(m *CSR) { m.RowPtr[m.NRows] = 99 }},
+		{"column out of range", func(m *CSR) { m.ColInd[0] = 100 }},
+		{"negative column", func(m *CSR) { m.ColInd[0] = -1 }},
+		{"unsorted columns", func(m *CSR) { m.ColInd[1], m.ColInd[2] = m.ColInd[2], m.ColInd[1] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := fig5Matrix()
+			tc.mutate(m)
+			if err := m.Validate(); err == nil {
+				t.Fatalf("corruption %q not detected", tc.name)
+			}
+		})
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := fig5Matrix()
+	c := m.Clone()
+	c.Val[0] = 42
+	c.ColInd[0] = 3
+	c.RowPtr[1] = 0
+	if m.Val[0] == 42 || m.ColInd[0] == 3 || m.RowPtr[1] == 0 {
+		t.Fatal("Clone shares backing arrays with the original")
+	}
+	if !m.Equal(fig5Matrix()) {
+		t.Fatal("original modified by clone mutation")
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	m := fig5Matrix()
+	want := int64(13*(8+4) + 7*8)
+	if got := m.Bytes(); got != want {
+		t.Fatalf("Bytes = %d, want %d", got, want)
+	}
+}
+
+func TestRowLengths(t *testing.T) {
+	m := fig5Matrix()
+	want := []int{1, 6, 2, 2, 1, 1}
+	got := m.RowLengths()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RowLengths[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	m := fig5Matrix()
+	back := m.ToDense().ToCSR()
+	if !m.Equal(back) {
+		t.Fatal("CSR -> dense -> CSR round trip changed the matrix")
+	}
+}
+
+// TestTransposePropertyQuick checks with testing/quick that (A^T)^T == A
+// and that A^T y == (y^T A)^T on random structures.
+func TestTransposePropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		c := NewCOO(rows, cols)
+		for k := 0; k < rng.Intn(40); k++ {
+			c.Add(rng.Intn(rows), rng.Intn(cols), float64(rng.Intn(9)-4))
+		}
+		m := c.ToCSR()
+		if !m.Equal(m.Transpose().Transpose()) {
+			return false
+		}
+		// y^T (A x) == (A^T y)^T x for random vectors.
+		x := make([]float64, cols)
+		y := make([]float64, rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		ax := make([]float64, rows)
+		m.MulVec(x, ax)
+		aty := make([]float64, cols)
+		m.Transpose().MulVec(y, aty)
+		var lhs, rhs float64
+		for i := range y {
+			lhs += y[i] * ax[i]
+		}
+		for j := range x {
+			rhs += aty[j] * x[j]
+		}
+		return math.Abs(lhs-rhs) < 1e-6*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidatePropertyQuick: every COO-built matrix validates.
+func TestValidatePropertyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		c := NewCOO(rows, cols)
+		for k := 0; k < rng.Intn(100); k++ {
+			c.Add(rng.Intn(rows), rng.Intn(cols), rng.Float64())
+		}
+		return c.ToCSR().Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

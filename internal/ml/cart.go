@@ -1,0 +1,433 @@
+// Package ml implements the supervised-learning side of the
+// feature-guided classifier (Section III-D): a CART decision tree
+// adjusted for multilabel classification (one boolean output per
+// bottleneck class plus the dummy "not worth optimizing" class),
+// Leave-One-Out cross validation, and the Exact/Partial Match Ratio
+// metrics of Table IV. It substitutes for the paper's use of
+// scikit-learn (DESIGN.md, S6) with the same algorithm family.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is one labeled training example: a feature vector and a
+// multilabel boolean target.
+type Sample struct {
+	X []float64
+	Y []bool
+}
+
+// Dataset is a labeled collection with homogeneous widths.
+type Dataset struct {
+	Samples  []Sample
+	NFeature int
+	NOutput  int
+}
+
+// NewDataset validates and wraps samples. All samples must share the
+// feature and output widths.
+func NewDataset(samples []Sample) (*Dataset, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("ml: empty dataset")
+	}
+	nf, no := len(samples[0].X), len(samples[0].Y)
+	for i, s := range samples {
+		if len(s.X) != nf || len(s.Y) != no {
+			return nil, fmt.Errorf("ml: sample %d has widths (%d,%d), want (%d,%d)",
+				i, len(s.X), len(s.Y), nf, no)
+		}
+	}
+	return &Dataset{Samples: samples, NFeature: nf, NOutput: no}, nil
+}
+
+// TreeParams controls CART growth. Zero values select the defaults
+// used throughout the reproduction.
+type TreeParams struct {
+	// MaxDepth bounds the tree height (default 12).
+	MaxDepth int
+	// MinSamplesSplit is the smallest node that may split (default 2).
+	MinSamplesSplit int
+	// MinImpurityDecrease prunes splits with negligible gain.
+	MinImpurityDecrease float64
+}
+
+func (p TreeParams) withDefaults() TreeParams {
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 12
+	}
+	if p.MinSamplesSplit < 2 {
+		p.MinSamplesSplit = 2
+	}
+	return p
+}
+
+// Tree is a trained CART decision tree with multilabel leaves.
+type Tree struct {
+	root    *node
+	nFeat   int
+	nOut    int
+	params  TreeParams
+	nLeaves int
+	depth   int
+}
+
+type node struct {
+	// Internal nodes split on X[feature] <= threshold.
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	// Leaves predict the per-output majority.
+	leaf bool
+	pred []bool
+	n    int
+}
+
+// Fit grows a CART tree on the dataset. Splitting minimizes the summed
+// per-output Gini impurity (the standard multi-output CART criterion,
+// matching scikit-learn's multilabel DecisionTreeClassifier).
+func Fit(ds *Dataset, params TreeParams) *Tree {
+	p := params.withDefaults()
+	t := &Tree{nFeat: ds.NFeature, nOut: ds.NOutput, params: p}
+	idx := make([]int, len(ds.Samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.grow(ds, idx, 0)
+	return t
+}
+
+// giniSum computes the summed binary Gini impurity across outputs for
+// the samples in idx: sum_o 2*p_o*(1-p_o).
+func giniSum(ds *Dataset, idx []int, counts []int) float64 {
+	for o := range counts {
+		counts[o] = 0
+	}
+	for _, i := range idx {
+		for o, v := range ds.Samples[i].Y {
+			if v {
+				counts[o]++
+			}
+		}
+	}
+	n := float64(len(idx))
+	if n == 0 {
+		return 0
+	}
+	var g float64
+	for _, c := range counts {
+		p := float64(c) / n
+		g += 2 * p * (1 - p)
+	}
+	return g
+}
+
+func (t *Tree) grow(ds *Dataset, idx []int, depth int) *node {
+	if depth > t.depth {
+		t.depth = depth
+	}
+	counts := make([]int, t.nOut)
+	imp := giniSum(ds, idx, counts)
+	mkLeaf := func() *node {
+		pred := make([]bool, t.nOut)
+		for o, c := range counts {
+			pred[o] = 2*c > len(idx)
+		}
+		t.nLeaves++
+		return &node{leaf: true, pred: pred, n: len(idx)}
+	}
+	if depth >= t.params.MaxDepth || len(idx) < t.params.MinSamplesSplit || imp == 0 {
+		return mkLeaf()
+	}
+
+	// Like scikit-learn, a split is acceptable when its impurity
+	// decrease is >= MinImpurityDecrease (inclusive): zero-gain splits
+	// are taken when nothing better exists, which is what lets greedy
+	// CART descend into XOR-like label structure.
+	bestFeat, bestThresh, bestGain := -1, 0.0, 0.0
+	found := false
+	var bestLeft, bestRight []int
+	scratchL := make([]int, 0, len(idx))
+	scratchR := make([]int, 0, len(idx))
+	order := make([]int, len(idx))
+	for f := 0; f < t.nFeat; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool {
+			return ds.Samples[order[a]].X[f] < ds.Samples[order[b]].X[f]
+		})
+		// Candidate thresholds: midpoints between distinct consecutive
+		// values.
+		for cut := 1; cut < len(order); cut++ {
+			lo := ds.Samples[order[cut-1]].X[f]
+			hi := ds.Samples[order[cut]].X[f]
+			if lo == hi {
+				continue
+			}
+			thresh := (lo + hi) / 2
+			scratchL = scratchL[:0]
+			scratchR = scratchR[:0]
+			for _, i := range idx {
+				if ds.Samples[i].X[f] <= thresh {
+					scratchL = append(scratchL, i)
+				} else {
+					scratchR = append(scratchR, i)
+				}
+			}
+			nl, nr := float64(len(scratchL)), float64(len(scratchR))
+			gl := giniSum(ds, scratchL, counts)
+			gr := giniSum(ds, scratchR, counts)
+			// Recompute parent counts clobbered by the child calls.
+			gain := imp - (nl*gl+nr*gr)/float64(len(idx))
+			if gain >= t.params.MinImpurityDecrease && (!found || gain > bestGain) {
+				found = true
+				bestGain = gain
+				bestFeat = f
+				bestThresh = thresh
+				bestLeft = append([]int(nil), scratchL...)
+				bestRight = append([]int(nil), scratchR...)
+			}
+		}
+	}
+	// giniSum clobbered counts; restore them for the leaf fallback.
+	giniSum(ds, idx, counts)
+	if bestFeat < 0 {
+		return mkLeaf()
+	}
+	n := &node{feature: bestFeat, threshold: bestThresh}
+	n.left = t.grow(ds, bestLeft, depth+1)
+	n.right = t.grow(ds, bestRight, depth+1)
+	return n
+}
+
+// Predict returns the multilabel prediction for feature vector x.
+func (t *Tree) Predict(x []float64) []bool {
+	if len(x) != t.nFeat {
+		panic(fmt.Sprintf("ml: predict with %d features, tree wants %d", len(x), t.nFeat))
+	}
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	out := make([]bool, len(n.pred))
+	copy(out, n.pred)
+	return out
+}
+
+// Leaves returns the leaf count (complexity diagnostic).
+func (t *Tree) Leaves() int { return t.nLeaves }
+
+// Depth returns the deepest level reached while growing.
+func (t *Tree) Depth() int { return t.depth }
+
+// QueryDepth returns the path length for x: the O(log N_samples) query
+// cost of Section III-D.
+func (t *Tree) QueryDepth(x []float64) int {
+	n, d := t.root, 0
+	for !n.leaf {
+		d++
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return d
+}
+
+// FeatureImportance accumulates, per feature, the number of internal
+// nodes splitting on it — a cheap interpretability aid for the
+// spmvclassify tool.
+func (t *Tree) FeatureImportance() []int {
+	imp := make([]int, t.nFeat)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil || n.leaf {
+			return
+		}
+		imp[n.feature]++
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return imp
+}
+
+// exactMatch reports whether prediction and truth agree on every
+// output.
+func exactMatch(pred, truth []bool) bool {
+	for i := range pred {
+		if pred[i] != truth[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// partialMatch reports whether the prediction shares at least one
+// positive output with the truth; two all-negative vectors also match
+// (both say "nothing to do").
+func partialMatch(pred, truth []bool) bool {
+	anyTruth := false
+	for i := range pred {
+		if truth[i] {
+			anyTruth = true
+			if pred[i] {
+				return true
+			}
+		}
+	}
+	if !anyTruth {
+		for _, p := range pred {
+			if p {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// CVResult reports cross-validation accuracy as in Table IV.
+type CVResult struct {
+	// ExactMatchRatio is the fraction of held-out samples whose
+	// predicted class set matches the labels exactly.
+	ExactMatchRatio float64
+	// PartialMatchRatio counts predictions sharing at least one class
+	// with the labels.
+	PartialMatchRatio float64
+	// Folds is the number of experiments performed (k for LOO).
+	Folds int
+}
+
+// LeaveOneOut runs the Leave-One-Out cross validation of Section IV-B:
+// for k samples, k experiments each train on k-1 samples and test on
+// the held-out one; the reported score is the average over experiments.
+func LeaveOneOut(ds *Dataset, params TreeParams) CVResult {
+	k := len(ds.Samples)
+	var exact, partial int
+	held := make([]Sample, 0, k-1)
+	for i := 0; i < k; i++ {
+		held = held[:0]
+		held = append(held, ds.Samples[:i]...)
+		held = append(held, ds.Samples[i+1:]...)
+		sub := &Dataset{Samples: held, NFeature: ds.NFeature, NOutput: ds.NOutput}
+		tree := Fit(sub, params)
+		pred := tree.Predict(ds.Samples[i].X)
+		if exactMatch(pred, ds.Samples[i].Y) {
+			exact++
+		}
+		if partialMatch(pred, ds.Samples[i].Y) {
+			partial++
+		}
+	}
+	return CVResult{
+		ExactMatchRatio:   float64(exact) / float64(k),
+		PartialMatchRatio: float64(partial) / float64(k),
+		Folds:             k,
+	}
+}
+
+// KFold runs k-fold cross validation (contiguous folds) — a cheaper
+// alternative to LOO for the large training corpus.
+func KFold(ds *Dataset, params TreeParams, k int) CVResult {
+	n := len(ds.Samples)
+	if k < 2 || k > n {
+		k = n // degrade to LOO
+	}
+	var exact, partial, tested int
+	for f := 0; f < k; f++ {
+		lo, hi := f*n/k, (f+1)*n/k
+		train := make([]Sample, 0, n-(hi-lo))
+		train = append(train, ds.Samples[:lo]...)
+		train = append(train, ds.Samples[hi:]...)
+		sub := &Dataset{Samples: train, NFeature: ds.NFeature, NOutput: ds.NOutput}
+		tree := Fit(sub, params)
+		for i := lo; i < hi; i++ {
+			pred := tree.Predict(ds.Samples[i].X)
+			if exactMatch(pred, ds.Samples[i].Y) {
+				exact++
+			}
+			if partialMatch(pred, ds.Samples[i].Y) {
+				partial++
+			}
+			tested++
+		}
+	}
+	return CVResult{
+		ExactMatchRatio:   float64(exact) / float64(tested),
+		PartialMatchRatio: float64(partial) / float64(tested),
+		Folds:             k,
+	}
+}
+
+// Project returns a copy of the dataset keeping only the feature
+// columns in keep (by index), in order. Used by feature-subset search.
+func (ds *Dataset) Project(keep []int) *Dataset {
+	out := make([]Sample, len(ds.Samples))
+	for i, s := range ds.Samples {
+		x := make([]float64, len(keep))
+		for j, f := range keep {
+			x[j] = s.X[f]
+		}
+		out[i] = Sample{X: x, Y: s.Y}
+	}
+	return &Dataset{Samples: out, NFeature: len(keep), NOutput: ds.NOutput}
+}
+
+// GreedyFeatureSearch performs forward selection: starting from the
+// empty set, it repeatedly adds the feature whose inclusion maximizes
+// the LOO exact-match ratio, stopping when no addition improves or
+// maxFeatures is reached. It returns the selected indices and the
+// achieved result. The paper selected features "as a result of
+// exhaustive search"; greedy forward selection is the tractable
+// equivalent over 14 features, and the two paper-reported subsets are
+// evaluated verbatim in the Table IV experiment.
+func GreedyFeatureSearch(ds *Dataset, params TreeParams, maxFeatures int, cv func(*Dataset, TreeParams) CVResult) ([]int, CVResult) {
+	if cv == nil {
+		cv = LeaveOneOut
+	}
+	if maxFeatures <= 0 || maxFeatures > ds.NFeature {
+		maxFeatures = ds.NFeature
+	}
+	selected := []int{}
+	var best CVResult
+	best.ExactMatchRatio = math.Inf(-1)
+	for len(selected) < maxFeatures {
+		bestFeat := -1
+		var bestRes CVResult
+		bestRes.ExactMatchRatio = best.ExactMatchRatio
+		for f := 0; f < ds.NFeature; f++ {
+			if contains(selected, f) {
+				continue
+			}
+			cand := append(append([]int(nil), selected...), f)
+			res := cv(ds.Project(cand), params)
+			if res.ExactMatchRatio > bestRes.ExactMatchRatio {
+				bestRes = res
+				bestFeat = f
+			}
+		}
+		if bestFeat < 0 {
+			break
+		}
+		selected = append(selected, bestFeat)
+		best = bestRes
+	}
+	return selected, best
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,284 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// xorDataset is separable only with both features and has zero Gini
+// gain for every root split: it exercises zero-gain descent (the
+// scikit-learn behaviour the tree mirrors).
+func xorDataset() *Dataset {
+	var samples []Sample
+	for i := 0; i < 40; i++ {
+		a, b := float64(i%2), float64((i/2)%2)
+		samples = append(samples, Sample{
+			X: []float64{a, b},
+			Y: []bool{a != b},
+		})
+	}
+	ds, err := NewDataset(samples)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+func TestNewDatasetValidation(t *testing.T) {
+	if _, err := NewDataset(nil); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	_, err := NewDataset([]Sample{
+		{X: []float64{1}, Y: []bool{true}},
+		{X: []float64{1, 2}, Y: []bool{true}},
+	})
+	if err == nil {
+		t.Fatal("ragged dataset accepted")
+	}
+}
+
+func TestFitLearnsXOR(t *testing.T) {
+	ds := xorDataset()
+	tree := Fit(ds, TreeParams{})
+	for _, s := range ds.Samples {
+		if got := tree.Predict(s.X); got[0] != s.Y[0] {
+			t.Fatalf("xor(%v) predicted %v, want %v", s.X, got[0], s.Y[0])
+		}
+	}
+	if tree.Depth() < 2 {
+		t.Fatalf("xor needs depth >= 2, got %d", tree.Depth())
+	}
+}
+
+func TestFitLearnsLinearThreshold(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 60; i++ {
+		x := float64(i)
+		samples = append(samples, Sample{X: []float64{x}, Y: []bool{x > 29.5}})
+	}
+	ds, _ := NewDataset(samples)
+	tree := Fit(ds, TreeParams{})
+	if tree.Leaves() != 2 {
+		t.Fatalf("single threshold should produce 2 leaves, got %d", tree.Leaves())
+	}
+	if !tree.Predict([]float64{45})[0] || tree.Predict([]float64{3})[0] {
+		t.Fatal("threshold misplaced")
+	}
+}
+
+func TestMultilabelLearning(t *testing.T) {
+	// Output 0 depends on feature 0; output 1 on feature 1; output 2
+	// is the "none" dummy: true when both are low.
+	var samples []Sample
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 120; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		samples = append(samples, Sample{
+			X: []float64{a, b},
+			Y: []bool{a > 0.5, b > 0.5, a <= 0.5 && b <= 0.5},
+		})
+	}
+	ds, _ := NewDataset(samples)
+	tree := Fit(ds, TreeParams{})
+	correct := 0
+	for _, s := range ds.Samples {
+		if exactMatch(tree.Predict(s.X), s.Y) {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(len(ds.Samples)); frac < 0.95 {
+		t.Fatalf("multilabel training accuracy %.2f, want >= 0.95", frac)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	ds := xorDataset()
+	tree := Fit(ds, TreeParams{MaxDepth: 1})
+	if tree.Depth() > 1 {
+		t.Fatalf("depth %d exceeds MaxDepth 1", tree.Depth())
+	}
+}
+
+func TestMinSamplesSplit(t *testing.T) {
+	ds := xorDataset()
+	tree := Fit(ds, TreeParams{MinSamplesSplit: 1000})
+	if tree.Leaves() != 1 {
+		t.Fatalf("tree should be a single leaf, got %d leaves", tree.Leaves())
+	}
+}
+
+func TestPredictPanicsOnWidthMismatch(t *testing.T) {
+	tree := Fit(xorDataset(), TreeParams{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch did not panic")
+		}
+	}()
+	tree.Predict([]float64{1})
+}
+
+func TestQueryDepthBounded(t *testing.T) {
+	ds := xorDataset()
+	tree := Fit(ds, TreeParams{})
+	for _, s := range ds.Samples {
+		if d := tree.QueryDepth(s.X); d > tree.Depth() {
+			t.Fatalf("query depth %d exceeds tree depth %d", d, tree.Depth())
+		}
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	ds := xorDataset()
+	tree := Fit(ds, TreeParams{})
+	imp := tree.FeatureImportance()
+	if imp[0] == 0 || imp[1] == 0 {
+		t.Fatalf("xor tree must split on both features: %v", imp)
+	}
+}
+
+func TestExactAndPartialMatch(t *testing.T) {
+	cases := []struct {
+		pred, truth    []bool
+		exact, partial bool
+	}{
+		{[]bool{true, false}, []bool{true, false}, true, true},
+		{[]bool{true, true}, []bool{true, false}, false, true},
+		{[]bool{false, true}, []bool{true, false}, false, false},
+		{[]bool{false, false}, []bool{false, false}, true, true},
+		{[]bool{true, false}, []bool{false, false}, false, false},
+		{[]bool{false, false}, []bool{true, false}, false, false},
+	}
+	for i, c := range cases {
+		if got := exactMatch(c.pred, c.truth); got != c.exact {
+			t.Errorf("case %d exact = %v, want %v", i, got, c.exact)
+		}
+		if got := partialMatch(c.pred, c.truth); got != c.partial {
+			t.Errorf("case %d partial = %v, want %v", i, got, c.partial)
+		}
+	}
+}
+
+func TestLeaveOneOutOnSeparableData(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 30; i++ {
+		x := float64(i)
+		samples = append(samples, Sample{X: []float64{x}, Y: []bool{x >= 15}})
+	}
+	ds, _ := NewDataset(samples)
+	res := LeaveOneOut(ds, TreeParams{})
+	if res.Folds != 30 {
+		t.Fatalf("folds = %d, want 30", res.Folds)
+	}
+	// The two boundary samples may flip; everything else must hold.
+	if res.ExactMatchRatio < 0.9 {
+		t.Fatalf("LOO exact match %.2f on separable data", res.ExactMatchRatio)
+	}
+	if res.PartialMatchRatio < res.ExactMatchRatio {
+		t.Fatal("partial must be >= exact")
+	}
+}
+
+func TestKFold(t *testing.T) {
+	var samples []Sample
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		x := rng.Float64()
+		samples = append(samples, Sample{X: []float64{x}, Y: []bool{x > 0.5}})
+	}
+	ds, _ := NewDataset(samples)
+	res := KFold(ds, TreeParams{}, 5)
+	if res.Folds != 5 {
+		t.Fatalf("folds = %d, want 5", res.Folds)
+	}
+	if res.ExactMatchRatio < 0.8 {
+		t.Fatalf("5-fold exact match %.2f too low", res.ExactMatchRatio)
+	}
+	// Degenerate k falls back to LOO.
+	if KFold(ds, TreeParams{}, 1).Folds != 50 {
+		t.Fatal("k=1 should degrade to LOO")
+	}
+}
+
+func TestProject(t *testing.T) {
+	ds, _ := NewDataset([]Sample{
+		{X: []float64{1, 2, 3}, Y: []bool{true}},
+		{X: []float64{4, 5, 6}, Y: []bool{false}},
+	})
+	p := ds.Project([]int{2, 0})
+	if p.NFeature != 2 {
+		t.Fatalf("projected width %d", p.NFeature)
+	}
+	if p.Samples[0].X[0] != 3 || p.Samples[0].X[1] != 1 {
+		t.Fatalf("projection wrong: %v", p.Samples[0].X)
+	}
+}
+
+func TestGreedyFeatureSearchFindsInformativeFeature(t *testing.T) {
+	// Feature 1 is informative; features 0 and 2 are noise.
+	rng := rand.New(rand.NewSource(3))
+	var samples []Sample
+	for i := 0; i < 60; i++ {
+		sig := rng.Float64()
+		samples = append(samples, Sample{
+			X: []float64{rng.Float64(), sig, rng.Float64()},
+			Y: []bool{sig > 0.5},
+		})
+	}
+	ds, _ := NewDataset(samples)
+	selected, res := GreedyFeatureSearch(ds, TreeParams{MaxDepth: 3}, 2, nil)
+	if len(selected) == 0 || selected[0] != 1 {
+		t.Fatalf("greedy search picked %v, want feature 1 first", selected)
+	}
+	if res.ExactMatchRatio < 0.85 {
+		t.Fatalf("greedy search accuracy %.2f too low", res.ExactMatchRatio)
+	}
+}
+
+// Property: training accuracy with unlimited depth on deduplicated,
+// consistently-labeled data is perfect.
+func TestTrainingAccuracyQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seen := map[int]bool{}
+		var samples []Sample
+		for len(samples) < 25 {
+			xi := rng.Intn(1000)
+			if seen[xi] {
+				continue
+			}
+			seen[xi] = true
+			x := float64(xi) / 10
+			samples = append(samples, Sample{
+				X: []float64{x},
+				Y: []bool{int(x)%2 == 0, x > 50},
+			})
+		}
+		ds, _ := NewDataset(samples)
+		tree := Fit(ds, TreeParams{MaxDepth: 64})
+		for _, s := range ds.Samples {
+			if !exactMatch(tree.Predict(s.X), s.Y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: predictions are deterministic.
+func TestPredictDeterministicQuick(t *testing.T) {
+	ds := xorDataset()
+	tree := Fit(ds, TreeParams{})
+	f := func(a, b float64) bool {
+		x := []float64{a, b}
+		p1 := tree.Predict(x)
+		p2 := tree.Predict(x)
+		return p1[0] == p2[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

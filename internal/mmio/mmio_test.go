@@ -1,0 +1,216 @@
+package mmio
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+const sample = `%%MatrixMarket matrix coordinate real general
+% a comment line
+3 4 5
+1 1 1.5
+1 4 -2
+2 2 3
+3 1 4
+3 3 0.25
+`
+
+func TestReadCoordinateGeneral(t *testing.T) {
+	m, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NRows != 3 || m.NCols != 4 || m.NNZ() != 5 {
+		t.Fatalf("got %dx%d nnz=%d, want 3x4 nnz=5", m.NRows, m.NCols, m.NNZ())
+	}
+	d := m.ToDense()
+	if d.At(0, 0) != 1.5 || d.At(0, 3) != -2 || d.At(2, 2) != 0.25 {
+		t.Fatalf("values wrong: %v", d.Data)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 2
+2 1 5
+3 3 1
+`
+	m, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 4 { // off-diagonal mirrored
+		t.Fatalf("nnz = %d, want 4", m.NNZ())
+	}
+	d := m.ToDense()
+	if d.At(0, 1) != 5 || d.At(1, 0) != 5 {
+		t.Fatal("symmetric mirror missing")
+	}
+}
+
+func TestReadSkewSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3
+`
+	m, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.ToDense()
+	if d.At(1, 0) != 3 || d.At(0, 1) != -3 {
+		t.Fatalf("skew mirror wrong: %v", d.Data)
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	m, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.ToDense()
+	if d.At(0, 1) != 1 || d.At(1, 0) != 1 {
+		t.Fatal("pattern entries should read as 1.0")
+	}
+}
+
+func TestReadArray(t *testing.T) {
+	src := `%%MatrixMarket matrix array real general
+2 2
+1
+0
+3
+4
+`
+	m, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.ToDense()
+	// Column-major: col 0 = (1, 0), col 1 = (3, 4).
+	if d.At(0, 0) != 1 || d.At(1, 0) != 0 || d.At(0, 1) != 3 || d.At(1, 1) != 4 {
+		t.Fatalf("array parse wrong: %v", d.Data)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"no banner":       "3 3 1\n1 1 1\n",
+		"bad object":      "%%MatrixMarket vector coordinate real general\n3\n",
+		"bad field":       "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"bad symmetry":    "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"truncated":       "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1\n",
+		"out of range":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"bad value":       "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n",
+		"bad size":        "%%MatrixMarket matrix coordinate real general\nxyz\n",
+		"zero dims":       "%%MatrixMarket matrix coordinate real general\n0 0 0\n",
+		"pattern array":   "%%MatrixMarket matrix array pattern general\n1 1\n1\n",
+		"short entry":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",
+		"bad array value": "%%MatrixMarket matrix array real general\n1 1\nzz\n",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	coo := matrix.NewCOO(10, 8)
+	for k := 0; k < 30; k++ {
+		coo.Add(rng.Intn(10), rng.Intn(8), rng.NormFloat64())
+	}
+	m := coo.ToCSR()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Fatal("round trip changed the matrix")
+	}
+}
+
+func TestWriteIncludesName(t *testing.T) {
+	m := matrix.NewCOO(1, 1)
+	m.Add(0, 0, 1)
+	csr := m.ToCSR()
+	csr.Name = "poisson3Db"
+	var buf bytes.Buffer
+	if err := Write(&buf, csr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "% poisson3Db") {
+		t.Fatal("matrix name not embedded as comment")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.mtx")
+	coo := matrix.NewCOO(4, 4)
+	coo.Add(0, 0, 1)
+	coo.Add(3, 2, -2.5)
+	m := coo.ToCSR()
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Fatal("file round trip changed the matrix")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile("/nonexistent/matrix.mtx"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+// Property: Write then Read is the identity on arbitrary COO-built
+// matrices (values restricted to exactly-representable fractions).
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(15), 1+rng.Intn(15)
+		coo := matrix.NewCOO(rows, cols)
+		for k := 0; k < rng.Intn(50); k++ {
+			coo.Add(rng.Intn(rows), rng.Intn(cols), float64(rng.Intn(64))/8)
+		}
+		m := coo.ToCSR()
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return m.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

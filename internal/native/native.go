@@ -1,0 +1,351 @@
+// Package native executes SpMV configurations for real on the host
+// machine: goroutine-per-thread parallel kernels with per-thread
+// timing, the warm-cache measurement methodology of Section IV-A, and
+// a STREAM-triad bandwidth probe for calibrating the host model. It
+// implements the same Executor interface as the simulator, so the
+// entire classification/optimization pipeline runs unchanged on real
+// hardware.
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/formats"
+	"github.com/sparsekit/spmvtuner/internal/kernels"
+	"github.com/sparsekit/spmvtuner/internal/machine"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/sched"
+)
+
+// Executor runs configurations natively.
+type Executor struct {
+	model machine.Model
+	// Iters is the number of kernel operations per measurement
+	// (Section IV-A uses 128; the default here is lighter so tests
+	// stay fast).
+	Iters int
+
+	mu     sync.Mutex
+	deltas map[*matrix.CSR]*formats.DeltaCSR
+	splits map[*matrix.CSR]*formats.SplitCSR
+
+	probeOnce sync.Once
+	usable    int // threads that actually speed up memory streaming
+}
+
+// New returns a native executor modeling itself as the host.
+func New() *Executor {
+	return &Executor{
+		model:  machine.Host(),
+		Iters:  3,
+		deltas: make(map[*matrix.CSR]*formats.DeltaCSR),
+		splits: make(map[*matrix.CSR]*formats.SplitCSR),
+	}
+}
+
+// Machine implements exec.Executor.
+func (e *Executor) Machine() machine.Model { return e.model }
+
+// usableThreads probes, once, whether running all advertised CPUs in
+// parallel actually improves streaming throughput. Containers and
+// shared machines often advertise cores they do not deliver
+// (cgroup throttling); blindly spawning goroutines there makes every
+// kernel slower. The probe compares a 1-thread and an all-thread
+// STREAM triad and keeps the parallel width only when it pays.
+func (e *Executor) usableThreads() int {
+	e.probeOnce.Do(func() {
+		n := e.model.Cores
+		if n <= 1 {
+			e.usable = 1
+			return
+		}
+		serial := StreamTriad(1<<21, 1, 2)
+		parallel := StreamTriad(1<<21, n, 2)
+		if parallel > serial*1.15 {
+			e.usable = n
+		} else {
+			e.usable = 1
+		}
+	})
+	return e.usable
+}
+
+// defaultThreads picks the thread count for a matrix: the usable core
+// count, capped so small matrices do not drown in fork/join overhead.
+func (e *Executor) defaultThreads(m *matrix.CSR) int {
+	nt := e.usableThreads()
+	if cap := m.NNZ()/65536 + 1; nt > cap {
+		nt = cap
+	}
+	if nt > m.NRows && m.NRows > 0 {
+		nt = m.NRows
+	}
+	if nt < 1 {
+		nt = 1
+	}
+	return nt
+}
+
+// deltaOf memoizes the DeltaCSR conversion.
+func (e *Executor) deltaOf(m *matrix.CSR) *formats.DeltaCSR {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if d, ok := e.deltas[m]; ok {
+		return d
+	}
+	d := formats.Compress(m)
+	e.deltas[m] = d
+	return d
+}
+
+// splitOf memoizes the SplitCSR conversion.
+func (e *Executor) splitOf(m *matrix.CSR) *formats.SplitCSR {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.splits[m]; ok {
+		return s
+	}
+	s := formats.SplitAuto(m)
+	e.splits[m] = s
+	return s
+}
+
+// Run implements exec.Executor: it executes the configuration with
+// goroutines, one per thread, and reports the median-of-Iters wall
+// time together with per-thread busy times (warm cache: one untimed
+// warmup pass precedes measurement).
+func (e *Executor) Run(cfg ex.Config) ex.Result {
+	m := cfg.Matrix
+	nt := cfg.Threads
+	if nt <= 0 {
+		nt = e.defaultThreads(m)
+	}
+	if nt > m.NRows && m.NRows > 0 {
+		nt = m.NRows
+	}
+
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = 1.0 + float64(i%5)*0.25
+	}
+	y := make([]float64, m.NRows)
+
+	runOnce := e.buildRunner(m, cfg.Opt, nt, x, y)
+
+	runOnce(nil) // warmup, untimed
+
+	iters := e.Iters
+	if iters < 1 {
+		iters = 1
+	}
+	best := ex.Result{Seconds: 0}
+	threadTotals := make([]float64, nt)
+	var totalOps int
+	for it := 0; it < iters; it++ {
+		perThread := make([]float64, nt)
+		start := time.Now()
+		runOnce(perThread)
+		secs := time.Since(start).Seconds()
+		totalOps++
+		for t := range perThread {
+			threadTotals[t] += perThread[t]
+		}
+		if best.Seconds == 0 || secs < best.Seconds {
+			best.Seconds = secs
+			best.ThreadSeconds = perThread
+		}
+	}
+	// Average per-thread busy times over iterations for stability.
+	avg := make([]float64, nt)
+	for t := range avg {
+		avg[t] = threadTotals[t] / float64(totalOps)
+	}
+	best.ThreadSeconds = avg
+	best.Gflops = ex.GflopsOf(m, best.Seconds)
+	best.MemBytes = float64(m.Bytes()) + float64(m.NCols+m.NRows)*8
+	return best
+}
+
+// buildRunner assembles a single-operation closure for the
+// configuration. perThread, when non-nil, receives each thread's busy
+// seconds.
+func (e *Executor) buildRunner(m *matrix.CSR, o ex.Optim, nt int, x, y []float64) func(perThread []float64) {
+	// Bound kernels and plain CSR variants share the range-kernel
+	// driver; compression and splitting switch data structures.
+	switch {
+	case o.RegularizeX:
+		return e.rangeRunner(m, kernels.RegularizedRange, o, nt, x, y)
+	case o.UnitStride:
+		return e.rangeRunner(m, kernels.UnitStrideRange, o, nt, x, y)
+	case o.Split:
+		s := e.splitOf(m)
+		inner := kernels.Variant(o.Vectorize, o.Prefetch, o.Unroll)
+		parts := sched.PartitionFor(o.Schedule, s.Base, nt)
+		partials := make([]float64, nt*s.NumLongRows())
+		return func(perThread []float64) {
+			var wg sync.WaitGroup
+			for t := 0; t < nt; t++ {
+				wg.Add(1)
+				go func(t int) {
+					defer wg.Done()
+					start := time.Now()
+					r := parts[t]
+					inner(s.Base, x, y, r.Lo, r.Hi)
+					kernels.SplitPhase2Partial(s, x, partials, t, nt)
+					if perThread != nil {
+						perThread[t] = time.Since(start).Seconds()
+					}
+				}(t)
+			}
+			wg.Wait()
+			kernels.SplitPhase2Reduce(s, partials, y, nt)
+		}
+	case o.Compress:
+		d := e.deltaOf(m)
+		offs := d.OverflowOffsets()
+		parts := sched.PartitionFor(o.Schedule, m, nt)
+		return func(perThread []float64) {
+			var wg sync.WaitGroup
+			for t := 0; t < nt; t++ {
+				wg.Add(1)
+				go func(t int) {
+					defer wg.Done()
+					start := time.Now()
+					r := parts[t]
+					kernels.DeltaRange(d, x, y, r.Lo, r.Hi, offs[r.Lo])
+					if perThread != nil {
+						perThread[t] = time.Since(start).Seconds()
+					}
+				}(t)
+			}
+			wg.Wait()
+		}
+	default:
+		return e.rangeRunner(m, kernels.Variant(o.Vectorize, o.Prefetch, o.Unroll), o, nt, x, y)
+	}
+}
+
+// rangeRunner drives a RangeKernel under the configured schedule.
+func (e *Executor) rangeRunner(m *matrix.CSR, k kernels.RangeKernel, o ex.Optim, nt int, x, y []float64) func([]float64) {
+	policy := sched.Resolve(o.Schedule, m)
+	if policy == sched.Dynamic || policy == sched.Guided {
+		chunks := sched.Chunks(policy, m.NRows, nt, 0)
+		return func(perThread []float64) {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for t := 0; t < nt; t++ {
+				wg.Add(1)
+				go func(t int) {
+					defer wg.Done()
+					start := time.Now()
+					for {
+						idx := int(next.Add(1)) - 1
+						if idx >= len(chunks) {
+							break
+						}
+						c := chunks[idx]
+						k(m, x, y, c.Lo, c.Hi)
+					}
+					if perThread != nil {
+						perThread[t] = time.Since(start).Seconds()
+					}
+				}(t)
+			}
+			wg.Wait()
+		}
+	}
+	parts := sched.PartitionFor(policy, m, nt)
+	return func(perThread []float64) {
+		var wg sync.WaitGroup
+		for t := 0; t < nt; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				start := time.Now()
+				r := parts[t]
+				k(m, x, y, r.Lo, r.Hi)
+				if perThread != nil {
+					perThread[t] = time.Since(start).Seconds()
+				}
+			}(t)
+		}
+		wg.Wait()
+	}
+}
+
+// MulVec computes y = A*x with the optimized configuration — the
+// user-facing native multiply (bound kernels are rejected).
+func (e *Executor) MulVec(m *matrix.CSR, o ex.Optim, x, y []float64) {
+	if o.IsBoundKernel() {
+		panic("native: bound kernels do not compute SpMV")
+	}
+	nt := e.defaultThreads(m)
+	run := e.buildRunner(m, o, nt, x, y)
+	run(nil)
+}
+
+// StreamTriad measures sustainable memory bandwidth with the classic
+// a[i] = b[i] + s*c[i] kernel over nt goroutines, returning GB/s. It
+// is the paper's B_max measurement (Table III's STREAM row) for the
+// host platform.
+func StreamTriad(elems int, nt int, iters int) float64 {
+	if elems < 1<<16 {
+		elems = 1 << 16
+	}
+	if nt < 1 {
+		nt = 1
+	}
+	if iters < 1 {
+		iters = 3
+	}
+	a := make([]float64, elems)
+	b := make([]float64, elems)
+	c := make([]float64, elems)
+	for i := range b {
+		b[i] = float64(i)
+		c[i] = 2
+	}
+	const s = 3.0
+	triad := func() {
+		var wg sync.WaitGroup
+		for t := 0; t < nt; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				lo, hi := t*elems/nt, (t+1)*elems/nt
+				aa, bb, cc := a[lo:hi], b[lo:hi], c[lo:hi]
+				for i := range aa {
+					aa[i] = bb[i] + s*cc[i]
+				}
+			}(t)
+		}
+		wg.Wait()
+	}
+	triad() // warmup
+	bestSecs := 0.0
+	for it := 0; it < iters; it++ {
+		start := time.Now()
+		triad()
+		secs := time.Since(start).Seconds()
+		if bestSecs == 0 || secs < bestSecs {
+			bestSecs = secs
+		}
+	}
+	bytes := float64(elems) * 8 * 3 // two reads + one write
+	return bytes / bestSecs / 1e9
+}
+
+// CalibratedHost returns the host machine model with its bandwidth
+// replaced by a measured STREAM triad figure.
+func CalibratedHost() machine.Model {
+	mdl := machine.Host()
+	gbs := StreamTriad(1<<22, mdl.Cores, 3)
+	if gbs > 0 {
+		mdl.StreamMainGBs = gbs
+		mdl.StreamLLCGBs = gbs * 2
+	}
+	return mdl
+}

@@ -1,0 +1,158 @@
+package native
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/sched"
+)
+
+// checkMulVec verifies a native configuration computes real SpMV.
+func checkMulVec(t *testing.T, m *matrix.CSR, o ex.Optim) {
+	t.Helper()
+	e := New()
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, m.NRows)
+	m.MulVec(x, want)
+	got := make([]float64, m.NRows)
+	e.MulVec(m, o, x, got)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("opt %v: y[%d] = %g, want %g", o, i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulVecAllConfigurations(t *testing.T) {
+	mats := map[string]*matrix.CSR{
+		"uniform":  gen.UniformRandom(2000, 7, 1),
+		"skewed":   gen.FewDenseRows(2000, 4, 2, 1500, 2),
+		"banded":   gen.Banded(2000, 5, 0.8, 3),
+		"powerlaw": gen.PowerLaw(2000, 6, 2.0, 800, 4),
+	}
+	opts := map[string]ex.Optim{
+		"baseline":     {},
+		"vec":          {Vectorize: true},
+		"prefetch":     {Prefetch: true},
+		"unroll":       {Unroll: true},
+		"compress":     {Compress: true},
+		"split":        {Split: true},
+		"vec+prefetch": {Vectorize: true, Prefetch: true},
+		"dynamic":      {Schedule: sched.Dynamic},
+		"guided":       {Schedule: sched.Guided},
+		"auto":         {Schedule: sched.Auto},
+		"static-rows":  {Schedule: sched.StaticRows},
+		"everything":   {Vectorize: true, Prefetch: true, Compress: true, Schedule: sched.Auto},
+		"split+vec":    {Split: true, Vectorize: true},
+	}
+	for mn, m := range mats {
+		for on, o := range opts {
+			t.Run(mn+"/"+on, func(t *testing.T) {
+				checkMulVec(t, m, o)
+			})
+		}
+	}
+}
+
+func TestRunReturnsSaneResult(t *testing.T) {
+	e := New()
+	m := gen.UniformRandom(5000, 8, 5)
+	r := e.Run(ex.Config{Matrix: m})
+	if r.Seconds <= 0 || r.Gflops <= 0 {
+		t.Fatalf("degenerate result %+v", r)
+	}
+	if len(r.ThreadSeconds) == 0 {
+		t.Fatal("no per-thread times")
+	}
+	for _, ts := range r.ThreadSeconds {
+		if ts < 0 {
+			t.Fatal("negative thread time")
+		}
+	}
+}
+
+func TestRunThreadsOverride(t *testing.T) {
+	e := New()
+	m := gen.Banded(1000, 4, 1.0, 1)
+	r := e.Run(ex.Config{Matrix: m, Threads: 2})
+	if len(r.ThreadSeconds) != 2 {
+		t.Fatalf("threads = %d, want 2", len(r.ThreadSeconds))
+	}
+}
+
+func TestRunThreadsCappedByRows(t *testing.T) {
+	e := New()
+	m := gen.Banded(3, 1, 1.0, 1)
+	r := e.Run(ex.Config{Matrix: m, Threads: 64})
+	if len(r.ThreadSeconds) > 3 {
+		t.Fatalf("threads = %d, want <= rows", len(r.ThreadSeconds))
+	}
+}
+
+func TestBoundKernelsExecute(t *testing.T) {
+	e := New()
+	m := gen.UniformRandom(3000, 6, 7)
+	for _, o := range []ex.Optim{{RegularizeX: true}, {UnitStride: true}} {
+		r := e.Run(ex.Config{Matrix: m, Opt: o})
+		if r.Seconds <= 0 {
+			t.Fatalf("bound kernel %v did not run", o)
+		}
+	}
+}
+
+func TestMulVecRejectsBoundKernels(t *testing.T) {
+	e := New()
+	m := gen.Banded(100, 2, 1.0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulVec accepted a bound kernel")
+		}
+	}()
+	e.MulVec(m, ex.Optim{RegularizeX: true}, make([]float64, 100), make([]float64, 100))
+}
+
+func TestFormatsMemoized(t *testing.T) {
+	e := New()
+	m := gen.Banded(500, 3, 1.0, 9)
+	d1, d2 := e.deltaOf(m), e.deltaOf(m)
+	if d1 != d2 {
+		t.Fatal("delta conversion not memoized")
+	}
+	s1, s2 := e.splitOf(m), e.splitOf(m)
+	if s1 != s2 {
+		t.Fatal("split conversion not memoized")
+	}
+}
+
+func TestStreamTriad(t *testing.T) {
+	gbs := StreamTriad(1<<20, 2, 2)
+	if gbs <= 0 {
+		t.Fatalf("stream triad = %g GB/s", gbs)
+	}
+	// Any machine this runs on moves more than 0.05 GB/s and less
+	// than 10 TB/s.
+	if gbs < 0.05 || gbs > 10000 {
+		t.Fatalf("stream triad implausible: %g GB/s", gbs)
+	}
+}
+
+func TestStreamTriadDefensiveArgs(t *testing.T) {
+	if gbs := StreamTriad(0, 0, 0); gbs <= 0 {
+		t.Fatal("defensive argument handling broken")
+	}
+}
+
+func TestCalibratedHost(t *testing.T) {
+	mdl := CalibratedHost()
+	if mdl.StreamMainGBs <= 0 || mdl.StreamLLCGBs < mdl.StreamMainGBs {
+		t.Fatalf("calibration wrong: %g/%g", mdl.StreamMainGBs, mdl.StreamLLCGBs)
+	}
+}

@@ -1,0 +1,418 @@
+// Package opt assembles the paper's optimization pool (Table II), the
+// class-to-optimization mapping, and the optimizer lineup evaluated in
+// Section IV: the profile-guided and feature-guided optimizers, the
+// oracle, and the two trivial optimizers of Table V. It also accounts
+// for every optimizer's preprocessing cost — the quantity Table V
+// amortizes against solver iterations.
+package opt
+
+import (
+	"github.com/sparsekit/spmvtuner/internal/bounds"
+	"github.com/sparsekit/spmvtuner/internal/classify"
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/features"
+	"github.com/sparsekit/spmvtuner/internal/machine"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/ml"
+	"github.com/sparsekit/spmvtuner/internal/sched"
+)
+
+// Member is one of the five single optimizations of the pool; Table V
+// calls them "5 in our case", Table II maps them to classes.
+type Member int
+
+const (
+	// CompressVec: column-index delta compression + vectorization (MB).
+	CompressVec Member = iota
+	// Prefetch: software prefetching on x (ML).
+	Prefetch
+	// SplitRows: matrix decomposition for long rows (IMB, uneven rows).
+	SplitRows
+	// AutoSched: the OpenMP auto scheduling policy (IMB, uneven work).
+	AutoSched
+	// UnrollVec: inner-loop unrolling + vectorization (CMP).
+	UnrollVec
+	// NumMembers counts the pool.
+	NumMembers
+)
+
+// String names the member like the paper's prose.
+func (m Member) String() string {
+	switch m {
+	case CompressVec:
+		return "compression+vectorization"
+	case Prefetch:
+		return "software-prefetching"
+	case SplitRows:
+		return "matrix-decomposition"
+	case AutoSched:
+		return "auto-scheduling"
+	case UnrollVec:
+		return "unrolling+vectorization"
+	default:
+		return "unknown"
+	}
+}
+
+// Apply folds the member's knobs into an Optim.
+func (m Member) Apply(o ex.Optim) ex.Optim {
+	switch m {
+	case CompressVec:
+		o.Compress = true
+		o.Vectorize = true
+	case Prefetch:
+		o.Prefetch = true
+	case SplitRows:
+		o.Split = true
+	case AutoSched:
+		o.Schedule = sched.Auto
+	case UnrollVec:
+		o.Unroll = true
+		o.Vectorize = true
+	}
+	return o
+}
+
+// AllMembers lists the pool.
+func AllMembers() []Member {
+	return []Member{CompressVec, Prefetch, SplitRows, AutoSched, UnrollVec}
+}
+
+// longRowFactor is the nnz_max / nnz_avg ratio above which the IMB
+// class selects matrix decomposition rather than auto scheduling
+// (Section III-E compares exactly these two features).
+const longRowFactor = 16
+
+// MembersFor maps a class set to pool members per Table II. The IMB
+// subcategory decision uses the structural features, as the paper
+// describes: highly uneven row lengths (nnz_max >> nnz_avg) pick the
+// decomposition; computational unevenness (large bw_sd) picks auto
+// scheduling.
+func MembersFor(set classify.Set, fs features.Set) []Member {
+	var ms []Member
+	if set.Has(classify.MB) {
+		ms = append(ms, CompressVec)
+	}
+	if set.Has(classify.ML) {
+		ms = append(ms, Prefetch)
+	}
+	if set.Has(classify.IMB) {
+		if fs.NNZMax > longRowFactor*fs.NNZAvg && fs.NNZMax > 256 {
+			ms = append(ms, SplitRows)
+		} else {
+			ms = append(ms, AutoSched)
+		}
+	}
+	if set.Has(classify.CMP) {
+		ms = append(ms, UnrollVec)
+	}
+	return ms
+}
+
+// OptimFor composes the joint optimization for a class set (Section
+// III-E: multiple detected bottlenecks apply their optimizations
+// jointly).
+func OptimFor(set classify.Set, fs features.Set) ex.Optim {
+	var o ex.Optim
+	for _, m := range MembersFor(set, fs) {
+		o = m.Apply(o)
+	}
+	return o
+}
+
+// Plan is an optimizer's decision for one matrix: the configuration to
+// run and the preprocessing cost of reaching that decision (including
+// format conversions of the selected optimizations and runtime code
+// generation).
+type Plan struct {
+	Optimizer string
+	Classes   classify.Set
+	// HasClasses distinguishes "classified as empty" from optimizers
+	// that never classify (oracle, trivial).
+	HasClasses bool
+	Opt        ex.Optim
+	// PreprocessSeconds is t_pre of Section IV-D.
+	PreprocessSeconds float64
+}
+
+// Optimizer is anything that can plan an optimized SpMV for a matrix
+// on a platform.
+type Optimizer interface {
+	Name() string
+	Plan(e ex.Executor, m *matrix.CSR) Plan
+}
+
+// CostParams models the preprocessing-time constants of Section IV-D.
+type CostParams struct {
+	// ProfileIters is the number of iterations each profiling
+	// micro-benchmark runs (baseline, P_ML kernel, P_CMP kernel).
+	ProfileIters int
+	// MeasureIters is the timing loop the trivial optimizers run per
+	// candidate ("We run 64 SpMV iterations to get valid timing
+	// measurements", Section IV-D).
+	MeasureIters int
+	// JITSeconds is the fixed runtime code-generation cost.
+	JITSeconds float64
+	// InspectorPasses is the number of matrix sweeps the MKL-style
+	// inspector performs.
+	InspectorPasses int
+}
+
+// DefaultCostParams returns the calibrated constants.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		ProfileIters:    16,
+		MeasureIters:    64,
+		JITSeconds:      2e-3,
+		InspectorPasses: 3,
+	}
+}
+
+// sweepSeconds is the time of one streaming pass over the matrix at
+// the platform's main-memory bandwidth: the unit of conversion and
+// feature-extraction costs.
+func sweepSeconds(m *matrix.CSR, mdl machine.Model) float64 {
+	return float64(m.Bytes()) / (mdl.StreamMainGBs * 1e9)
+}
+
+// rowSweepSeconds is one pass over per-row metadata only (O(N)
+// feature extraction).
+func rowSweepSeconds(m *matrix.CSR, mdl machine.Model) float64 {
+	return float64(m.NRows) * 24 / (mdl.StreamMainGBs * 1e9)
+}
+
+// ConversionSeconds is the format-conversion cost of the selected
+// optimizations: delta compression and the long-row decomposition each
+// rewrite the matrix (two passes: analyze + emit); the other members
+// only select kernels.
+func ConversionSeconds(m *matrix.CSR, mdl machine.Model, o ex.Optim) float64 {
+	var s float64
+	if o.Compress {
+		s += 2 * sweepSeconds(m, mdl)
+	}
+	if o.Split {
+		s += 2 * sweepSeconds(m, mdl)
+	}
+	return s
+}
+
+// FeatureExtractionSeconds prices extracting the named features: one
+// row sweep if any O(N) feature is requested, plus one full matrix
+// sweep if any O(NNZ) feature is (Table I complexities).
+func FeatureExtractionSeconds(m *matrix.CSR, mdl machine.Model, names []features.Name) float64 {
+	needRow, needNNZ := false, false
+	for _, n := range names {
+		switch n {
+		case features.FSize, features.FDensity:
+			// O(1)
+		case features.FClusteringAvg, features.FMissesAvg:
+			needNNZ = true
+		default:
+			needRow = true
+		}
+	}
+	var s float64
+	if needRow || needNNZ {
+		s += rowSweepSeconds(m, mdl)
+	}
+	if needNNZ {
+		s += sweepSeconds(m, mdl)
+	}
+	return s
+}
+
+// Baseline is the null optimizer: plain CSR with the default static
+// nnz-balanced schedule (Section IV-A).
+type Baseline struct{}
+
+// Name implements Optimizer.
+func (Baseline) Name() string { return "baseline" }
+
+// Plan implements Optimizer.
+func (Baseline) Plan(ex.Executor, *matrix.CSR) Plan {
+	return Plan{Optimizer: "baseline"}
+}
+
+// ProfileGuided runs the micro-benchmark bounds, classifies with the
+// Fig 4 rules, and applies the matching optimizations.
+type ProfileGuided struct {
+	Th     classify.Thresholds
+	Costs  CostParams
+	FeatPr features.Params
+}
+
+// NewProfileGuided returns the optimizer with the paper's tuned
+// thresholds and default cost constants.
+func NewProfileGuided(fp features.Params) *ProfileGuided {
+	return &ProfileGuided{Th: classify.DefaultThresholds(), Costs: DefaultCostParams(), FeatPr: fp}
+}
+
+// Name implements Optimizer.
+func (*ProfileGuided) Name() string { return "profile-guided" }
+
+// Plan implements Optimizer.
+func (p *ProfileGuided) Plan(e ex.Executor, m *matrix.CSR) Plan {
+	b := bounds.Measure(e, m)
+	set := classify.ProfileGuided{Th: p.Th}.Classify(b)
+	fs := features.Extract(m, p.FeatPr)
+	o := OptimFor(set, fs)
+
+	// t_pre: the profiling micro-benchmarks (three timed kernels), the
+	// O(N) features consulted for the IMB subcategory, conversion of
+	// whatever was selected, and runtime code generation.
+	mdl := e.Machine()
+	perIter := b.Baseline.Seconds
+	if b.PML > 0 {
+		perIter += m.Flops() / b.PML / 1e9
+	}
+	if b.PCMP > 0 {
+		perIter += m.Flops() / b.PCMP / 1e9
+	}
+	pre := float64(p.Costs.ProfileIters)*perIter +
+		rowSweepSeconds(m, mdl) +
+		ConversionSeconds(m, mdl, o) +
+		p.Costs.JITSeconds
+	return Plan{Optimizer: p.Name(), Classes: set, HasClasses: true, Opt: o, PreprocessSeconds: pre}
+}
+
+// FeatureGuided applies a pre-trained decision tree to cheaply
+// extracted structural features (Section III-D). Training happens
+// offline; Plan only pays feature extraction, the O(log n) tree query,
+// conversions and code generation.
+type FeatureGuided struct {
+	Tree   *ml.Tree
+	Names  []features.Name
+	Costs  CostParams
+	FeatPr features.Params
+}
+
+// NewFeatureGuided wraps a trained tree over the given feature subset.
+func NewFeatureGuided(tree *ml.Tree, names []features.Name, fp features.Params) *FeatureGuided {
+	return &FeatureGuided{Tree: tree, Names: names, Costs: DefaultCostParams(), FeatPr: fp}
+}
+
+// Name implements Optimizer.
+func (*FeatureGuided) Name() string { return "feature-guided" }
+
+// Plan implements Optimizer.
+func (f *FeatureGuided) Plan(e ex.Executor, m *matrix.CSR) Plan {
+	fs := features.Extract(m, f.FeatPr)
+	set := classify.SetFromLabels(f.Tree.Predict(fs.Vector(f.Names)))
+	o := OptimFor(set, fs)
+	mdl := e.Machine()
+	pre := FeatureExtractionSeconds(m, mdl, f.Names) +
+		ConversionSeconds(m, mdl, o) +
+		f.Costs.JITSeconds
+	return Plan{Optimizer: f.Name(), Classes: set, HasClasses: true, Opt: o, PreprocessSeconds: pre}
+}
+
+// candidateOptims returns the single-member candidates and, when pairs
+// is set, the 2-combinations — the trivial-combined optimizer's 15
+// configurations (5 singles + 10 pairs, Section IV-D). With triples,
+// the 3-combinations join too: the classifiers can apply three
+// optimizations jointly, so the oracle must consider them to dominate.
+func candidateOptims(pairs, triples bool) []ex.Optim {
+	members := AllMembers()
+	var out []ex.Optim
+	for _, m := range members {
+		out = append(out, m.Apply(ex.Optim{}))
+	}
+	if pairs {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				out = append(out, members[j].Apply(members[i].Apply(ex.Optim{})))
+			}
+		}
+	}
+	if triples {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				for k := j + 1; k < len(members); k++ {
+					out = append(out,
+						members[k].Apply(members[j].Apply(members[i].Apply(ex.Optim{}))))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sweep measures all candidates and returns the best configuration
+// (by modeled/measured time) plus the total preprocessing cost of
+// trying everything.
+func sweep(e ex.Executor, m *matrix.CSR, c CostParams, pairs, triples bool) (best ex.Optim, bestSecs, pre float64) {
+	mdl := e.Machine()
+	baseSecs := e.Run(ex.Config{Matrix: m}).Seconds
+	best, bestSecs = ex.Optim{}, baseSecs
+	for _, o := range candidateOptims(pairs, triples) {
+		r := e.Run(ex.Config{Matrix: m, Opt: o})
+		pre += ConversionSeconds(m, mdl, o) +
+			float64(c.MeasureIters)*r.Seconds +
+			c.JITSeconds
+		if r.Seconds < bestSecs {
+			best, bestSecs = o, r.Seconds
+		}
+	}
+	return best, bestSecs, pre
+}
+
+// Oracle is the perfect optimizer of Fig 7: it always selects the best
+// available configuration, including the 3-way joint applications the
+// classifiers can produce. Its preprocessing cost equals the full
+// sweep (it cannot know the winner without trying).
+type Oracle struct {
+	Costs CostParams
+}
+
+// NewOracle returns the oracle with default cost constants.
+func NewOracle() *Oracle { return &Oracle{Costs: DefaultCostParams()} }
+
+// Name implements Optimizer.
+func (*Oracle) Name() string { return "oracle" }
+
+// Plan implements Optimizer.
+func (o *Oracle) Plan(e ex.Executor, m *matrix.CSR) Plan {
+	best, _, pre := sweep(e, m, o.Costs, true, true)
+	return Plan{Optimizer: o.Name(), Opt: best, PreprocessSeconds: pre}
+}
+
+// TrivialSingle tries every single optimization and keeps the best
+// (Table V's "trivial-single").
+type TrivialSingle struct {
+	Costs CostParams
+}
+
+// NewTrivialSingle returns the optimizer with default cost constants.
+func NewTrivialSingle() *TrivialSingle { return &TrivialSingle{Costs: DefaultCostParams()} }
+
+// Name implements Optimizer.
+func (*TrivialSingle) Name() string { return "trivial-single" }
+
+// Plan implements Optimizer.
+func (t *TrivialSingle) Plan(e ex.Executor, m *matrix.CSR) Plan {
+	best, _, pre := sweep(e, m, t.Costs, false, false)
+	return Plan{Optimizer: t.Name(), Opt: best, PreprocessSeconds: pre}
+}
+
+// TrivialCombined additionally tries all 2-combinations (Table V's
+// "trivial-combined": 15 configurations).
+type TrivialCombined struct {
+	Costs CostParams
+}
+
+// NewTrivialCombined returns the optimizer with default cost constants.
+func NewTrivialCombined() *TrivialCombined { return &TrivialCombined{Costs: DefaultCostParams()} }
+
+// Name implements Optimizer.
+func (*TrivialCombined) Name() string { return "trivial-combined" }
+
+// Plan implements Optimizer.
+func (t *TrivialCombined) Plan(e ex.Executor, m *matrix.CSR) Plan {
+	best, _, pre := sweep(e, m, t.Costs, true, false)
+	return Plan{Optimizer: t.Name(), Opt: best, PreprocessSeconds: pre}
+}
+
+// Evaluate runs a plan and returns its result.
+func Evaluate(e ex.Executor, m *matrix.CSR, p Plan) ex.Result {
+	return e.Run(ex.Config{Matrix: m, Opt: p.Opt})
+}

@@ -1,0 +1,105 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.Add("a", "1")
+	tb.Add("longer-name", "2")
+	s := tb.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "====") {
+		t.Fatalf("missing title/underline:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Header and data rows share the column start of the second field.
+	header := lines[2]
+	row := lines[4]
+	if strings.Index(header, "value") != strings.Index(row, "1") {
+		t.Fatalf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.Add("only-one")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("row not padded: %v", tb.Rows[0])
+	}
+}
+
+func TestNotes(t *testing.T) {
+	tb := New("T", "x")
+	tb.Add("1")
+	tb.AddNote("avg %.1f", 2.5)
+	if !strings.Contains(tb.String(), "avg 2.5") {
+		t.Fatal("note missing")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("T", "name", "note")
+	tb.Add("plain", "x")
+	tb.Add("with,comma", `has "quotes"`)
+	csv := tb.CSV()
+	want := "name,note\nplain,x\n\"with,comma\",\"has \"\"quotes\"\"\"\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); got != "#####....." {
+		t.Fatalf("Bar = %q", got)
+	}
+	if got := Bar(20, 10, 10); got != "##########" {
+		t.Fatalf("overflow Bar = %q", got)
+	}
+	if got := Bar(3, 0, 4); got != "...." {
+		t.Fatalf("zero-max Bar = %q", got)
+	}
+	if got := Bar(-1, 10, 4); got != "...." {
+		t.Fatalf("negative Bar = %q", got)
+	}
+	if got := Bar(1, 1, 0); len(got) != 1 {
+		t.Fatalf("width floor broken: %q", got)
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		12345:   "12345",
+		123.45:  "123.5",
+		12.345:  "12.35",
+		0.01234: "0.0123",
+	}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Errorf("F(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestFx(t *testing.T) {
+	if Fx(2.719) != "2.72x" {
+		t.Fatalf("Fx = %q", Fx(2.719))
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		5e-9:    "5ns",
+		2.5e-6:  "2.5us",
+		3.25e-3: "3.25ms",
+		1.5:     "1.50s",
+	}
+	for v, want := range cases {
+		if got := Seconds(v); got != want {
+			t.Errorf("Seconds(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

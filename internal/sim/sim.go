@@ -1,0 +1,562 @@
+// Package sim implements the modeled executor: an analytic,
+// roofline-with-latency cost model that evaluates SpMV configurations
+// against the platform models of Table III. It is the substitution for
+// the paper's KNC/KNL/Broadwell testbed (DESIGN.md, S1).
+//
+// The model computes, for every thread, the three resource times the
+// paper's bound-and-bottleneck analysis reasons about:
+//
+//	compute   — cycles for flops, index handling and loop overhead,
+//	            divided by SIMD throughput when vectorized;
+//	bandwidth — bytes moved (matrix streams, y, and x cache-miss
+//	            lines) over the thread's share of core bandwidth;
+//	latency   — exposed miss latency of the irregular x accesses,
+//	            limited by the core's memory-level parallelism, which
+//	            software prefetching raises.
+//
+// A thread's time is the max of the three; the run's time is the
+// slowest thread (imbalance!) floored by chip-level bandwidth
+// saturation. Every mechanism the paper's four bottleneck classes (MB,
+// ML, IMB, CMP) rely on emerges from these terms.
+package sim
+
+import (
+	"sync"
+
+	"github.com/sparsekit/spmvtuner/internal/cache"
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/machine"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/sched"
+)
+
+// Costs collects the microarchitecture-independent model constants.
+// They are exported so ablation benches can perturb them.
+type Costs struct {
+	// IndexCycles is the per-element column-index handling cost of the
+	// scalar CSR loop; UnitStrideIndexCycles replaces it in the P_CMP
+	// bound kernel, which has no indirect indexing.
+	IndexCycles           float64
+	UnitStrideIndexCycles float64
+	// DeltaDecodeCycles is the per-element decompression overhead of
+	// DeltaCSR.
+	DeltaDecodeCycles float64
+	// PrefetchIssueCycles is the per-element cost of the inserted
+	// prefetch instruction — the reason blind prefetching *hurts*
+	// regular matrices (Fig 1).
+	PrefetchIssueCycles float64
+	// Unroll improvements: fraction of scalar per-element cycles kept,
+	// and fraction of per-row loop overhead kept.
+	UnrollScalarFactor      float64
+	UnrollRowOverheadFactor float64
+	// VecOpOverheadFactor scales a vector operation's cost relative to
+	// one scalar element (issue, masking); gathers add the machine's
+	// GatherCyclesPerElem on top.
+	VecOpOverheadFactor float64
+	// UnitStrideStallFactor scales the machine's scalar stall cycles
+	// in the P_CMP bound kernel, which has no indirect load chains.
+	UnitStrideStallFactor float64
+	// Y-vector bytes per row: scalar stores read-for-ownership (8 read
+	// + 8 write); vectorized kernels use streaming stores.
+	YBytesScalarPerRow float64
+	YBytesVectorPerRow float64
+	// RowPtrBytesPerRow is the row-pointer traffic.
+	RowPtrBytesPerRow float64
+	// SyncNsPerLongRow is the per-long-row reduction cost of the Fig 6
+	// two-phase kernel.
+	SyncNsPerLongRow float64
+	// ChunkAtomicNs is the dequeue cost of one dynamic-schedule chunk.
+	ChunkAtomicNs float64
+	// LLCLatencyFraction scales miss latency when the working set is
+	// cache resident; LLCPerCoreBWBoost scales the per-core bandwidth
+	// cap in the same regime.
+	LLCLatencyFraction float64
+	LLCPerCoreBWBoost  float64
+	// XCacheFraction is the share of a thread's cache capacity the
+	// model assumes holds x-vector lines.
+	XCacheFraction float64
+	// DeltaBytesPerElem is the amortized column-index bytes per
+	// element under DeltaCSR (CSR uses 4). The default assumes the
+	// automatic width choice; the delta-width ablation overrides it
+	// with measured ratios.
+	DeltaBytesPerElem float64
+}
+
+// DefaultCosts returns the calibrated model constants.
+func DefaultCosts() Costs {
+	return Costs{
+		IndexCycles:             1.0,
+		UnitStrideIndexCycles:   0.25,
+		DeltaDecodeCycles:       0.3,
+		PrefetchIssueCycles:     0.8,
+		UnrollScalarFactor:      0.85,
+		UnrollRowOverheadFactor: 0.5,
+		VecOpOverheadFactor:     1.2,
+		UnitStrideStallFactor:   0.6,
+		YBytesScalarPerRow:      16,
+		YBytesVectorPerRow:      8,
+		RowPtrBytesPerRow:       8,
+		SyncNsPerLongRow:        200,
+		ChunkAtomicNs:           80,
+		LLCLatencyFraction:      1.0 / 6,
+		LLCPerCoreBWBoost:       1.5,
+		XCacheFraction:          0.5,
+		DeltaBytesPerElem:       1.5,
+	}
+}
+
+// Executor is the modeled platform. It memoizes per-matrix profiles
+// (x-miss estimates, vector-op counts, split statistics), so repeated
+// Run calls over the same matrix — the optimizer's normal pattern —
+// cost O(N) rather than O(NNZ).
+type Executor struct {
+	model machine.Model
+	costs Costs
+
+	mu       sync.Mutex
+	profiles map[*matrix.CSR]*profile
+}
+
+// New returns a modeled executor for the platform.
+func New(m machine.Model) *Executor {
+	return &Executor{model: m, costs: DefaultCosts(), profiles: make(map[*matrix.CSR]*profile)}
+}
+
+// NewWithCosts returns an executor with perturbed model constants
+// (ablation support).
+func NewWithCosts(m machine.Model, c Costs) *Executor {
+	return &Executor{model: m, costs: c, profiles: make(map[*matrix.CSR]*profile)}
+}
+
+// Machine returns the platform model.
+func (e *Executor) Machine() machine.Model { return e.model }
+
+// Costs returns the active model constants.
+func (e *Executor) Costs() Costs { return e.costs }
+
+// profile caches the matrix-dependent inputs of the cost model.
+type profile struct {
+	// Prefix sums over rows (length N+1): x misses and vector ops.
+	pMiss []int64
+	pVec  []int64
+	// uniqueXLines is the compulsory x traffic in lines.
+	uniqueXLines int64
+	// maxRowNNZ bounds the residual imbalance of dynamic schedules.
+	maxRowNNZ int64
+
+	// Split decomposition statistics at the default threshold.
+	splitThreshold int
+	nLong          int
+	longNNZ        int64
+	longMiss       int64
+	longVec        int64
+	// Base-part prefix sums (long rows contribute zero).
+	pNNZBase  []int64
+	pMissBase []int64
+	pVecBase  []int64
+}
+
+// xCacheLines returns the modeled per-thread x-cache capacity in lines.
+func (e *Executor) xCacheLines() int {
+	m := e.model
+	perCore := float64(m.L1DBytes) + float64(m.L2Bytes)/float64(m.Cores)
+	if m.L3Bytes > 0 {
+		perCore += float64(m.L3Bytes) / float64(m.Cores)
+	}
+	perThread := perCore / float64(m.ThreadsPerCore) * e.costs.XCacheFraction
+	lines := int(perThread) / m.CacheLineBytes
+	if lines < 4 {
+		lines = 4
+	}
+	return lines
+}
+
+// Forget drops the memoized profile of m so suite-scale sweeps can
+// release finished matrices to the garbage collector.
+func (e *Executor) Forget(m *matrix.CSR) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.profiles, m)
+}
+
+// profileOf computes or returns the memoized profile of m.
+func (e *Executor) profileOf(m *matrix.CSR) *profile {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.profiles[m]; ok {
+		return p
+	}
+	p := e.buildProfile(m)
+	e.profiles[m] = p
+	return p
+}
+
+func (e *Executor) buildProfile(m *matrix.CSR) *profile {
+	lanes := int64(e.model.SIMDLanes)
+	miss := cache.EstimateXMisses(m, e.model.LineElems(), e.xCacheLines())
+	n := m.NRows
+	p := &profile{
+		pMiss:        make([]int64, n+1),
+		pVec:         make([]int64, n+1),
+		uniqueXLines: miss.UniqueLines,
+	}
+	for i := 0; i < n; i++ {
+		nnz := m.RowPtr[i+1] - m.RowPtr[i]
+		if nnz > p.maxRowNNZ {
+			p.maxRowNNZ = nnz
+		}
+		p.pMiss[i+1] = p.pMiss[i] + int64(miss.PerRow[i])
+		p.pVec[i+1] = p.pVec[i] + (nnz+lanes-1)/lanes
+	}
+	// Split statistics at the default threshold (matching
+	// formats.DefaultSplitThreshold: 16x the average row length with a
+	// floor of 256).
+	avg := float64(m.NNZ()) / float64(maxInt(1, n))
+	th := int64(16 * avg)
+	if th < 256 {
+		th = 256
+	}
+	p.splitThreshold = int(th)
+	p.pNNZBase = make([]int64, n+1)
+	p.pMissBase = make([]int64, n+1)
+	p.pVecBase = make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		nnz := m.RowPtr[i+1] - m.RowPtr[i]
+		rowMiss := int64(miss.PerRow[i])
+		rowVec := (nnz + lanes - 1) / lanes
+		if nnz > th {
+			p.nLong++
+			p.longNNZ += nnz
+			p.longMiss += rowMiss
+			p.longVec += rowVec
+			nnz, rowMiss, rowVec = 0, 0, 0
+		}
+		p.pNNZBase[i+1] = p.pNNZBase[i] + nnz
+		p.pMissBase[i+1] = p.pMissBase[i] + rowMiss
+		p.pVecBase[i+1] = p.pVecBase[i] + rowVec
+	}
+	return p
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// threadLoad is the per-thread resource consumption of one SpMV.
+type threadLoad struct {
+	rows int64
+	nnz  int64
+	miss int64
+	vec  int64
+}
+
+// Run evaluates the configuration against the cost model.
+func (e *Executor) Run(cfg ex.Config) ex.Result {
+	m := cfg.Matrix
+	mdl := e.model
+	costs := e.costs
+	nt := cfg.Threads
+	if nt <= 0 {
+		nt = mdl.Threads()
+	}
+	p := e.profileOf(m)
+	o := cfg.Opt
+
+	// Threads per core actually running.
+	k := (nt + mdl.Cores - 1) / mdl.Cores
+	if k < 1 {
+		k = 1
+	}
+
+	// Working-set residency decides the bandwidth/latency regime (the
+	// paper's footnote 2 and the CMP discussion of Section III-C).
+	ws := m.Bytes() + int64(m.NCols+m.NRows)*8
+	fits := ws <= mdl.LLCBytes()
+	bmax := mdl.PeakBandwidth(ws)
+	missLatNs := mdl.MissLatencyNs
+	perCoreBW := mdl.PerCoreGBs * 1e9
+	if fits {
+		missLatNs *= costs.LLCLatencyFraction
+		perCoreBW *= costs.LLCPerCoreBWBoost
+	}
+
+	// Assemble per-thread loads.
+	policy := sched.Resolve(o.Schedule, m)
+	loads, dynamicChunks := e.assignLoads(m, p, o, policy, nt)
+
+	// Per-element and per-row cost constants for this configuration.
+	//
+	// Scalar path: flops + index handling + the machine's pipeline
+	// stalls on streaming loads (dominant on KNC's in-order cores).
+	// The P_CMP bound kernel (UnitStride) drops the indirect load
+	// chain, shrinking both index cost and stalls.
+	scalarCyc := 2/mdl.ScalarFlopsPerCycle + costs.IndexCycles + mdl.ScalarStallCycles
+	if o.UnitStride {
+		scalarCyc = 2/mdl.ScalarFlopsPerCycle + costs.UnitStrideIndexCycles +
+			mdl.ScalarStallCycles*costs.UnitStrideStallFactor
+	}
+	if o.Compress {
+		scalarCyc += costs.DeltaDecodeCycles
+	}
+	if o.Prefetch {
+		scalarCyc += costs.PrefetchIssueCycles
+	}
+	rowOv := mdl.RowOverheadCycles
+	if o.Unroll {
+		// Unrolling overlaps independent iterations: it trims both the
+		// per-element cycles (ILP across accumulators) and the loop
+		// bookkeeping.
+		scalarCyc *= costs.UnrollScalarFactor
+		rowOv *= costs.UnrollRowOverheadFactor
+	}
+	// Vector path: one vector op per ceil(nnz_i/lanes); stalls are
+	// amortized by SIMD but gathers of x cost per element, and every
+	// row pays mask/remainder setup — the short-row penalty.
+	vecCyc := (2/mdl.ScalarFlopsPerCycle+costs.IndexCycles)*costs.VecOpOverheadFactor +
+		mdl.GatherCyclesPerElem*float64(mdl.SIMDLanes)
+	if o.UnitStride {
+		// Unit-stride vector loads need no gather.
+		vecCyc = (2/mdl.ScalarFlopsPerCycle + costs.UnitStrideIndexCycles) * costs.VecOpOverheadFactor
+	}
+	if o.Compress {
+		vecCyc += costs.DeltaDecodeCycles * float64(mdl.SIMDLanes) * 0.5
+	}
+	if o.Prefetch {
+		vecCyc += costs.PrefetchIssueCycles
+	}
+	vecRowOv := rowOv + mdl.VecRowSetupCycles
+
+	// Matrix stream bytes per element and per row.
+	valBytes := 8.0
+	idxBytes := 4.0
+	rowBytes := costs.RowPtrBytesPerRow
+	if o.Compress {
+		// DeltaCSR: 1- or 2-byte deltas + 4-byte first column per row;
+		// DeltaBytesPerElem carries the amortized escape overhead.
+		idxBytes = costs.DeltaBytesPerElem
+		rowBytes += 4
+	}
+	if o.UnitStride {
+		idxBytes = 0 // the P_CMP kernel loads no column indices
+	}
+	yBytes := costs.YBytesScalarPerRow
+	if o.Vectorize {
+		yBytes = costs.YBytesVectorPerRow
+	}
+
+	lineBytes := float64(mdl.CacheLineBytes)
+	cps := mdl.CyclesPerSecond()
+	mlp := mdl.MLP
+	if o.Prefetch {
+		mlp = mdl.PrefetchMLP
+	}
+	regular := o.RegularizeX || o.UnitStride
+
+	threadSecs := make([]float64, nt)
+	var totalBytes float64
+	var crit ex.Breakdown
+	var worst float64
+	for t := range loads {
+		ld := loads[t]
+		// Compute term.
+		var compCyc float64
+		if o.Vectorize {
+			compCyc = float64(ld.vec)*vecCyc + float64(ld.rows)*vecRowOv
+		} else {
+			compCyc = float64(ld.nnz)*scalarCyc + float64(ld.rows)*rowOv
+		}
+		tComp := compCyc * float64(k) / cps
+
+		// Bandwidth term.
+		var xBytes float64
+		if regular {
+			// x[i] streaming: one line per lineElems rows.
+			xBytes = float64(ld.rows) * 8
+		} else {
+			xBytes = float64(ld.miss) * lineBytes
+		}
+		bytes := float64(ld.nnz)*(valBytes+idxBytes) +
+			float64(ld.rows)*(rowBytes+yBytes) + xBytes
+		tBW := bytes / (perCoreBW / float64(k))
+
+		// Latency term: only irregular x misses expose latency;
+		// streams are covered by hardware prefetch.
+		var tLat float64
+		if regular {
+			seqMiss := float64(ld.rows) / float64(mdl.LineElems())
+			tLat = seqMiss * (1 - mdl.HWPrefetchEff) * missLatNs * 1e-9 * float64(k) / mlp
+		} else {
+			tLat = float64(ld.miss) * missLatNs * 1e-9 * float64(k) / mlp
+		}
+
+		tt := maxf3(tComp, tBW, tLat)
+		// Dynamic scheduling pays a dequeue per chunk.
+		if dynamicChunks > 0 {
+			tt += float64(dynamicChunks) / float64(nt) * costs.ChunkAtomicNs * 1e-9
+		}
+		// The split kernel's step 2 reduction synchronizes per long row.
+		if o.Split && p.nLong > 0 {
+			tt += float64(p.nLong) * costs.SyncNsPerLongRow * 1e-9
+		}
+		threadSecs[t] = tt
+		totalBytes += bytes
+		if tt > worst {
+			worst = tt
+			crit = ex.Breakdown{ComputeSeconds: tComp, BandwidthSeconds: tBW, LatencySeconds: tLat}
+		}
+	}
+
+	// Chip-level bandwidth saturation floor. Under saturation every
+	// thread stretches with the contention, so per-thread times scale
+	// proportionally — otherwise the P_IMB bound (median thread time)
+	// would report phantom imbalance on perfectly balanced matrices.
+	globalBW := totalBytes / bmax
+	crit.GlobalBWSeconds = globalBW
+	secs := worst
+	if globalBW > secs && secs > 0 {
+		scale := globalBW / secs
+		for i := range threadSecs {
+			threadSecs[i] *= scale
+		}
+		secs = globalBW
+	}
+
+	return ex.Result{
+		Seconds:       secs,
+		ThreadSeconds: threadSecs,
+		Gflops:        ex.GflopsOf(m, secs),
+		MemBytes:      totalBytes,
+		Breakdown:     crit,
+	}
+}
+
+func maxf3(a, b, c float64) float64 {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+// assignLoads distributes the matrix across threads under the given
+// policy and optimizations, returning per-thread loads and — for
+// chunked schedules — the number of chunks served (0 for static).
+func (e *Executor) assignLoads(m *matrix.CSR, p *profile, o ex.Optim, policy sched.Policy, nt int) ([]threadLoad, int) {
+	loads := make([]threadLoad, nt)
+
+	// Select the prefix arrays: split configurations work on the base
+	// part and spread the long part evenly afterwards.
+	pNNZ := m.RowPtr
+	pMiss, pVec := p.pMiss, p.pVec
+	if o.Split {
+		pNNZ, pMiss, pVec = p.pNNZBase, p.pMissBase, p.pVecBase
+	}
+	n := m.NRows
+	total := threadLoad{
+		rows: int64(n),
+		nnz:  pNNZ[n],
+		miss: pMiss[n],
+		vec:  pVec[n],
+	}
+
+	chunks := 0
+	switch policy {
+	case sched.Dynamic, sched.Guided:
+		// Dynamic schedules equalize everything up to the residual of
+		// the largest indivisible unit (a single row): model as an
+		// even share plus the residual on one thread.
+		chunkRows := sched.DefaultChunk(n, nt)
+		chunks = (n + chunkRows - 1) / chunkRows
+		if policy == sched.Guided {
+			chunks = chunks/2 + nt // geometric chunks: far fewer dequeues
+		}
+		for t := range loads {
+			loads[t] = threadLoad{
+				rows: total.rows / int64(nt),
+				nnz:  total.nnz / int64(nt),
+				miss: total.miss / int64(nt),
+				vec:  total.vec / int64(nt),
+			}
+		}
+		// Residual imbalance: the largest row (minus its fair share)
+		// lands on thread 0. Split configurations removed long rows
+		// from the base, so their residual uses the threshold.
+		maxRow := p.maxRowNNZ
+		if o.Split && maxRow > int64(p.splitThreshold) {
+			maxRow = int64(p.splitThreshold)
+		}
+		residual := maxRow - total.nnz/int64(nt)
+		if residual > 0 {
+			loads[0].nnz += residual
+			loads[0].vec += residual / int64(e.model.SIMDLanes)
+		}
+	case sched.StaticRows:
+		for t, r := range sched.PartitionRows(n, nt) {
+			loads[t] = threadLoad{
+				rows: int64(r.Hi - r.Lo),
+				nnz:  pNNZ[r.Hi] - pNNZ[r.Lo],
+				miss: pMiss[r.Hi] - pMiss[r.Lo],
+				vec:  pVec[r.Hi] - pVec[r.Lo],
+			}
+		}
+	default: // StaticNNZ (the baseline) and resolved Auto.
+		for t, r := range partitionByPrefix(pNNZ, n, nt) {
+			loads[t] = threadLoad{
+				rows: int64(r.Hi - r.Lo),
+				nnz:  pNNZ[r.Hi] - pNNZ[r.Lo],
+				miss: pMiss[r.Hi] - pMiss[r.Lo],
+				vec:  pVec[r.Hi] - pVec[r.Lo],
+			}
+		}
+	}
+
+	// Phase 2 of the split kernel: long rows spread over all threads.
+	if o.Split && p.longNNZ > 0 {
+		share := p.longNNZ / int64(nt)
+		missShare := p.longMiss / int64(nt)
+		vecShare := p.longVec / int64(nt)
+		for t := range loads {
+			loads[t].nnz += share
+			loads[t].miss += missShare
+			loads[t].vec += vecShare
+		}
+	}
+	return loads, chunks
+}
+
+// partitionByPrefix splits rows into nt contiguous ranges with
+// approximately equal prefix-weight (nnz), mirroring
+// sched.PartitionNNZ but over an arbitrary prefix array (the split
+// config's base part has its own).
+func partitionByPrefix(prefix []int64, n, nt int) []sched.Range {
+	ps := make([]sched.Range, nt)
+	totalW := prefix[n]
+	row := 0
+	for t := 0; t < nt; t++ {
+		target := totalW * int64(t+1) / int64(nt)
+		hi := row
+		for hi < n && prefix[hi+1] <= target {
+			hi++
+		}
+		if hi == row && row < n && prefix[row] < target {
+			hi = row + 1
+		}
+		if t == nt-1 {
+			hi = n
+		}
+		ps[t] = sched.Range{Lo: row, Hi: hi}
+		row = hi
+	}
+	return ps
+}
+
+// UniqueXLines exposes the compulsory x-line count of m under this
+// platform's line size (used by the bounds package for M_xy,min).
+func (e *Executor) UniqueXLines(m *matrix.CSR) int64 {
+	return e.profileOf(m).uniqueXLines
+}

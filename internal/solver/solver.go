@@ -1,0 +1,266 @@
+// Package solver implements the iterative methods that motivate the
+// paper's overhead analysis (Section IV-D): the Conjugate Gradient
+// method and restarted GMRES, optionally Jacobi-preconditioned, built
+// on a pluggable SpMV so the tuner's optimized kernels drop in. It
+// also provides the amortization arithmetic of Table V: the minimum
+// number of solver iterations for an optimizer's preprocessing cost to
+// pay for itself.
+package solver
+
+import (
+	"errors"
+	"math"
+
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// MulVec is the SpMV hook: y = A*x.
+type MulVec func(x, y []float64)
+
+// Options controls an iterative solve.
+type Options struct {
+	// Tol is the relative residual tolerance (default 1e-8).
+	Tol float64
+	// MaxIters bounds the iteration count (default 10*n).
+	MaxIters int
+	// Precond, when non-nil, applies z = M^{-1} r.
+	Precond func(r, z []float64)
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 10 * n
+	}
+	return o
+}
+
+// Result reports a solve.
+type Result struct {
+	X         []float64
+	Iters     int
+	Residual  float64 // final relative residual ||b-Ax|| / ||b||
+	Converged bool
+}
+
+// ErrBreakdown reports a numerical breakdown (zero denominators) in
+// the Krylov recurrences.
+var ErrBreakdown = errors.New("solver: numerical breakdown")
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm2(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+// axpy computes y += alpha*x.
+func axpy(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// CG solves A x = b for symmetric positive definite A using the
+// (optionally preconditioned) Conjugate Gradient method.
+func CG(mul MulVec, b []float64, opts Options) (Result, error) {
+	n := len(b)
+	o := opts.withDefaults(n)
+	x := make([]float64, n)
+	r := make([]float64, n)
+	copy(r, b) // x0 = 0 => r0 = b
+	z := make([]float64, n)
+	applyPre := func(r, z []float64) {
+		if o.Precond != nil {
+			o.Precond(r, z)
+		} else {
+			copy(z, r)
+		}
+	}
+	applyPre(r, z)
+	p := make([]float64, n)
+	copy(p, z)
+	ap := make([]float64, n)
+
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		return Result{X: x, Converged: true}, nil
+	}
+	rz := dot(r, z)
+	for k := 0; k < o.MaxIters; k++ {
+		mul(p, ap)
+		pap := dot(p, ap)
+		if pap == 0 {
+			return Result{X: x, Iters: k, Residual: norm2(r) / bnorm}, ErrBreakdown
+		}
+		alpha := rz / pap
+		axpy(alpha, p, x)
+		axpy(-alpha, ap, r)
+		res := norm2(r) / bnorm
+		if res < o.Tol {
+			return Result{X: x, Iters: k + 1, Residual: res, Converged: true}, nil
+		}
+		applyPre(r, z)
+		rzNew := dot(r, z)
+		if rz == 0 {
+			return Result{X: x, Iters: k + 1, Residual: res}, ErrBreakdown
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return Result{X: x, Iters: o.MaxIters, Residual: norm2(r) / bnorm}, nil
+}
+
+// GMRES solves A x = b using restarted GMRES(restart) with modified
+// Gram-Schmidt orthogonalization.
+func GMRES(mul MulVec, b []float64, restart int, opts Options) (Result, error) {
+	n := len(b)
+	o := opts.withDefaults(n)
+	if restart <= 0 {
+		restart = 30
+	}
+	if restart > n {
+		restart = n
+	}
+	x := make([]float64, n)
+	r := make([]float64, n)
+	tmp := make([]float64, n)
+
+	bnorm := norm2(b)
+	if bnorm == 0 {
+		return Result{X: x, Converged: true}, nil
+	}
+
+	// Krylov basis and Hessenberg storage.
+	V := make([][]float64, restart+1)
+	for i := range V {
+		V[i] = make([]float64, n)
+	}
+	H := make([][]float64, restart+1)
+	for i := range H {
+		H[i] = make([]float64, restart)
+	}
+	cs := make([]float64, restart)
+	sn := make([]float64, restart)
+	g := make([]float64, restart+1)
+
+	totalIters := 0
+	for totalIters < o.MaxIters {
+		// r = b - A x
+		mul(x, tmp)
+		for i := range r {
+			r[i] = b[i] - tmp[i]
+		}
+		beta := norm2(r)
+		if beta/bnorm < o.Tol {
+			return Result{X: x, Iters: totalIters, Residual: beta / bnorm, Converged: true}, nil
+		}
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+		for i := range r {
+			V[0][i] = r[i] / beta
+		}
+
+		k := 0
+		for ; k < restart && totalIters < o.MaxIters; k++ {
+			totalIters++
+			// w = A v_k, orthogonalized against the basis.
+			mul(V[k], tmp)
+			w := tmp
+			for j := 0; j <= k; j++ {
+				H[j][k] = dot(w, V[j])
+				axpy(-H[j][k], V[j], w)
+			}
+			H[k+1][k] = norm2(w)
+			if H[k+1][k] != 0 {
+				for i := range w {
+					V[k+1][i] = w[i] / H[k+1][k]
+				}
+			}
+			// Apply accumulated Givens rotations to the new column.
+			for j := 0; j < k; j++ {
+				h0 := cs[j]*H[j][k] + sn[j]*H[j+1][k]
+				H[j+1][k] = -sn[j]*H[j][k] + cs[j]*H[j+1][k]
+				H[j][k] = h0
+			}
+			// New rotation annihilating H[k+1][k].
+			denom := math.Hypot(H[k][k], H[k+1][k])
+			if denom == 0 {
+				return Result{X: x, Iters: totalIters, Residual: math.Abs(g[k]) / bnorm}, ErrBreakdown
+			}
+			cs[k] = H[k][k] / denom
+			sn[k] = H[k+1][k] / denom
+			H[k][k] = denom
+			H[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+			if math.Abs(g[k+1])/bnorm < o.Tol {
+				k++
+				break
+			}
+		}
+		// Back-substitute y from H y = g and update x += V y.
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= H[i][j] * y[j]
+			}
+			y[i] = s / H[i][i]
+		}
+		for j := 0; j < k; j++ {
+			axpy(y[j], V[j], x)
+		}
+	}
+	mul(x, tmp)
+	for i := range r {
+		r[i] = b[i] - tmp[i]
+	}
+	res := norm2(r) / bnorm
+	return Result{X: x, Iters: totalIters, Residual: res, Converged: res < o.Tol}, nil
+}
+
+// Jacobi builds the diagonal preconditioner z = D^{-1} r for m. Zero
+// diagonal entries pass through unpreconditioned.
+func Jacobi(m *matrix.CSR) func(r, z []float64) {
+	inv := make([]float64, m.NRows)
+	for i := 0; i < m.NRows; i++ {
+		inv[i] = 1
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			if int(m.ColInd[j]) == i && m.Val[j] != 0 {
+				inv[i] = 1 / m.Val[j]
+				break
+			}
+		}
+	}
+	return func(r, z []float64) {
+		for i := range r {
+			z[i] = r[i] * inv[i]
+		}
+	}
+}
+
+// AmortizationIters computes the Table V quantity
+//
+//	N_iters,min = t_pre / (t_mkl - t_opt)
+//
+// the minimum number of solver iterations before an optimizer with
+// preprocessing cost tPre and per-SpMV time tOpt beats the reference
+// kernel with per-SpMV time tRef. It returns +Inf when the optimizer
+// is not faster than the reference (it never amortizes).
+func AmortizationIters(tPre, tRef, tOpt float64) float64 {
+	if tOpt >= tRef {
+		return math.Inf(1)
+	}
+	return tPre / (tRef - tOpt)
+}

@@ -1,0 +1,224 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// spdMatrix builds a symmetric positive definite matrix: the 2D
+// Poisson Laplacian.
+func spdMatrix(g int) *matrix.CSR { return gen.Poisson2D(g, g) }
+
+func residual(m *matrix.CSR, x, b []float64) float64 {
+	ax := make([]float64, m.NRows)
+	m.MulVec(x, ax)
+	var num, den float64
+	for i := range b {
+		d := b[i] - ax[i]
+		num += d * d
+		den += b[i] * b[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}
+
+func rhs(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return b
+}
+
+func TestCGSolvesPoisson(t *testing.T) {
+	m := spdMatrix(20)
+	b := rhs(m.NRows, 1)
+	res, err := CG(m.MulVec, b, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("CG did not converge in %d iters (res %g)", res.Iters, res.Residual)
+	}
+	if r := residual(m, res.X, b); r > 1e-8 {
+		t.Fatalf("true residual %g too large", r)
+	}
+}
+
+func TestCGWithJacobiConvergesAtLeastAsFast(t *testing.T) {
+	m := spdMatrix(24)
+	// Scale rows/cols to worsen conditioning so Jacobi has something
+	// to fix: D*A*D with D log-uniform.
+	n := m.NRows
+	d := make([]float64, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range d {
+		d[i] = math.Exp(rng.Float64()*4 - 2)
+	}
+	coo := matrix.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			coo.Add(i, int(m.ColInd[j]), d[i]*m.Val[j]*d[m.ColInd[j]])
+		}
+	}
+	scaled := coo.ToCSR()
+	b := rhs(n, 4)
+
+	plain, err1 := CG(scaled.MulVec, b, Options{Tol: 1e-8, MaxIters: 5000})
+	pre, err2 := CG(scaled.MulVec, b, Options{Tol: 1e-8, MaxIters: 5000, Precond: Jacobi(scaled)})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errors: %v %v", err1, err2)
+	}
+	if !pre.Converged {
+		t.Fatal("preconditioned CG did not converge")
+	}
+	if pre.Iters > plain.Iters {
+		t.Fatalf("Jacobi CG took %d iters, plain %d", pre.Iters, plain.Iters)
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	m := spdMatrix(5)
+	res, err := CG(m.MulVec, make([]float64, m.NRows), Options{})
+	if err != nil || !res.Converged || res.Iters != 0 {
+		t.Fatalf("zero rhs: %+v, %v", res, err)
+	}
+}
+
+func TestCGIterationCap(t *testing.T) {
+	m := spdMatrix(30)
+	b := rhs(m.NRows, 5)
+	res, err := CG(m.MulVec, b, Options{Tol: 1e-14, MaxIters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Iters != 3 {
+		t.Fatalf("cap ignored: %+v", res)
+	}
+}
+
+func TestGMRESSolvesNonsymmetric(t *testing.T) {
+	// Diagonally dominant nonsymmetric matrix.
+	n := 300
+	rng := rand.New(rand.NewSource(7))
+	coo := matrix.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 10+rng.Float64())
+		for k := 0; k < 4; k++ {
+			j := rng.Intn(n)
+			if j != i {
+				coo.Add(i, j, rng.NormFloat64()*0.5)
+			}
+		}
+	}
+	m := coo.ToCSR()
+	b := rhs(n, 8)
+	res, err := GMRES(m.MulVec, b, 30, Options{Tol: 1e-9, MaxIters: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("GMRES did not converge: %d iters, res %g", res.Iters, res.Residual)
+	}
+	if r := residual(m, res.X, b); r > 1e-7 {
+		t.Fatalf("true residual %g", r)
+	}
+}
+
+func TestGMRESRestartStillConverges(t *testing.T) {
+	m := spdMatrix(12)
+	b := rhs(m.NRows, 9)
+	res, err := GMRES(m.MulVec, b, 5, Options{Tol: 1e-8, MaxIters: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("restarted GMRES failed: %+v", res)
+	}
+	if r := residual(m, res.X, b); r > 1e-6 {
+		t.Fatalf("true residual %g", r)
+	}
+}
+
+func TestGMRESZeroRHS(t *testing.T) {
+	m := spdMatrix(4)
+	res, err := GMRES(m.MulVec, make([]float64, m.NRows), 10, Options{})
+	if err != nil || !res.Converged {
+		t.Fatalf("zero rhs: %+v, %v", res, err)
+	}
+}
+
+func TestJacobiHandlesZeroAndMissingDiagonal(t *testing.T) {
+	coo := matrix.NewCOO(3, 3)
+	coo.Add(0, 0, 4)
+	coo.Add(1, 2, 1) // no diagonal on row 1
+	coo.Add(2, 2, 0) // explicit zero diagonal
+	m := coo.ToCSR()
+	pre := Jacobi(m)
+	r := []float64{8, 3, 5}
+	z := make([]float64, 3)
+	pre(r, z)
+	if z[0] != 2 || z[1] != 3 || z[2] != 5 {
+		t.Fatalf("jacobi z = %v", z)
+	}
+}
+
+func TestAmortizationIters(t *testing.T) {
+	// 10 ms preprocessing, 1 ms -> 0.5 ms per SpMV: 20 iterations.
+	if got := AmortizationIters(10e-3, 1e-3, 0.5e-3); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("amortization = %g, want 20", got)
+	}
+	if !math.IsInf(AmortizationIters(1, 1e-3, 1e-3), 1) {
+		t.Fatal("equal times must never amortize")
+	}
+	if !math.IsInf(AmortizationIters(1, 1e-3, 2e-3), 1) {
+		t.Fatal("slower optimizer must never amortize")
+	}
+}
+
+// Property: CG converges on the SPD Poisson system for random right
+// hand sides and the solution satisfies the system.
+func TestCGConvergesQuick(t *testing.T) {
+	m := spdMatrix(12)
+	f := func(seed int64) bool {
+		b := rhs(m.NRows, seed)
+		res, err := CG(m.MulVec, b, Options{Tol: 1e-8, MaxIters: 4000})
+		if err != nil || !res.Converged {
+			return false
+		}
+		return residual(m, res.X, b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CG and GMRES agree on SPD systems.
+func TestCGAndGMRESAgreeQuick(t *testing.T) {
+	m := spdMatrix(8)
+	f := func(seed int64) bool {
+		b := rhs(m.NRows, seed)
+		cg, err1 := CG(m.MulVec, b, Options{Tol: 1e-10, MaxIters: 4000})
+		gm, err2 := GMRES(m.MulVec, b, 20, Options{Tol: 1e-10, MaxIters: 4000})
+		if err1 != nil || err2 != nil || !cg.Converged || !gm.Converged {
+			return false
+		}
+		for i := range cg.X {
+			if math.Abs(cg.X[i]-gm.X[i]) > 1e-5*(1+math.Abs(cg.X[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %g, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %g, want 0", got)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 2, 4}); !almostEq(got, 3/(1+0.5+0.25)) {
+		t.Fatalf("HarmonicMean = %g", got)
+	}
+	if got := HarmonicMean([]float64{2, 0, 1}); got != 0 {
+		t.Fatalf("HarmonicMean with zero = %g, want 0", got)
+	}
+	if got := HarmonicMean(nil); got != 0 {
+		t.Fatalf("HarmonicMean(nil) = %g, want 0", got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if got := GeometricMean([]float64{1, 4}); !almostEq(got, 2) {
+		t.Fatalf("GeometricMean = %g, want 2", got)
+	}
+	if got := GeometricMean([]float64{-1, 4}); got != 0 {
+		t.Fatalf("GeometricMean with negative = %g, want 0", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("odd Median = %g, want 3", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even Median = %g, want 2.5", got)
+	}
+	xs := []float64{9, 1, 5}
+	Median(xs)
+	if xs[0] != 9 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Fatalf("constant StdDev = %g, want 0", got)
+	}
+	if got := StdDev([]float64{1, 3}); !almostEq(got, 1) {
+		t.Fatalf("StdDev = %g, want 1 (population)", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+	if MinInt([]int{4, 2, 9}) != 2 || MaxInt([]int{4, 2, 9}) != 9 {
+		t.Fatal("MinInt/MaxInt wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Fatalf("p0 = %g", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Fatalf("p100 = %g", got)
+	}
+	if got := Percentile(xs, 50); got != 25 {
+		t.Fatalf("p50 = %g, want 25 (interpolated)", got)
+	}
+}
+
+func TestSums(t *testing.T) {
+	if Sum([]float64{1.5, 2.5}) != 4 {
+		t.Fatal("Sum wrong")
+	}
+	if SumInts([]int{1 << 30, 1 << 30, 1 << 30}) != 3<<30 {
+		t.Fatal("SumInts overflowed")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || s.Mean != 2 || s.Median != 2 {
+		t.Fatalf("Summary = %+v", s)
+	}
+}
+
+func TestRateMethodology(t *testing.T) {
+	m := RateMethodology{Runs: 3, Ops: 128}
+	// Three identical runs of 1 second covering 128 ops at 2 flops each:
+	// rate = 2*128/1... per-op time = 1/128 s, rate = 2 / (1/128) = 256.
+	rate := m.Summarize([]float64{1, 1, 1}, 2)
+	if !almostEq(rate, 256) {
+		t.Fatalf("rate = %g, want 256", rate)
+	}
+	// Harmonic mean punishes a slow outlier more than arithmetic would.
+	mixed := m.Summarize([]float64{1, 1, 2}, 2)
+	if mixed >= rate {
+		t.Fatalf("mixed rate %g should be below uniform rate %g", mixed, rate)
+	}
+	if got := m.Summarize(nil, 2); got != 0 {
+		t.Fatalf("empty runs rate = %g, want 0", got)
+	}
+}
+
+// Properties of the means: harmonic <= geometric <= arithmetic on
+// positive inputs.
+func TestMeanInequalityQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, 1+math.Abs(x)) // strictly positive, bounded away from 0
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		h, g, a := HarmonicMean(xs), GeometricMean(xs), Mean(xs)
+		const eps = 1e-9
+		return h <= g*(1+eps) && g <= a*(1+eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneQuick(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		lo := math.Mod(math.Abs(p1), 100)
+		hi := math.Mod(math.Abs(p2), 100)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		a, b := Percentile(xs, lo), Percentile(xs, hi)
+		return a <= b && a >= Min(xs) && b <= Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

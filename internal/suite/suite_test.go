@@ -1,0 +1,138 @@
+package suite
+
+import (
+	"testing"
+
+	"github.com/sparsekit/spmvtuner/internal/sched"
+)
+
+func TestEvaluationCount(t *testing.T) {
+	rs := Evaluation()
+	if len(rs) != 32 {
+		t.Fatalf("evaluation suite has %d matrices, want 32 (Fig 7 order)", len(rs))
+	}
+	// Endpoints match the paper's axis.
+	if rs[0].Name != "small-dense" || rs[len(rs)-1].Name != "large-dense" {
+		t.Fatalf("suite order wrong: %s .. %s", rs[0].Name, rs[len(rs)-1].Name)
+	}
+}
+
+func TestEvaluationRecipesBuildAndValidate(t *testing.T) {
+	for _, r := range Evaluation() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			m := r.Build(0.05)
+			if err := m.Validate(); err != nil {
+				t.Fatalf("invalid: %v", err)
+			}
+			if m.Name != r.Name {
+				t.Fatalf("name %q, want %q", m.Name, r.Name)
+			}
+			if m.NNZ() == 0 {
+				t.Fatal("empty matrix")
+			}
+			if r.PaperN <= 0 || r.PaperNNZ <= 0 {
+				t.Fatal("missing paper dimensions")
+			}
+			if r.Regime == "" {
+				t.Fatal("missing regime note")
+			}
+		})
+	}
+}
+
+func TestRecipesAreDeterministic(t *testing.T) {
+	for _, name := range []string{"poisson3Db", "flickr", "ASIC_680k"} {
+		a, b := ByName(name, 0.05), ByName(name, 0.05)
+		if a == nil || !a.Equal(b) {
+			t.Fatalf("%s not deterministic", name)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if ByName("nonexistent", 1) != nil {
+		t.Fatal("unknown name should return nil")
+	}
+}
+
+func TestNamesMatchRecipes(t *testing.T) {
+	names := Names()
+	rs := Evaluation()
+	if len(names) != len(rs) {
+		t.Fatal("Names length mismatch")
+	}
+	for i := range rs {
+		if names[i] != rs[i].Name {
+			t.Fatalf("names[%d] = %q, want %q", i, names[i], rs[i].Name)
+		}
+	}
+}
+
+func TestSuiteCoversStructuralRegimes(t *testing.T) {
+	// The suite must include at least one matrix per key regime so the
+	// classifier experiments see all classes: very uneven rows,
+	// near-uniform rows, short rows, and dense.
+	ms := LoadEvaluation(0.05)
+	var hasSkew, hasUniform, hasShort, hasDense bool
+	for _, m := range ms {
+		u := sched.Unevenness(m)
+		avg := float64(m.NNZ()) / float64(m.NRows)
+		switch {
+		case u > 5:
+			hasSkew = true
+		case u < 0.3 && avg > 20:
+			hasUniform = true
+		}
+		if avg < 4 {
+			hasShort = true
+		}
+		if avg >= float64(m.NRows) {
+			hasDense = true
+		}
+	}
+	if !hasSkew || !hasUniform || !hasShort || !hasDense {
+		t.Fatalf("regime coverage: skew=%v uniform=%v short=%v dense=%v",
+			hasSkew, hasUniform, hasShort, hasDense)
+	}
+}
+
+func TestTrainingCorpus(t *testing.T) {
+	corpus := TrainingCorpus(30, 0.05)
+	if len(corpus) != 30 {
+		t.Fatalf("corpus size %d, want 30", len(corpus))
+	}
+	for i, m := range corpus {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("corpus[%d]: %v", i, err)
+		}
+		if m.NNZ() == 0 {
+			t.Fatalf("corpus[%d] empty", i)
+		}
+	}
+}
+
+func TestTrainingCorpusDefaultSize(t *testing.T) {
+	corpus := TrainingCorpus(0, 0.02)
+	if len(corpus) != 210 {
+		t.Fatalf("default corpus size %d, want 210 (Section III-D2)", len(corpus))
+	}
+}
+
+func TestTrainingCorpusDeterministic(t *testing.T) {
+	a := TrainingCorpus(12, 0.05)
+	b := TrainingCorpus(12, 0.05)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("corpus[%d] not deterministic", i)
+		}
+	}
+}
+
+func TestScaleChangesSize(t *testing.T) {
+	small := ByName("flickr", 0.05)
+	big := ByName("flickr", 0.1)
+	if big.NRows <= small.NRows {
+		t.Fatalf("scale did not grow matrix: %d vs %d", small.NRows, big.NRows)
+	}
+}

@@ -1,0 +1,231 @@
+// Package spmvtuner is a matrix- and architecture-adaptive optimizer
+// for sparse matrix-vector multiplication (SpMV), reproducing Elafrou,
+// Goumas and Koziris, "Performance Analysis and Optimization of Sparse
+// Matrix-Vector Multiplication on Modern Multi- and Many-Core
+// Processors" (ICPP 2017).
+//
+// The tuner detects the performance bottlenecks of a sparse matrix on
+// a target platform — memory bandwidth (MB), memory latency (ML),
+// thread imbalance (IMB), computation (CMP) — and applies only the
+// optimizations that address them: column-index delta compression,
+// software prefetching, long-row decomposition, adaptive scheduling,
+// unrolling and vectorization.
+//
+// Quick start:
+//
+//	m, _ := spmvtuner.Load("matrix.mtx")
+//	tuned := spmvtuner.NewTuner().Tune(m)
+//	y := make([]float64, m.Rows())
+//	tuned.MulVec(x, y) // optimized SpMV on the host
+//
+// Platform models for the paper's machines (Intel Xeon Phi KNC/KNL and
+// Broadwell) support what-if analysis without the hardware:
+//
+//	t := spmvtuner.NewTuner(spmvtuner.OnPlatform("knl"))
+//	a := t.Analyze(m) // bounds, classes, chosen optimizations
+package spmvtuner
+
+import (
+	"fmt"
+
+	"github.com/sparsekit/spmvtuner/internal/classify"
+	"github.com/sparsekit/spmvtuner/internal/core"
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/machine"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/mmio"
+	"github.com/sparsekit/spmvtuner/internal/native"
+	"github.com/sparsekit/spmvtuner/internal/sim"
+	"github.com/sparsekit/spmvtuner/internal/suite"
+)
+
+// Matrix is an immutable sparse matrix in CSR form.
+type Matrix struct {
+	csr *matrix.CSR
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.csr.NRows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.csr.NCols }
+
+// NNZ returns the stored-element count.
+func (m *Matrix) NNZ() int { return m.csr.NNZ() }
+
+// Name returns the matrix name (suite name or file stem), possibly
+// empty.
+func (m *Matrix) Name() string { return m.csr.Name }
+
+// MulVec computes y = A*x with the plain sequential reference kernel.
+// For tuned parallel execution use Tuner.Tune and Tuned.MulVec.
+func (m *Matrix) MulVec(x, y []float64) { m.csr.MulVec(x, y) }
+
+// Load reads a Matrix Market (.mtx) file.
+func Load(path string) (*Matrix, error) {
+	csr, err := mmio.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{csr: csr}, nil
+}
+
+// Save writes the matrix in Matrix Market format.
+func Save(path string, m *Matrix) error { return mmio.WriteFile(path, m.csr) }
+
+// Builder accumulates entries for a new matrix.
+type Builder struct {
+	coo *matrix.COO
+}
+
+// NewBuilder starts a rows x cols matrix.
+func NewBuilder(rows, cols int) *Builder {
+	return &Builder{coo: matrix.NewCOO(rows, cols)}
+}
+
+// Add inserts one entry; duplicates sum.
+func (b *Builder) Add(row, col int, val float64) *Builder {
+	b.coo.Add(row, col, val)
+	return b
+}
+
+// Build finalizes the matrix.
+func (b *Builder) Build() *Matrix { return &Matrix{csr: b.coo.ToCSR()} }
+
+// SuiteMatrix generates one of the paper's 32 evaluation matrices by
+// name (synthetic stand-ins for the SuiteSparse originals) at the
+// given scale (1.0 = reproduction size).
+func SuiteMatrix(name string, scale float64) (*Matrix, error) {
+	csr := suite.ByName(name, scale)
+	if csr == nil {
+		return nil, fmt.Errorf("spmvtuner: unknown suite matrix %q", name)
+	}
+	return &Matrix{csr: csr}, nil
+}
+
+// SuiteNames lists the evaluation-suite matrix names in paper order.
+func SuiteNames() []string { return suite.Names() }
+
+// Tuner plans optimized SpMV executions.
+type Tuner struct {
+	pipeline *core.Pipeline
+	nat      *native.Executor
+	platform machine.Model
+	modeled  bool
+}
+
+// Option configures a Tuner.
+type Option func(*Tuner) error
+
+// OnPlatform analyzes against a modeled platform: "knc", "knl", "bdw"
+// or "host". Tuned kernels still execute natively; only the analysis
+// uses the model.
+func OnPlatform(code string) Option {
+	return func(t *Tuner) error {
+		mdl, err := machine.ByCodename(code)
+		if err != nil {
+			return err
+		}
+		t.platform = mdl
+		t.modeled = true
+		return nil
+	}
+}
+
+// WithThresholds overrides the profile-guided classifier
+// hyperparameters (defaults: the paper's T_ML=1.25, T_IMB=1.24).
+func WithThresholds(tml, timb float64) Option {
+	return func(t *Tuner) error {
+		if tml <= 0 || timb <= 0 {
+			return fmt.Errorf("spmvtuner: thresholds must be positive")
+		}
+		th := classify.DefaultThresholds()
+		th.TML, th.TIMB = tml, timb
+		t.pipeline.Thresholds = th
+		return nil
+	}
+}
+
+// NewTuner builds a tuner. Without options it analyzes on a host
+// model and executes natively.
+func NewTuner(opts ...Option) *Tuner {
+	t := &Tuner{
+		nat:      native.New(),
+		platform: machine.Host(),
+	}
+	t.pipeline = core.New(t.nat)
+	for _, o := range opts {
+		if err := o(t); err != nil {
+			panic(err) // options with invalid static arguments are programming errors
+		}
+	}
+	if t.modeled {
+		t.pipeline.Exec = sim.New(t.platform)
+	}
+	return t
+}
+
+// Analysis reports a matrix's diagnosis on the tuner's platform.
+type Analysis struct {
+	// Classes are the detected bottlenecks, e.g. "{ML,IMB}".
+	Classes string
+	// Optimizations describes the selected configuration, e.g.
+	// "prefetch+split@static-nnz".
+	Optimizations string
+	// BaselineGflops and OptimizedGflops compare before/after on the
+	// analysis platform.
+	BaselineGflops  float64
+	OptimizedGflops float64
+	// PreprocessSeconds is the modeled cost of deciding + converting.
+	PreprocessSeconds float64
+}
+
+// Analyze diagnoses the matrix without committing to execution.
+func (t *Tuner) Analyze(m *Matrix) Analysis {
+	a := t.pipeline.Analyze(m.csr)
+	return Analysis{
+		Classes:           a.Classes.String(),
+		Optimizations:     a.Plan.Opt.String(),
+		BaselineGflops:    a.Bounds.PCSR,
+		OptimizedGflops:   a.Optimized.Gflops,
+		PreprocessSeconds: a.Plan.PreprocessSeconds,
+	}
+}
+
+// Tuned is a matrix bound to its selected optimizations, ready for
+// repeated native multiplication.
+type Tuned struct {
+	m    *Matrix
+	opt  ex.Optim
+	nat  *native.Executor
+	info Analysis
+}
+
+// Tune analyzes the matrix and prepares an optimized native kernel.
+func (t *Tuner) Tune(m *Matrix) *Tuned {
+	plan := t.pipeline.PlanOnly(m.csr)
+	info := Analysis{
+		Classes:           plan.Classes.String(),
+		Optimizations:     plan.Opt.String(),
+		PreprocessSeconds: plan.PreprocessSeconds,
+	}
+	return &Tuned{m: m, opt: plan.Opt, nat: t.nat, info: info}
+}
+
+// MulVec computes y = A*x with the tuned parallel kernel.
+func (k *Tuned) MulVec(x, y []float64) {
+	if len(x) != k.m.Cols() || len(y) != k.m.Rows() {
+		panic(fmt.Sprintf("spmvtuner: MulVec dimension mismatch: x=%d y=%d for %dx%d",
+			len(x), len(y), k.m.Rows(), k.m.Cols()))
+	}
+	k.nat.MulVec(k.m.csr, k.opt, x, y)
+}
+
+// Info returns the tuning decision.
+func (k *Tuned) Info() Analysis { return k.info }
+
+// Classes returns the detected bottleneck classes, e.g. "{ML,IMB}".
+func (k *Tuned) Classes() string { return k.info.Classes }
+
+// Optimizations returns the selected configuration string.
+func (k *Tuned) Optimizations() string { return k.info.Optimizations }

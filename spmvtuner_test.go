@@ -1,0 +1,156 @@
+package spmvtuner
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func buildRandom(rows, cols, per int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(rows, cols)
+	for i := 0; i < rows; i++ {
+		for k := 0; k < per; k++ {
+			b.Add(i, rng.Intn(cols), rng.NormFloat64())
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderAndAccessors(t *testing.T) {
+	m := NewBuilder(3, 4).Add(0, 0, 1).Add(2, 3, -2).Add(0, 0, 1).Build()
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("dims %dx%d", m.Rows(), m.Cols())
+	}
+	if m.NNZ() != 2 { // duplicate summed
+		t.Fatalf("nnz = %d, want 2", m.NNZ())
+	}
+}
+
+func TestReferenceMulVec(t *testing.T) {
+	m := NewBuilder(2, 2).Add(0, 0, 2).Add(1, 1, 3).Build()
+	x := []float64{1, 10}
+	y := make([]float64, 2)
+	m.MulVec(x, y)
+	if y[0] != 2 || y[1] != 30 {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := buildRandom(50, 40, 3, 1)
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	if err := Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows() != m.Rows() || back.NNZ() != m.NNZ() {
+		t.Fatal("round trip changed the matrix")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/does/not/exist.mtx"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSuiteMatrix(t *testing.T) {
+	m, err := SuiteMatrix("poisson3Db", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "poisson3Db" || m.NNZ() == 0 {
+		t.Fatalf("suite matrix broken: %s nnz=%d", m.Name(), m.NNZ())
+	}
+	if _, err := SuiteMatrix("bogus", 1); err == nil {
+		t.Fatal("unknown suite name accepted")
+	}
+	if len(SuiteNames()) != 32 {
+		t.Fatalf("suite names = %d, want 32", len(SuiteNames()))
+	}
+}
+
+func TestTunedMulVecCorrect(t *testing.T) {
+	m := buildRandom(3000, 3000, 6, 2)
+	tuned := NewTuner().Tune(m)
+	x := make([]float64, m.Cols())
+	for i := range x {
+		x[i] = float64(i%13) - 6
+	}
+	want := make([]float64, m.Rows())
+	m.MulVec(x, want)
+	got := make([]float64, m.Rows())
+	tuned.MulVec(x, got)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("y[%d] = %g, want %g (opts %s)", i, got[i], want[i], tuned.Optimizations())
+		}
+	}
+}
+
+func TestTunedMulVecDimensionPanic(t *testing.T) {
+	m := buildRandom(100, 100, 3, 3)
+	tuned := NewTuner().Tune(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	tuned.MulVec(make([]float64, 5), make([]float64, 100))
+}
+
+func TestAnalyzeOnModeledPlatform(t *testing.T) {
+	m, err := SuiteMatrix("ASIC_680k", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewTuner(OnPlatform("knc")).Analyze(m)
+	if a.Classes == "" || a.Optimizations == "" {
+		t.Fatalf("empty analysis: %+v", a)
+	}
+	if a.BaselineGflops <= 0 || a.OptimizedGflops <= 0 {
+		t.Fatalf("degenerate rates: %+v", a)
+	}
+	// The skewed matrix must be detected as imbalanced and optimized
+	// at least as well as the baseline.
+	if a.OptimizedGflops < a.BaselineGflops {
+		t.Fatalf("optimization regressed: %+v", a)
+	}
+}
+
+func TestOnPlatformUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown platform did not panic")
+		}
+	}()
+	NewTuner(OnPlatform("gpu"))
+}
+
+func TestWithThresholds(t *testing.T) {
+	tu := NewTuner(WithThresholds(2.0, 2.0))
+	m := buildRandom(500, 500, 4, 4)
+	_ = tu.Analyze(m) // must not panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid thresholds did not panic")
+		}
+	}()
+	NewTuner(WithThresholds(-1, 1))
+}
+
+func TestTunedInfoExposed(t *testing.T) {
+	m := buildRandom(1000, 1000, 5, 5)
+	k := NewTuner(OnPlatform("knl")).Tune(m)
+	if k.Classes() != k.Info().Classes {
+		t.Fatal("Info/Classes mismatch")
+	}
+	if k.Optimizations() == "" {
+		t.Fatal("no optimization string")
+	}
+}
