@@ -215,6 +215,80 @@ func BenchmarkNativeTunedSpMV(b *testing.B) {
 	}
 }
 
+// BenchmarkMulVecReuse compares the rebuild-every-call execution path
+// against the persistent prepared kernel on the same matrix and
+// configuration. "oneshot" repartitions rows and spawns fresh
+// goroutines per multiply (the pre-engine shape); "prepared" dispatches
+// to the parked worker pool and must report 0 allocs/op — the
+// steady-state serving contract of the execution engine.
+func BenchmarkMulVecReuse(b *testing.B) {
+	e := native.New()
+	defer e.Close()
+	opt := ex.Optim{Vectorize: true, Prefetch: true}
+	// Small: fork/join and planning overhead dominate. Large: the
+	// kernel is memory-bound and the engine's win is the 0-alloc
+	// steady state.
+	for _, size := range []struct {
+		name  string
+		scale float64
+	}{{"small", 0.02}, {"large", 0.2}} {
+		m, err := SuiteMatrix("poisson3Db", size.scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := make([]float64, m.Cols())
+		y := make([]float64, m.Rows())
+		for i := range x {
+			x[i] = 1
+		}
+		b.Run(size.name+"/oneshot", func(b *testing.B) {
+			e.MulVecOnce(m.csr, opt, x, y) // probe threads outside the loop
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.MulVecOnce(m.csr, opt, x, y)
+			}
+		})
+		b.Run(size.name+"/prepared", func(b *testing.B) {
+			p := e.Prepare(m.csr, opt)
+			p.MulVec(x, y) // warm: formats converted, workers parked
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.MulVec(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkMulVecBatch times the batch serving path: one tuned matrix
+// multiplying a batch of user vectors back to back.
+func BenchmarkMulVecBatch(b *testing.B) {
+	m, err := SuiteMatrix("poisson3Db", 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tu := NewTuner()
+	defer tu.Close()
+	tuned := tu.Tune(m)
+	const batch = 8
+	xs := make([][]float64, batch)
+	ys := make([][]float64, batch)
+	for k := range xs {
+		xs[k] = make([]float64, m.Cols())
+		for i := range xs[k] {
+			xs[k][i] = float64(i%5) + float64(k)
+		}
+		ys[k] = make([]float64, m.Rows())
+	}
+	tuned.MulVecBatch(xs, ys) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tuned.MulVecBatch(xs, ys)
+	}
+}
+
 // BenchmarkStreamTriad reports the host's measured memory bandwidth.
 func BenchmarkStreamTriad(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -7,7 +7,12 @@
 //	spmvbench -exp table4               # classifier accuracy
 //	spmvbench -exp table5               # overhead amortization
 //	spmvbench -exp platforms            # Table III
-//	spmvbench -exp all -scale 0.25      # everything, smaller suite
+//	spmvbench -exp reuse -scale 0.1     # engine: one-shot vs prepared
+//	spmvbench -exp all -scale 0.25      # every modeled experiment
+//
+// The reuse experiment runs natively on the host through the
+// persistent worker-pool engine; everything else is modeled, and "all"
+// covers only the modeled set (request reuse explicitly).
 //
 // Ablations: ablate-delta, ablate-split, ablate-sched,
 // ablate-prefetch, ablate-partitioned-ml.
@@ -25,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1, fig3, fig7, table4, table5, platforms, features, ablate-*, all")
+		exp      = flag.String("exp", "all", "experiment: fig1, fig3, fig7, table4, table5, platforms, features, reuse, ablate-*, all")
 		platform = flag.String("platform", "", "fig7 platform: knc, knl, bdw (default: all three)")
 		scale    = flag.Float64("scale", 1.0, "suite size multiplier (1.0 = reproduction size)")
 		corpus   = flag.Int("corpus", 210, "training corpus size")
@@ -80,6 +85,8 @@ func main() {
 		emit(experiments.Platforms())
 	case "features":
 		emit(experiments.FeatureTable(cfg))
+	case "reuse":
+		emit(experiments.Reuse(cfg).Table())
 	case "ablate-delta":
 		emit(experiments.AblateDelta(cfg).Table())
 	case "ablate-split":

@@ -1,0 +1,68 @@
+// Mirrors the code samples of README.md and docs/guide/platforms.md so
+// the documented API cannot drift without breaking the build: every
+// call here appears in a published snippet.
+package spmvtuner_test
+
+import (
+	"testing"
+
+	"github.com/sparsekit/spmvtuner"
+	"github.com/sparsekit/spmvtuner/internal/native"
+	"github.com/sparsekit/spmvtuner/internal/sim"
+)
+
+// TestReadmeQuickStart exercises the README quick-start flow (with a
+// generated matrix standing in for the .mtx file).
+func TestReadmeQuickStart(t *testing.T) {
+	m, err := spmvtuner.SuiteMatrix("poisson3Db", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tuner := spmvtuner.NewTuner()
+	defer tuner.Close()
+
+	tuned := tuner.Tune(m)
+	if tuned.Classes() == "" || tuned.Optimizations() == "" {
+		t.Fatalf("empty diagnosis: %q %q", tuned.Classes(), tuned.Optimizations())
+	}
+
+	x := make([]float64, m.Cols())
+	y := make([]float64, m.Rows())
+	tuned.MulVec(x, y)
+
+	// Batch serving shape.
+	tuned.MulVecBatch([][]float64{x}, [][]float64{y})
+}
+
+// TestPlatformsGuideSamples exercises the modeled-platform guide:
+// analysis on each codename, modeled planning with native execution,
+// and the host calibration path.
+func TestPlatformsGuideSamples(t *testing.T) {
+	m, err := spmvtuner.SuiteMatrix("poisson3Db", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, code := range []string{"knc", "knl", "bdw", "host"} {
+		a := spmvtuner.NewTuner(spmvtuner.OnPlatform(code)).Analyze(m)
+		if a.Classes == "" || a.Optimizations == "" {
+			t.Fatalf("%s: empty analysis %+v", code, a)
+		}
+	}
+
+	// Modeled analysis, native execution.
+	tu := spmvtuner.NewTuner(spmvtuner.OnPlatform("bdw"))
+	defer tu.Close()
+	tuned := tu.Tune(m)
+	x := make([]float64, m.Cols())
+	y := make([]float64, m.Rows())
+	tuned.MulVec(x, y)
+
+	// Calibration path (internal packages, as the guide notes).
+	mdl := native.CalibratedHost()
+	if mdl.StreamMainGBs <= 0 {
+		t.Fatalf("calibration produced %g GB/s", mdl.StreamMainGBs)
+	}
+	_ = sim.New(mdl)
+}

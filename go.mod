@@ -1,0 +1,3 @@
+module github.com/sparsekit/spmvtuner
+
+go 1.24

@@ -108,3 +108,16 @@ func (p *Pipeline) Analyze(m *matrix.CSR) Analysis {
 func (p *Pipeline) PlanOnly(m *matrix.CSR) opt.Plan {
 	return p.optimizer().Plan(p.Exec, m)
 }
+
+// Prepare plans the matrix and, when the pipeline's executor supports
+// persistent kernels, compiles the plan into one. The kernel is nil
+// when the executor is analysis-only (the simulator) — callers then
+// prepare on a native executor themselves.
+func (p *Pipeline) Prepare(m *matrix.CSR) (opt.Plan, ex.PreparedKernel) {
+	plan := p.PlanOnly(m)
+	pe, ok := p.Exec.(ex.PreparedExecutor)
+	if !ok {
+		return plan, nil
+	}
+	return plan, pe.Prepare(m, plan.Opt)
+}

@@ -136,6 +136,40 @@ type Executor interface {
 	Run(cfg Config) Result
 }
 
+// PreparedKernel is a compiled, reusable SpMV: one (matrix,
+// optimization) pair with every planning artifact — converted formats,
+// schedule partitions, reduction buffers, kernel selection —
+// materialized up front, so steady-state multiplies do no planning
+// work and no heap allocation. Implementations are safe for concurrent
+// use.
+type PreparedKernel interface {
+	// MulVec computes y = A*x.
+	MulVec(x, y []float64)
+	// MulVecBatch computes ys[i] = A*xs[i] for every pair, keeping
+	// workers hot across the batch (the repeated-multiply serving
+	// path: iterative solvers, PageRank, multi-user traffic).
+	MulVecBatch(xs, ys [][]float64)
+	// Opt returns the configuration the kernel was compiled for.
+	Opt() Optim
+	// Threads returns the execution width chosen at preparation time.
+	Threads() int
+}
+
+// PreparedExecutor is an Executor that can compile configurations into
+// persistent kernels. internal/native implements it; the analytic
+// simulator does not (there is nothing to execute), so callers fall
+// back to planning-only behavior when the assertion fails.
+type PreparedExecutor interface {
+	Executor
+	// Prepare compiles one configuration. Bound kernels are rejected
+	// (they do not compute SpMV).
+	Prepare(m *matrix.CSR, o Optim) PreparedKernel
+	// Close releases the executor's persistent resources (worker
+	// pool). Idempotent; prepared kernels stay usable afterwards via a
+	// transient fallback path.
+	Close() error
+}
+
 // GflopsOf converts a per-operation time into a rate for m.
 func GflopsOf(m *matrix.CSR, seconds float64) float64 {
 	if seconds <= 0 {

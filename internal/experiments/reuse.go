@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/native"
+	"github.com/sparsekit/spmvtuner/internal/report"
+)
+
+// ReuseRow compares the two native execution paths for one suite
+// matrix: rebuilding the plan and spawning goroutines on every multiply
+// versus dispatching a prepared kernel to the persistent worker pool.
+type ReuseRow struct {
+	Matrix   string
+	NNZ      int
+	Opt      string
+	OnceUs   float64 // per-op, rebuild-every-call path
+	ReusedUs float64 // per-op, prepared persistent-pool path
+	Speedup  float64
+}
+
+// ReuseResult holds the one-shot vs prepared comparison for the
+// selected suite.
+type ReuseResult struct {
+	Rows []ReuseRow
+}
+
+// reuseIters sizes the measurement loop so small matrices average away
+// scheduler noise without making large ones slow.
+func reuseIters(nnz int) int {
+	it := 2_000_000 / (nnz + 1)
+	if it < 5 {
+		it = 5
+	}
+	if it > 200 {
+		it = 200
+	}
+	return it
+}
+
+// Reuse runs the steady-state engine comparison natively on the host:
+// the overhead the persistent engine removes is exactly the
+// orchestration cost the paper's Section IV-D amortization analysis
+// charges to every multiply.
+func Reuse(cfg Config) ReuseResult {
+	c := cfg.withDefaults()
+	e := native.New()
+	defer e.Close()
+
+	var res ReuseResult
+	for _, r := range c.selected() {
+		m := r.Build(c.Scale)
+		// A representative optimized configuration; the point is the
+		// execution path, not the tuning decision.
+		o := ex.Optim{Vectorize: true, Prefetch: true}
+		x := make([]float64, m.NCols)
+		y := make([]float64, m.NRows)
+		for i := range x {
+			x[i] = 1
+		}
+		iters := reuseIters(m.NNZ())
+
+		e.MulVecOnce(m, o, x, y) // warm both paths (thread probe, caches)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			e.MulVecOnce(m, o, x, y)
+		}
+		once := time.Since(start).Seconds() / float64(iters)
+
+		p := e.Prepare(m, o)
+		p.MulVec(x, y)
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			p.MulVec(x, y)
+		}
+		reused := time.Since(start).Seconds() / float64(iters)
+
+		row := ReuseRow{
+			Matrix:   m.Name,
+			NNZ:      m.NNZ(),
+			Opt:      o.String(),
+			OnceUs:   once * 1e6,
+			ReusedUs: reused * 1e6,
+		}
+		if reused > 0 {
+			row.Speedup = once / reused
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Table renders the comparison.
+func (r ReuseResult) Table() *report.Table {
+	t := report.New("Engine: rebuild-every-call vs prepared persistent-pool SpMV (host)",
+		"matrix", "nnz", "opt", "oneshot us/op", "prepared us/op", "speedup")
+	logSum, n := 0.0, 0
+	for _, row := range r.Rows {
+		t.Add(row.Matrix, report.F(float64(row.NNZ)), row.Opt,
+			report.F(row.OnceUs), report.F(row.ReusedUs), report.Fx(row.Speedup))
+		if row.Speedup > 0 {
+			logSum += math.Log(row.Speedup)
+			n++
+		}
+	}
+	if n > 0 {
+		t.AddNote("geometric-mean speedup %.2fx over %d matrices", math.Exp(logSum/float64(n)), n)
+	}
+	t.AddNote("prepared kernels do zero planning work and zero allocations per multiply")
+	return t
+}

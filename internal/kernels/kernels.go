@@ -200,6 +200,23 @@ func CSRVector8PrefetchRange(m *matrix.CSR, x, y []float64, lo, hi int) {
 	}
 }
 
+// VariantName names the kernel Variant selects for the same flags, for
+// diagnostics and prepared-kernel introspection.
+func VariantName(vectorize, prefetch, unroll bool) string {
+	switch {
+	case vectorize && prefetch:
+		return "csr-vec8-prefetch"
+	case vectorize:
+		return "csr-vec8"
+	case prefetch:
+		return "csr-prefetch"
+	case unroll:
+		return "csr-unrolled4"
+	default:
+		return "csr"
+	}
+}
+
 // Variant selects a range kernel by optimization flags (compression
 // and splitting are handled by the executor, which owns the converted
 // formats). Vectorization subsumes unrolling: the 8-accumulator kernel

@@ -205,3 +205,22 @@ func TestKernelsAgreeQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestVariantNameMatchesVariant(t *testing.T) {
+	seen := map[string]bool{}
+	for _, vec := range []bool{false, true} {
+		for _, pf := range []bool{false, true} {
+			for _, un := range []bool{false, true} {
+				name := VariantName(vec, pf, un)
+				if name == "" {
+					t.Fatalf("empty name for vec=%v pf=%v un=%v", vec, pf, un)
+				}
+				seen[name] = true
+			}
+		}
+	}
+	// Five distinct kernels exist (vectorize subsumes unroll).
+	if len(seen) != 5 {
+		t.Fatalf("got %d distinct kernel names, want 5: %v", len(seen), seen)
+	}
+}

@@ -1,0 +1,262 @@
+package native
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/sched"
+)
+
+// refCheck compares y against the sequential reference for x.
+func refCheck(t *testing.T, m *matrix.CSR, x, got []float64, label string) {
+	t.Helper()
+	want := make([]float64, m.NRows)
+	m.MulVec(x, want)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("%s: y[%d] = %g, want %g", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestPoolRunCoversEverySlot(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, nt := range []int{1, 2, 4} {
+		var hits [4]int
+		var mu sync.Mutex
+		p.Run(nt, func(t int) {
+			mu.Lock()
+			hits[t]++
+			mu.Unlock()
+		})
+		for s := 0; s < nt; s++ {
+			if hits[s] != 1 {
+				t.Fatalf("nt=%d: slot %d ran %d times", nt, s, hits[s])
+			}
+		}
+	}
+}
+
+func TestPoolOversizedDispatchFallsBack(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var hits [8]int
+	var mu sync.Mutex
+	p.Run(8, func(t int) {
+		mu.Lock()
+		hits[t]++
+		mu.Unlock()
+	})
+	for s := range hits {
+		if hits[s] != 1 {
+			t.Fatalf("slot %d ran %d times", s, hits[s])
+		}
+	}
+}
+
+func TestPoolCloseIdempotentAndUsableAfter(t *testing.T) {
+	p := NewPool(4)
+	p.Close()
+	p.Close() // must not panic
+	ran := make([]bool, 3)
+	p.Run(3, func(t int) { ran[t] = true })
+	for s, ok := range ran {
+		if !ok {
+			t.Fatalf("slot %d did not run after Close", s)
+		}
+	}
+}
+
+func TestExecutorCloseIdempotent(t *testing.T) {
+	e := New()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreparedMatchesReference(t *testing.T) {
+	mats := map[string]*matrix.CSR{
+		"uniform":  gen.UniformRandom(3000, 7, 11),
+		"skewed":   gen.FewDenseRows(3000, 4, 2, 1500, 12),
+		"powerlaw": gen.PowerLaw(3000, 6, 2.0, 800, 13),
+	}
+	opts := map[string]ex.Optim{
+		"baseline":     {},
+		"compress":     {Compress: true},
+		"split":        {Split: true},
+		"vec+prefetch": {Vectorize: true, Prefetch: true},
+		"dynamic":      {Schedule: sched.Dynamic},
+		"guided":       {Schedule: sched.Guided},
+	}
+	e := New()
+	defer e.Close()
+	for mn, m := range mats {
+		for on, o := range opts {
+			t.Run(mn+"/"+on, func(t *testing.T) {
+				p := e.Prepare(m, o)
+				rng := rand.New(rand.NewSource(7))
+				x := make([]float64, m.NCols)
+				for i := range x {
+					x[i] = rng.NormFloat64()
+				}
+				y := make([]float64, m.NRows)
+				// Repeated multiplies must stay correct (buffers and
+				// cursors reset per call).
+				for it := 0; it < 3; it++ {
+					p.MulVec(x, y)
+				}
+				refCheck(t, m, x, y, mn+"/"+on)
+			})
+		}
+	}
+}
+
+func TestPreparedMemoized(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := gen.UniformRandom(1000, 5, 3)
+	o := ex.Optim{Vectorize: true}
+	p1 := e.Prepare(m, o)
+	p2 := e.Prepare(m, o)
+	if p1 != p2 {
+		t.Fatal("prepared kernel not memoized")
+	}
+	if p3 := e.Prepare(m, ex.Optim{Compress: true}); p3 == p1 {
+		t.Fatal("distinct configurations share a kernel")
+	}
+}
+
+func TestPreparedRejectsBoundKernels(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := gen.Banded(100, 2, 1.0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Prepare accepted a bound kernel")
+		}
+	}()
+	e.Prepare(m, ex.Optim{UnitStride: true})
+}
+
+// TestPreparedConcurrentMulVec drives one prepared kernel from many
+// goroutines at once; run with -race this is the engine's thread-safety
+// proof. Each goroutine owns its output vector, the kernel serializes
+// dispatches internally.
+func TestPreparedConcurrentMulVec(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := gen.FewDenseRows(4000, 5, 3, 2000, 21)
+	for _, o := range []ex.Optim{{}, {Split: true}, {Compress: true}, {Schedule: sched.Dynamic}} {
+		p := e.Prepare(m, o)
+		rng := rand.New(rand.NewSource(3))
+		x := make([]float64, m.NCols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		const callers = 8
+		ys := make([][]float64, callers)
+		var wg sync.WaitGroup
+		for c := 0; c < callers; c++ {
+			ys[c] = make([]float64, m.NRows)
+			wg.Add(1)
+			go func(y []float64) {
+				defer wg.Done()
+				for it := 0; it < 4; it++ {
+					p.MulVec(x, y)
+				}
+			}(ys[c])
+		}
+		wg.Wait()
+		for c := 0; c < callers; c++ {
+			refCheck(t, m, x, ys[c], o.String())
+		}
+	}
+}
+
+func TestPreparedMulVecBatch(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := gen.UniformRandom(2000, 6, 5)
+	p := e.Prepare(m, ex.Optim{Vectorize: true})
+	rng := rand.New(rand.NewSource(9))
+	const batch = 5
+	xs := make([][]float64, batch)
+	ys := make([][]float64, batch)
+	for b := 0; b < batch; b++ {
+		xs[b] = make([]float64, m.NCols)
+		for i := range xs[b] {
+			xs[b][i] = rng.NormFloat64()
+		}
+		ys[b] = make([]float64, m.NRows)
+	}
+	p.MulVecBatch(xs, ys)
+	for b := 0; b < batch; b++ {
+		refCheck(t, m, xs[b], ys[b], "batch")
+	}
+}
+
+// TestPreparedUsableAfterClose: closing the executor parks the pool;
+// kernels must keep computing correctly via the transient fallback.
+func TestPreparedUsableAfterClose(t *testing.T) {
+	e := New()
+	m := gen.UniformRandom(2000, 6, 17)
+	p := e.Prepare(m, ex.Optim{})
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	y := make([]float64, m.NRows)
+	p.MulVec(x, y)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p.MulVec(x, y)
+	refCheck(t, m, x, y, "after close")
+}
+
+func TestPreparedIntrospection(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := gen.UniformRandom(1000, 5, 23)
+	p := e.Prepare(m, ex.Optim{Vectorize: true, Prefetch: true}).(*Prepared)
+	if p.Threads() < 1 {
+		t.Fatalf("threads = %d", p.Threads())
+	}
+	if !p.Opt().Vectorize || !p.Opt().Prefetch {
+		t.Fatalf("opt = %v", p.Opt())
+	}
+	if p.Kernel() != "csr-vec8-prefetch" {
+		t.Fatalf("kernel = %q", p.Kernel())
+	}
+	if s := e.Prepare(m, ex.Optim{Split: true}).(*Prepared); s.Kernel() != "split+csr" {
+		t.Fatalf("split kernel = %q", s.Kernel())
+	}
+}
+
+// TestPreparedCacheBounded: a stream of distinct matrices through
+// MulVec must not grow the kernel cache without bound.
+func TestPreparedCacheBounded(t *testing.T) {
+	e := New()
+	defer e.Close()
+	x := make([]float64, 20)
+	y := make([]float64, 20)
+	for i := 0; i < maxPreparedKernels+10; i++ {
+		m := gen.Banded(20, 2, 1.0, int64(i))
+		e.MulVec(m, ex.Optim{}, x, y)
+	}
+	e.mu.Lock()
+	n := len(e.prepared)
+	e.mu.Unlock()
+	if n > maxPreparedKernels {
+		t.Fatalf("cache holds %d kernels, cap %d", n, maxPreparedKernels)
+	}
+}

@@ -1,23 +1,22 @@
 // Package native executes SpMV configurations for real on the host
-// machine: goroutine-per-thread parallel kernels with per-thread
-// timing, the warm-cache measurement methodology of Section IV-A, and
-// a STREAM-triad bandwidth probe for calibrating the host model. It
+// machine: a persistent worker pool driving parallel kernels with
+// per-thread timing, prepared (compile-once, run-many) kernel objects,
+// the warm-cache measurement methodology of Section IV-A, and a
+// STREAM-triad bandwidth probe for calibrating the host model. It
 // implements the same Executor interface as the simulator, so the
 // entire classification/optimization pipeline runs unchanged on real
 // hardware.
 package native
 
 import (
+	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	ex "github.com/sparsekit/spmvtuner/internal/exec"
 	"github.com/sparsekit/spmvtuner/internal/formats"
-	"github.com/sparsekit/spmvtuner/internal/kernels"
 	"github.com/sparsekit/spmvtuner/internal/machine"
 	"github.com/sparsekit/spmvtuner/internal/matrix"
-	"github.com/sparsekit/spmvtuner/internal/sched"
 )
 
 // Executor runs configurations natively.
@@ -28,22 +27,62 @@ type Executor struct {
 	// stay fast).
 	Iters int
 
-	mu     sync.Mutex
-	deltas map[*matrix.CSR]*formats.DeltaCSR
-	splits map[*matrix.CSR]*formats.SplitCSR
+	// workers is the long-lived pool every kernel dispatches through;
+	// Close parks it permanently.
+	workers *Pool
+
+	mu       sync.Mutex
+	deltas   map[*matrix.CSR]*formats.DeltaCSR
+	splits   map[*matrix.CSR]*formats.SplitCSR
+	prepared map[preparedKey]*Prepared
 
 	probeOnce sync.Once
 	usable    int // threads that actually speed up memory streaming
 }
 
-// New returns a native executor modeling itself as the host.
+var (
+	_ ex.Executor         = (*Executor)(nil)
+	_ ex.PreparedExecutor = (*Executor)(nil)
+	_ ex.PreparedKernel   = (*Prepared)(nil)
+)
+
+// preparedKey identifies one compiled kernel: Optim is a comparable
+// value type, so (matrix identity, configuration) keys the cache.
+type preparedKey struct {
+	m *matrix.CSR
+	o ex.Optim
+}
+
+// New returns a native executor modeling itself as the host. Its worker
+// pool lives until Close; a finalizer reclaims the workers if the
+// executor is dropped without closing.
 func New() *Executor {
-	return &Executor{
-		model:  machine.Host(),
-		Iters:  3,
-		deltas: make(map[*matrix.CSR]*formats.DeltaCSR),
-		splits: make(map[*matrix.CSR]*formats.SplitCSR),
+	e := &Executor{
+		model:    machine.Host(),
+		Iters:    3,
+		deltas:   make(map[*matrix.CSR]*formats.DeltaCSR),
+		splits:   make(map[*matrix.CSR]*formats.SplitCSR),
+		prepared: make(map[preparedKey]*Prepared),
 	}
+	e.workers = NewPool(e.model.Cores)
+	// The pool's goroutines reference only the pool, so an unreachable
+	// Executor is collectable; closing from the finalizer unparks and
+	// ends the workers.
+	runtime.SetFinalizer(e, func(e *Executor) { e.workers.Close() })
+	return e
+}
+
+// Close shuts the worker pool down and drops the prepared-kernel
+// cache. It is idempotent; kernels already prepared from this executor
+// stay usable (callers hold their own references) and fall back to
+// transient goroutines.
+func (e *Executor) Close() error {
+	runtime.SetFinalizer(e, nil)
+	e.workers.Close()
+	e.mu.Lock()
+	e.prepared = make(map[preparedKey]*Prepared)
+	e.mu.Unlock()
+	return nil
 }
 
 // Machine implements exec.Executor.
@@ -113,10 +152,14 @@ func (e *Executor) splitOf(m *matrix.CSR) *formats.SplitCSR {
 	return s
 }
 
-// Run implements exec.Executor: it executes the configuration with
-// goroutines, one per thread, and reports the median-of-Iters wall
-// time together with per-thread busy times (warm cache: one untimed
-// warmup pass precedes measurement).
+// Run implements exec.Executor: it executes the configuration and
+// reports the best-of-Iters wall time together with per-thread busy
+// times (warm cache: one untimed warmup pass precedes measurement).
+// Measurement runs on transient goroutines, not the shared worker
+// pool, so profiling stays undistorted by — and does not stall behind —
+// prepared-kernel serving traffic on the same executor; the spawn
+// overhead it includes is exactly what the classifier thresholds were
+// tuned against.
 func (e *Executor) Run(cfg ex.Config) ex.Result {
 	m := cfg.Matrix
 	nt := cfg.Threads
@@ -133,9 +176,10 @@ func (e *Executor) Run(cfg ex.Config) ex.Result {
 	}
 	y := make([]float64, m.NRows)
 
-	runOnce := e.buildRunner(m, cfg.Opt, nt, x, y)
+	p := e.buildPrepared(m, cfg.Opt, nt) // transient: measurement widths vary
+	p.pool = nil                         // measure on fresh goroutines, off the serving pool
 
-	runOnce(nil) // warmup, untimed
+	p.mulVecTimed(x, y, nil) // warmup, untimed
 
 	iters := e.Iters
 	if iters < 1 {
@@ -147,7 +191,7 @@ func (e *Executor) Run(cfg ex.Config) ex.Result {
 	for it := 0; it < iters; it++ {
 		perThread := make([]float64, nt)
 		start := time.Now()
-		runOnce(perThread)
+		p.mulVecTimed(x, y, perThread)
 		secs := time.Since(start).Seconds()
 		totalOps++
 		for t := range perThread {
@@ -169,122 +213,72 @@ func (e *Executor) Run(cfg ex.Config) ex.Result {
 	return best
 }
 
-// buildRunner assembles a single-operation closure for the
-// configuration. perThread, when non-nil, receives each thread's busy
-// seconds.
-func (e *Executor) buildRunner(m *matrix.CSR, o ex.Optim, nt int, x, y []float64) func(perThread []float64) {
-	// Bound kernels and plain CSR variants share the range-kernel
-	// driver; compression and splitting switch data structures.
-	switch {
-	case o.RegularizeX:
-		return e.rangeRunner(m, kernels.RegularizedRange, o, nt, x, y)
-	case o.UnitStride:
-		return e.rangeRunner(m, kernels.UnitStrideRange, o, nt, x, y)
-	case o.Split:
-		s := e.splitOf(m)
-		inner := kernels.Variant(o.Vectorize, o.Prefetch, o.Unroll)
-		parts := sched.PartitionFor(o.Schedule, s.Base, nt)
-		partials := make([]float64, nt*s.NumLongRows())
-		return func(perThread []float64) {
-			var wg sync.WaitGroup
-			for t := 0; t < nt; t++ {
-				wg.Add(1)
-				go func(t int) {
-					defer wg.Done()
-					start := time.Now()
-					r := parts[t]
-					inner(s.Base, x, y, r.Lo, r.Hi)
-					kernels.SplitPhase2Partial(s, x, partials, t, nt)
-					if perThread != nil {
-						perThread[t] = time.Since(start).Seconds()
-					}
-				}(t)
-			}
-			wg.Wait()
-			kernels.SplitPhase2Reduce(s, partials, y, nt)
-		}
-	case o.Compress:
-		d := e.deltaOf(m)
-		offs := d.OverflowOffsets()
-		parts := sched.PartitionFor(o.Schedule, m, nt)
-		return func(perThread []float64) {
-			var wg sync.WaitGroup
-			for t := 0; t < nt; t++ {
-				wg.Add(1)
-				go func(t int) {
-					defer wg.Done()
-					start := time.Now()
-					r := parts[t]
-					kernels.DeltaRange(d, x, y, r.Lo, r.Hi, offs[r.Lo])
-					if perThread != nil {
-						perThread[t] = time.Since(start).Seconds()
-					}
-				}(t)
-			}
-			wg.Wait()
-		}
-	default:
-		return e.rangeRunner(m, kernels.Variant(o.Vectorize, o.Prefetch, o.Unroll), o, nt, x, y)
+// Prepare implements exec.PreparedExecutor: it compiles the
+// configuration into a persistent kernel bound to the executor's worker
+// pool, memoized per (matrix, optimization) pair. Bound kernels are
+// rejected — they do not compute SpMV.
+func (e *Executor) Prepare(m *matrix.CSR, o ex.Optim) ex.PreparedKernel {
+	if o.IsBoundKernel() {
+		panic("native: bound kernels do not compute SpMV")
 	}
+	return e.preparedFor(m, o)
 }
 
-// rangeRunner drives a RangeKernel under the configured schedule.
-func (e *Executor) rangeRunner(m *matrix.CSR, k kernels.RangeKernel, o ex.Optim, nt int, x, y []float64) func([]float64) {
-	policy := sched.Resolve(o.Schedule, m)
-	if policy == sched.Dynamic || policy == sched.Guided {
-		chunks := sched.Chunks(policy, m.NRows, nt, 0)
-		return func(perThread []float64) {
-			var next atomic.Int64
-			var wg sync.WaitGroup
-			for t := 0; t < nt; t++ {
-				wg.Add(1)
-				go func(t int) {
-					defer wg.Done()
-					start := time.Now()
-					for {
-						idx := int(next.Add(1)) - 1
-						if idx >= len(chunks) {
-							break
-						}
-						c := chunks[idx]
-						k(m, x, y, c.Lo, c.Hi)
-					}
-					if perThread != nil {
-						perThread[t] = time.Since(start).Seconds()
-					}
-				}(t)
-			}
-			wg.Wait()
+// maxPreparedKernels bounds the executor's kernel cache so a stream of
+// distinct matrices through MulVec cannot retain memory without bound;
+// long-lived serving paths hold their own Prepared references and are
+// unaffected by eviction.
+const maxPreparedKernels = 256
+
+// preparedFor memoizes compiled kernels at the executor's default
+// thread count.
+func (e *Executor) preparedFor(m *matrix.CSR, o ex.Optim) *Prepared {
+	nt := e.defaultThreads(m)
+	key := preparedKey{m: m, o: o}
+	e.mu.Lock()
+	p, ok := e.prepared[key]
+	e.mu.Unlock()
+	if ok && p.nt == nt {
+		return p
+	}
+	// Compile outside the lock: format conversion can be expensive and
+	// deltaOf/splitOf take e.mu themselves.
+	p = e.buildPrepared(m, o, nt)
+	e.mu.Lock()
+	if len(e.prepared) >= maxPreparedKernels {
+		// Evict an arbitrary entry (map order is effectively random);
+		// an evicted kernel still works for whoever holds it.
+		for k := range e.prepared {
+			delete(e.prepared, k)
+			break
 		}
 	}
-	parts := sched.PartitionFor(policy, m, nt)
-	return func(perThread []float64) {
-		var wg sync.WaitGroup
-		for t := 0; t < nt; t++ {
-			wg.Add(1)
-			go func(t int) {
-				defer wg.Done()
-				start := time.Now()
-				r := parts[t]
-				k(m, x, y, r.Lo, r.Hi)
-				if perThread != nil {
-					perThread[t] = time.Since(start).Seconds()
-				}
-			}(t)
-		}
-		wg.Wait()
-	}
+	e.prepared[key] = p
+	e.mu.Unlock()
+	return p
 }
 
 // MulVec computes y = A*x with the optimized configuration — the
-// user-facing native multiply (bound kernels are rejected).
+// user-facing native multiply (bound kernels are rejected). Repeated
+// calls reuse the memoized prepared kernel and are allocation-free.
 func (e *Executor) MulVec(m *matrix.CSR, o ex.Optim, x, y []float64) {
 	if o.IsBoundKernel() {
 		panic("native: bound kernels do not compute SpMV")
 	}
-	nt := e.defaultThreads(m)
-	run := e.buildRunner(m, o, nt, x, y)
-	run(nil)
+	e.preparedFor(m, o).MulVec(x, y)
+}
+
+// MulVecOnce computes y = A*x rebuilding the execution plan from
+// scratch and spawning fresh goroutines — the pre-pool execution shape,
+// retained as the baseline BenchmarkMulVecReuse compares the prepared
+// engine against.
+func (e *Executor) MulVecOnce(m *matrix.CSR, o ex.Optim, x, y []float64) {
+	if o.IsBoundKernel() {
+		panic("native: bound kernels do not compute SpMV")
+	}
+	p := e.buildPrepared(m, o, e.defaultThreads(m))
+	p.pool = nil // transient fork/join, as before the engine existed
+	p.MulVec(x, y)
 }
 
 // StreamTriad measures sustainable memory bandwidth with the classic

@@ -1,0 +1,190 @@
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/formats"
+	"github.com/sparsekit/spmvtuner/internal/kernels"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/sched"
+)
+
+// Prepared is a compiled SpMV kernel for one (matrix, optimization)
+// pair: the converted format (DeltaCSR/SplitCSR), the resolved schedule
+// partitions, the phase-2 partial buffer and the chosen kernel function
+// are all materialized at construction, so a steady-state MulVec does
+// no planning work and zero heap allocations — it wakes the persistent
+// workers, runs the kernel, and returns. This is the object the facade's
+// Tuned wraps and the foundation of the repeated-multiply serving path.
+type Prepared struct {
+	m          *matrix.CSR
+	opt        ex.Optim
+	nt         int
+	kernelName string
+	pool       *Pool // nil: transient fork/join execution (MulVecOnce)
+
+	// mu serializes multiplies on this kernel; concurrent callers are
+	// safe and run back to back.
+	mu sync.Mutex
+	// x, y are the current operands, published to the workers through
+	// the pool dispatch barrier.
+	x, y []float64
+	// timing, when non-nil, receives per-thread busy seconds (the
+	// measurement path of Run; nil — and cost-free — in steady state).
+	timing []float64
+	// next is the shared cursor of dynamic/guided schedules, reset
+	// before each dispatch.
+	next atomic.Int64
+
+	// body computes slot t's share of one operation; finish, when
+	// non-nil, runs on the dispatching goroutine after the barrier (the
+	// Fig 6 phase-2 reduction).
+	body   func(t int)
+	finish func()
+}
+
+// Opt returns the optimization configuration the kernel was compiled
+// for.
+func (p *Prepared) Opt() ex.Optim { return p.opt }
+
+// Threads returns the execution width chosen at preparation time.
+func (p *Prepared) Threads() int { return p.nt }
+
+// Kernel names the compiled inner kernel, e.g. "delta" or
+// "csr-vec8-prefetch".
+func (p *Prepared) Kernel() string { return p.kernelName }
+
+// MulVec computes y = A*x. Safe for concurrent use; allocation-free in
+// steady state.
+func (p *Prepared) MulVec(x, y []float64) {
+	p.mu.Lock()
+	p.mulVecLocked(x, y, nil)
+	p.mu.Unlock()
+}
+
+// MulVecBatch computes ys[i] = A*xs[i] for every pair, holding the
+// workers hot across the whole batch — the multi-user serving shape
+// where one matrix multiplies many vectors back to back.
+func (p *Prepared) MulVecBatch(xs, ys [][]float64) {
+	p.mu.Lock()
+	for i := range xs {
+		p.mulVecLocked(xs[i], ys[i], nil)
+	}
+	p.mu.Unlock()
+}
+
+// mulVecTimed is the measurement entry point: perThread, when non-nil,
+// receives each slot's busy seconds.
+func (p *Prepared) mulVecTimed(x, y []float64, perThread []float64) {
+	p.mu.Lock()
+	p.mulVecLocked(x, y, perThread)
+	p.mu.Unlock()
+}
+
+func (p *Prepared) mulVecLocked(x, y, perThread []float64) {
+	p.x, p.y, p.timing = x, y, perThread
+	p.next.Store(0)
+	if p.pool != nil {
+		p.pool.Run(p.nt, p.body)
+	} else {
+		spawnRun(p.nt, p.body)
+	}
+	if p.finish != nil {
+		p.finish()
+	}
+	p.x, p.y, p.timing = nil, nil, nil
+}
+
+// wrap adds the optional per-thread timing shell around a slot body.
+func (p *Prepared) wrap(work func(t int)) func(t int) {
+	return func(t int) {
+		if p.timing == nil {
+			work(t)
+			return
+		}
+		begin := time.Now()
+		work(t)
+		p.timing[t] = time.Since(begin).Seconds()
+	}
+}
+
+// buildPrepared compiles a configuration into a Prepared kernel bound
+// to the executor's worker pool. It accepts bound kernels (Run measures
+// them); the public Prepare rejects them.
+func (e *Executor) buildPrepared(m *matrix.CSR, o ex.Optim, nt int) *Prepared {
+	p := &Prepared{m: m, opt: o, nt: nt, pool: e.workers}
+	switch {
+	case o.RegularizeX:
+		p.bindRange(m, kernels.RegularizedRange, "regularized", o.Schedule)
+	case o.UnitStride:
+		p.bindRange(m, kernels.UnitStrideRange, "unit-stride", o.Schedule)
+	case o.Split:
+		p.bindSplit(e.splitOf(m), o)
+	case o.Compress:
+		p.bindDelta(e.deltaOf(m), m, o.Schedule)
+	default:
+		p.bindRange(m, kernels.Variant(o.Vectorize, o.Prefetch, o.Unroll),
+			kernels.VariantName(o.Vectorize, o.Prefetch, o.Unroll), o.Schedule)
+	}
+	return p
+}
+
+// bindRange compiles a RangeKernel under the resolved schedule.
+func (p *Prepared) bindRange(m *matrix.CSR, k kernels.RangeKernel, name string, policy sched.Policy) {
+	p.kernelName = name
+	sp := sched.Prepare(policy, m, p.nt)
+	if sp.Chunks != nil {
+		chunks := sp.Chunks
+		p.body = p.wrap(func(t int) {
+			for {
+				idx := int(p.next.Add(1)) - 1
+				if idx >= len(chunks) {
+					break
+				}
+				c := chunks[idx]
+				k(m, p.x, p.y, c.Lo, c.Hi)
+			}
+		})
+		return
+	}
+	parts := sp.Parts
+	p.body = p.wrap(func(t int) {
+		r := parts[t]
+		k(m, p.x, p.y, r.Lo, r.Hi)
+	})
+}
+
+// bindSplit compiles the two-phase SplitCSR kernel (Fig 6): phase 1
+// over the base rows, phase-2 partials per thread, and the reduction as
+// the post-barrier finish step. The partial buffer is allocated once
+// here and reused every call.
+func (p *Prepared) bindSplit(s *formats.SplitCSR, o ex.Optim) {
+	inner := kernels.Variant(o.Vectorize, o.Prefetch, o.Unroll)
+	p.kernelName = "split+" + kernels.VariantName(o.Vectorize, o.Prefetch, o.Unroll)
+	parts := sched.Prepare(o.Schedule, s.Base, p.nt).Parts
+	partials := make([]float64, p.nt*s.NumLongRows())
+	nt := p.nt
+	p.body = p.wrap(func(t int) {
+		r := parts[t]
+		inner(s.Base, p.x, p.y, r.Lo, r.Hi)
+		kernels.SplitPhase2Partial(s, p.x, partials, t, nt)
+	})
+	p.finish = func() {
+		kernels.SplitPhase2Reduce(s, partials, p.y, nt)
+	}
+}
+
+// bindDelta compiles the DeltaCSR kernel with per-partition overflow
+// offsets precomputed.
+func (p *Prepared) bindDelta(d *formats.DeltaCSR, m *matrix.CSR, policy sched.Policy) {
+	p.kernelName = "delta"
+	offs := d.OverflowOffsets()
+	parts := sched.Prepare(policy, m, p.nt).Parts
+	p.body = p.wrap(func(t int) {
+		r := parts[t]
+		kernels.DeltaRange(d, p.x, p.y, r.Lo, r.Hi, offs[r.Lo])
+	})
+}

@@ -192,6 +192,31 @@ func PartitionFor(p Policy, m *matrix.CSR, nt int) []Range {
 	}
 }
 
+// Prepared is a frozen scheduling decision for one (policy, matrix,
+// thread count) triple: the resolved policy plus every partition the
+// execution engine needs at run time, materialized once so repeated
+// multiplies do no planning work and no allocation.
+type Prepared struct {
+	// Policy is the resolved policy (never Auto).
+	Policy Policy
+	// Parts is the static per-thread equilibrium assignment.
+	Parts []Range
+	// Chunks is the ordered chunk queue for Dynamic and Guided
+	// schedules; nil for static policies.
+	Chunks []Range
+}
+
+// Prepare resolves the policy for m and materializes its partitions
+// for nt threads.
+func Prepare(p Policy, m *matrix.CSR, nt int) Prepared {
+	r := Resolve(p, m)
+	out := Prepared{Policy: r, Parts: PartitionFor(r, m, nt)}
+	if r == Dynamic || r == Guided {
+		out.Chunks = Chunks(r, m.NRows, nt, 0)
+	}
+	return out
+}
+
 // NNZOf returns the nonzero count covered by each range.
 func NNZOf(m *matrix.CSR, ps []Range) []int64 {
 	out := make([]int64, len(ps))

@@ -212,3 +212,42 @@ func TestNNZBalanceQualityQuick(t *testing.T) {
 }
 
 var _ = matrix.CSR{} // keep import if helpers change
+
+// Prepare must freeze the resolved policy and every partition the
+// execution engine consumes: static parts always, chunk queues only for
+// the chunked policies.
+func TestPrepareMaterializesPartitions(t *testing.T) {
+	m := gen.UniformRandom(500, 6, 31)
+	nt := 4
+	for _, p := range []Policy{StaticNNZ, StaticRows, Dynamic, Guided, Auto} {
+		sp := Prepare(p, m, nt)
+		if sp.Policy == Auto {
+			t.Fatalf("%v: Auto not resolved", p)
+		}
+		if sp.Policy != Resolve(p, m) {
+			t.Fatalf("%v: resolved to %v, want %v", p, sp.Policy, Resolve(p, m))
+		}
+		if len(sp.Parts) != nt {
+			t.Fatalf("%v: %d parts, want %d", p, len(sp.Parts), nt)
+		}
+		chunked := sp.Policy == Dynamic || sp.Policy == Guided
+		if chunked && len(sp.Chunks) == 0 {
+			t.Fatalf("%v: chunked policy has no chunk queue", p)
+		}
+		if !chunked && sp.Chunks != nil {
+			t.Fatalf("%v: static policy has a chunk queue", p)
+		}
+		if chunked {
+			row := 0
+			for _, c := range sp.Chunks {
+				if c.Lo != row {
+					t.Fatalf("%v: chunk gap at %d", p, c.Lo)
+				}
+				row = c.Hi
+			}
+			if row != m.NRows {
+				t.Fatalf("%v: chunks cover %d rows, want %d", p, row, m.NRows)
+			}
+		}
+	}
+}

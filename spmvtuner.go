@@ -192,33 +192,66 @@ func (t *Tuner) Analyze(m *Matrix) Analysis {
 	}
 }
 
-// Tuned is a matrix bound to its selected optimizations, ready for
-// repeated native multiplication.
+// Tuned is a matrix bound to its selected optimizations, compiled into
+// a persistent kernel: converted formats, schedule partitions and
+// reduction buffers are built once at Tune time, and every MulVec after
+// that dispatches to the tuner's long-lived worker pool without
+// planning work or heap allocation. Safe for concurrent use.
 type Tuned struct {
 	m    *Matrix
 	opt  ex.Optim
-	nat  *native.Executor
+	nat  *native.Executor // keeps the worker pool alive for prep
+	prep ex.PreparedKernel
 	info Analysis
 }
 
-// Tune analyzes the matrix and prepares an optimized native kernel.
+// Tune analyzes the matrix and compiles an optimized persistent native
+// kernel.
 func (t *Tuner) Tune(m *Matrix) *Tuned {
-	plan := t.pipeline.PlanOnly(m.csr)
+	plan, prep := t.pipeline.Prepare(m.csr)
+	if prep == nil {
+		// Modeled analysis: the plan came from the simulator, but
+		// execution is always native.
+		prep = t.nat.Prepare(m.csr, plan.Opt)
+	}
 	info := Analysis{
 		Classes:           plan.Classes.String(),
 		Optimizations:     plan.Opt.String(),
 		PreprocessSeconds: plan.PreprocessSeconds,
 	}
-	return &Tuned{m: m, opt: plan.Opt, nat: t.nat, info: info}
+	return &Tuned{m: m, opt: plan.Opt, nat: t.nat, prep: prep, info: info}
 }
 
-// MulVec computes y = A*x with the tuned parallel kernel.
+// Close releases the tuner's persistent worker pool. It is idempotent
+// and optional — a dropped Tuner is reclaimed by a finalizer — and
+// kernels tuned from it remain usable afterwards via a transient
+// fallback path.
+func (t *Tuner) Close() error { return t.nat.Close() }
+
+// MulVec computes y = A*x with the tuned parallel kernel. Steady-state
+// calls are allocation-free and safe from concurrent goroutines.
 func (k *Tuned) MulVec(x, y []float64) {
 	if len(x) != k.m.Cols() || len(y) != k.m.Rows() {
 		panic(fmt.Sprintf("spmvtuner: MulVec dimension mismatch: x=%d y=%d for %dx%d",
 			len(x), len(y), k.m.Rows(), k.m.Cols()))
 	}
-	k.nat.MulVec(k.m.csr, k.opt, x, y)
+	k.prep.MulVec(x, y)
+}
+
+// MulVecBatch computes ys[i] = A*xs[i] for every pair, keeping the
+// worker pool hot across the whole batch — the serving shape where one
+// tuned matrix multiplies many user vectors back to back.
+func (k *Tuned) MulVecBatch(xs, ys [][]float64) {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("spmvtuner: MulVecBatch length mismatch: %d inputs, %d outputs", len(xs), len(ys)))
+	}
+	for i := range xs {
+		if len(xs[i]) != k.m.Cols() || len(ys[i]) != k.m.Rows() {
+			panic(fmt.Sprintf("spmvtuner: MulVecBatch dimension mismatch at %d: x=%d y=%d for %dx%d",
+				i, len(xs[i]), len(ys[i]), k.m.Rows(), k.m.Cols()))
+		}
+	}
+	k.prep.MulVecBatch(xs, ys)
 }
 
 // Info returns the tuning decision.

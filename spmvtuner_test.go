@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -91,6 +92,101 @@ func TestTunedMulVecCorrect(t *testing.T) {
 			t.Fatalf("y[%d] = %g, want %g (opts %s)", i, got[i], want[i], tuned.Optimizations())
 		}
 	}
+}
+
+func TestTunedMulVecConcurrent(t *testing.T) {
+	m := buildRandom(4000, 4000, 5, 11)
+	tu := NewTuner()
+	defer tu.Close()
+	tuned := tu.Tune(m)
+	x := make([]float64, m.Cols())
+	for i := range x {
+		x[i] = float64(i%11) - 5
+	}
+	want := make([]float64, m.Rows())
+	m.MulVec(x, want)
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			y := make([]float64, m.Rows())
+			for it := 0; it < 3; it++ {
+				tuned.MulVec(x, y)
+			}
+			for i := range want {
+				if math.Abs(want[i]-y[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Errorf("y[%d] = %g, want %g", i, y[i], want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTunedMulVecBatch(t *testing.T) {
+	m := buildRandom(2000, 2000, 5, 12)
+	tu := NewTuner()
+	defer tu.Close()
+	tuned := tu.Tune(m)
+	const batch = 4
+	xs := make([][]float64, batch)
+	ys := make([][]float64, batch)
+	for b := range xs {
+		xs[b] = make([]float64, m.Cols())
+		for i := range xs[b] {
+			xs[b][i] = float64((i+b)%9) - 4
+		}
+		ys[b] = make([]float64, m.Rows())
+	}
+	tuned.MulVecBatch(xs, ys)
+	want := make([]float64, m.Rows())
+	for b := range xs {
+		m.MulVec(xs[b], want)
+		for i := range want {
+			if math.Abs(want[i]-ys[b][i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("batch %d: y[%d] = %g, want %g", b, i, ys[b][i], want[i])
+			}
+		}
+	}
+}
+
+func TestTunedMulVecBatchPanics(t *testing.T) {
+	m := buildRandom(100, 100, 3, 13)
+	tu := NewTuner()
+	defer tu.Close()
+	tuned := tu.Tune(m)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("length mismatch", func() {
+		tuned.MulVecBatch(make([][]float64, 2), make([][]float64, 1))
+	})
+	mustPanic("dimension mismatch", func() {
+		tuned.MulVecBatch([][]float64{make([]float64, 5)}, [][]float64{make([]float64, 100)})
+	})
+}
+
+func TestTunerCloseIdempotent(t *testing.T) {
+	m := buildRandom(500, 500, 4, 14)
+	tu := NewTuner()
+	tuned := tu.Tune(m)
+	if err := tu.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tu.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tuned kernels survive Close via the transient fallback.
+	x := make([]float64, m.Cols())
+	y := make([]float64, m.Rows())
+	tuned.MulVec(x, y)
 }
 
 func TestTunedMulVecDimensionPanic(t *testing.T) {
