@@ -1,12 +1,14 @@
-// Mirrors the code samples of README.md and docs/guide/platforms.md so
-// the documented API cannot drift without breaking the build: every
-// call here appears in a published snippet.
+// Mirrors the code samples of README.md, docs/guide/platforms.md and
+// docs/guide/formats.md so the documented API cannot drift without
+// breaking the build: every call here appears in a published snippet.
 package spmvtuner_test
 
 import (
 	"testing"
 
 	"github.com/sparsekit/spmvtuner"
+	"github.com/sparsekit/spmvtuner/internal/formats"
+	"github.com/sparsekit/spmvtuner/internal/gen"
 	"github.com/sparsekit/spmvtuner/internal/native"
 	"github.com/sparsekit/spmvtuner/internal/sim"
 )
@@ -65,4 +67,34 @@ func TestPlatformsGuideSamples(t *testing.T) {
 		t.Fatalf("calibration produced %g GB/s", mdl.StreamMainGBs)
 	}
 	_ = sim.New(mdl)
+}
+
+// TestFormatsGuideSamples exercises the storage-format guide: the
+// facade flow on a short-row suite matrix and the direct SELL-C-σ
+// conversion with explicit C/σ knobs.
+func TestFormatsGuideSamples(t *testing.T) {
+	m, err := spmvtuner.SuiteMatrix("webbase-1M", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner := spmvtuner.NewTuner()
+	defer tuner.Close()
+	tuned := tuner.Tune(m)
+	x := make([]float64, m.Cols())
+	y := make([]float64, m.Rows())
+	tuned.MulVec(x, y)
+
+	// Direct conversion path (internal packages, as the guide notes).
+	csr := gen.ShortRows(2000, 4, 1)
+	s := formats.ConvertSellCSAuto(csr)
+	s2 := formats.ConvertSellCS(csr, 8, 256)
+	if s.PaddingRatio() < 1 || s2.PaddingRatio() < 1 {
+		t.Fatalf("padding ratios %g %g below 1", s.PaddingRatio(), s2.PaddingRatio())
+	}
+	if formats.DefaultChunkHeight != 8 {
+		t.Fatalf("guide documents C=8, code says %d", formats.DefaultChunkHeight)
+	}
+	if !s.Reassemble().Equal(csr) {
+		t.Fatal("guide round-trip promise broken")
+	}
 }

@@ -34,6 +34,13 @@ type Optim struct {
 	// Split decomposes long rows per Fig 5 (the IMB-class
 	// optimization for uneven row lengths).
 	Split bool
+	// SellCS stores the matrix in the SELL-C-σ sliced-ELLPACK format
+	// (rows sorted by length in σ-windows, chunks of C rows padded to
+	// the chunk width, column-major storage) and runs the chunked
+	// kernel — the wide-SIMD remedy for imbalanced short-row irregular
+	// matrices. See EffectiveFormat for the precedence when combined
+	// with the other format knobs.
+	SellCS bool
 	// Schedule selects the row-scheduling policy; the zero value is
 	// the paper's default static nnz-balanced partitioning.
 	Schedule sched.Policy
@@ -50,6 +57,42 @@ type Optim struct {
 // IsBoundKernel reports whether the configuration is a measurement
 // probe rather than a semantics-preserving optimization.
 func (o Optim) IsBoundKernel() bool { return o.RegularizeX || o.UnitStride }
+
+// Format identifies the storage format a configuration executes.
+type Format int
+
+const (
+	// FormatCSR is the canonical row-wise layout (and what bound
+	// kernels read).
+	FormatCSR Format = iota
+	// FormatDelta is DeltaCSR: delta-compressed column indices.
+	FormatDelta
+	// FormatSplit is SplitCSR: the Fig 5 long-row decomposition.
+	FormatSplit
+	// FormatSellCS is SELL-C-σ: sorted, column-padded row chunks.
+	FormatSellCS
+)
+
+// EffectiveFormat resolves the storage format one configuration
+// actually executes — the single source of the format precedence the
+// native engine, the analytic cost model, and conversion pricing all
+// share: bound kernels read plain CSR, Split wins over SellCS (a
+// dominating long row would explode a chunk's padding), and SellCS
+// wins over Compress (the SELL layout replaces the index stream).
+// Superseded format knobs are inert: never converted, never priced.
+func (o Optim) EffectiveFormat() Format {
+	switch {
+	case o.IsBoundKernel():
+		return FormatCSR
+	case o.Split:
+		return FormatSplit
+	case o.SellCS:
+		return FormatSellCS
+	case o.Compress:
+		return FormatDelta
+	}
+	return FormatCSR
+}
 
 // String renders the enabled optimizations compactly, e.g.
 // "compress+vec+prefetch@static-nnz".
@@ -69,6 +112,7 @@ func (o Optim) String() string {
 	add("prefetch", o.Prefetch)
 	add("unroll", o.Unroll)
 	add("split", o.Split)
+	add("sellcs", o.SellCS)
 	add("regx", o.RegularizeX)
 	add("unit", o.UnitStride)
 	if s == "" {

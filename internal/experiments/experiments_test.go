@@ -257,6 +257,25 @@ func TestPartitionedMLFindsHiddenIrregularity(t *testing.T) {
 	_ = res.Table().String()
 }
 
+func TestSellCSExperiment(t *testing.T) {
+	res := SellCS(Config{Scale: 0.02, Matrices: []string{"webbase-1M", "poisson3Db"}})
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.CSRUs <= 0 || r.SellUs <= 0 {
+			t.Fatalf("%s: nonpositive timing %+v", r.Matrix, r)
+		}
+		if r.Padding < 1 {
+			t.Fatalf("%s: padding ratio %g < 1", r.Matrix, r.Padding)
+		}
+	}
+	s := res.Table().String()
+	if !strings.Contains(s, "sellcs-c8") {
+		t.Fatalf("table missing kernel column:\n%s", s)
+	}
+}
+
 func TestTrainProducesUsableClassifier(t *testing.T) {
 	tc := Train(machineKNC(), tiny)
 	if tc.Tree == nil || len(tc.Names) == 0 {

@@ -1,0 +1,176 @@
+package formats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+func TestSellCSRoundTrip(t *testing.T) {
+	for name, m := range map[string]*matrix.CSR{
+		"uniform":  gen.UniformRandom(1000, 6, 1),
+		"powerlaw": gen.PowerLaw(1000, 5, 1.9, 500, 2),
+		"banded":   gen.Banded(700, 8, 0.7, 3),
+		"short":    gen.ShortRows(900, 3, 4),
+		"dense":    gen.Dense(64, 5),
+	} {
+		s := ConvertSellCSAuto(m)
+		if !s.Reassemble().Equal(m) {
+			t.Errorf("%s: reassemble changed matrix", name)
+		}
+		if s.NNZ() != m.NNZ() {
+			t.Errorf("%s: nnz %d, want %d", name, s.NNZ(), m.NNZ())
+		}
+		if s.PaddingRatio() < 1 {
+			t.Errorf("%s: padding ratio %g < 1", name, s.PaddingRatio())
+		}
+	}
+}
+
+func TestSellCSMulVec(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		m := randomMatrix(seed, 300)
+		s := ConvertSellCSAuto(m)
+		mulEqual(t, "sellcs", m, s.MulVec)
+	}
+}
+
+func TestSellCSChunkGeometry(t *testing.T) {
+	m := gen.PowerLaw(1000, 6, 1.8, 400, 7)
+	c, sigma := 8, 64
+	s := ConvertSellCS(m, c, sigma)
+	if got, want := s.NChunks(), (m.NRows+c-1)/c; got != want {
+		t.Fatalf("chunks = %d, want %d", got, want)
+	}
+	// Every chunk width is the max row length of its rows, and the
+	// storage extent matches width*C exactly.
+	for k := 0; k < s.NChunks(); k++ {
+		var w int32
+		for r := k * c; r < (k+1)*c && r < s.NRows; r++ {
+			if s.RowLen[r] > w {
+				w = s.RowLen[r]
+			}
+		}
+		if s.Width[k] != w {
+			t.Fatalf("chunk %d width %d, want %d", k, s.Width[k], w)
+		}
+		if s.ChunkPtr[k+1]-s.ChunkPtr[k] != int64(w)*int64(c) {
+			t.Fatalf("chunk %d extent %d, want %d", k, s.ChunkPtr[k+1]-s.ChunkPtr[k], int64(w)*int64(c))
+		}
+	}
+}
+
+func TestSellCSPermutationIsWindowLocal(t *testing.T) {
+	m := gen.PowerLaw(2000, 6, 1.8, 800, 9)
+	sigma := 128
+	s := ConvertSellCS(m, 8, sigma)
+	seen := make([]bool, m.NRows)
+	for k, orig := range s.Perm {
+		if s.InvPerm[orig] != int32(k) {
+			t.Fatalf("InvPerm[%d] = %d, want %d", orig, s.InvPerm[orig], k)
+		}
+		if seen[orig] {
+			t.Fatalf("row %d appears twice in Perm", orig)
+		}
+		seen[orig] = true
+		// σ-window locality: a permuted position stays inside its
+		// window.
+		if int(orig)/sigma != k/sigma {
+			t.Fatalf("row %d moved out of its σ-window to position %d", orig, k)
+		}
+	}
+}
+
+func TestSellCSSortingShrinksPadding(t *testing.T) {
+	// On a heavy-tailed matrix, sorting (σ > C) must pad less than the
+	// unsorted sliced-ELL layout (σ = 1, i.e. no reordering).
+	m := gen.PowerLaw(4000, 6, 1.8, 1000, 11)
+	unsorted := ConvertSellCS(m, 8, 1)
+	sorted := ConvertSellCS(m, 8, 1024)
+	if sorted.PaddedNNZ() >= unsorted.PaddedNNZ() {
+		t.Fatalf("sorted padding %d >= unsorted %d", sorted.PaddedNNZ(), unsorted.PaddedNNZ())
+	}
+	// Both remain exact representations.
+	if !sorted.Reassemble().Equal(m) || !unsorted.Reassemble().Equal(m) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestSellCSEmptyRows(t *testing.T) {
+	coo := matrix.NewCOO(20, 20)
+	coo.Add(0, 3, 1)
+	coo.Add(7, 7, 2)
+	coo.Add(19, 0, 3) // rows 1..6, 8..18 empty
+	m := coo.ToCSR()
+	s := ConvertSellCSAuto(m)
+	if !s.Reassemble().Equal(m) {
+		t.Fatal("empty-row round trip failed")
+	}
+	x := make([]float64, 20)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	y := make([]float64, 20)
+	for i := range y {
+		y[i] = -99 // must be overwritten, empty rows -> 0
+	}
+	s.MulVec(x, y)
+	want := make([]float64, 20)
+	m.MulVec(x, want)
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestSellCSStatsMatchConversion(t *testing.T) {
+	for _, seed := range []int64{1, 5, 9} {
+		m := gen.PowerLaw(1500, 5, 2.0, 600, seed)
+		c, sigma := DefaultChunkHeight, DefaultSortWindow(m.NRows)
+		padded, chunks := SellCSStats(m, c, sigma)
+		s := ConvertSellCS(m, c, sigma)
+		if padded != s.PaddedNNZ() || chunks != s.NChunks() {
+			t.Fatalf("stats (%d,%d) != conversion (%d,%d)",
+				padded, chunks, s.PaddedNNZ(), s.NChunks())
+		}
+	}
+}
+
+func TestSellCSBytesAboveCSRForPadded(t *testing.T) {
+	// SELL trades footprint for regularity: bytes must at least cover
+	// the padded value+index arrays.
+	m := gen.ShortRows(2000, 4, 13)
+	s := ConvertSellCSAuto(m)
+	if s.Bytes() < s.PaddedNNZ()*12 {
+		t.Fatalf("bytes %d below padded storage %d", s.Bytes(), s.PaddedNNZ()*12)
+	}
+}
+
+// Property: SELL-C-σ round-trips exactly for arbitrary generator
+// outputs, chunk heights and window sizes.
+func TestSellCSRoundTripQuick(t *testing.T) {
+	f := func(seed int64, rawC, rawSigma uint8, sel uint8) bool {
+		n := 60 + int(uint64(seed)%180)
+		var m *matrix.CSR
+		switch sel % 4 {
+		case 0:
+			m = gen.UniformRandom(n, 5, seed)
+		case 1:
+			m = gen.Banded(n, 6, 0.5, seed)
+		case 2:
+			m = gen.PowerLaw(n, 5, 2.0, n, seed)
+		case 3:
+			m = gen.ShortRows(n, 3, seed)
+		}
+		c := 1 + int(rawC)%16
+		sigma := 1 + int(rawSigma)%256
+		s := ConvertSellCS(m, c, sigma)
+		return s.Reassemble().Equal(m) && s.NNZ() == m.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -200,6 +200,72 @@ func CSRVector8PrefetchRange(m *matrix.CSR, x, y []float64, lo, hi int) {
 	}
 }
 
+// SellCSRange computes the rows of SELL-C-σ chunks [lo, hi), writing
+// each real row's dot product to y[original row] through the chunk's
+// permutation. Chunks own disjoint rows, so disjoint chunk ranges run
+// in parallel without synchronization. This is the plain (any-C)
+// variant; it walks each row along the column-major layout, stopping at
+// the row's real length.
+func SellCSRange(s *formats.SellCS, x, y []float64, lo, hi int) {
+	s.MulVecChunks(x, y, lo, hi)
+}
+
+// SellCS8Range is the wide-SIMD variant for C == 8: it traverses a
+// chunk column-major with eight independent accumulators — one vector
+// op per padded column slot, the access pattern an 8-lane SIMD unit
+// executes — and scatters the results through the permutation. Padding
+// slots hold value 0 and repeat the row's last real column, so for
+// finite x they contribute nothing; a non-finite x entry can turn a
+// padded 0*x into NaN, but only on rows whose true result is already
+// non-finite (the repeated column is one the row genuinely reads).
+// Empty rows are scattered as exact zeros regardless of x.
+func SellCS8Range(s *formats.SellCS, x, y []float64, lo, hi int) {
+	if s.C != 8 {
+		SellCSRange(s, x, y, lo, hi)
+		return
+	}
+	for k := lo; k < hi; k++ {
+		var acc [8]float64
+		p := s.ChunkPtr[k]
+		for j := int32(0); j < s.Width[k]; j++ {
+			acc[0] += s.Vals[p] * x[s.Cols[p]]
+			acc[1] += s.Vals[p+1] * x[s.Cols[p+1]]
+			acc[2] += s.Vals[p+2] * x[s.Cols[p+2]]
+			acc[3] += s.Vals[p+3] * x[s.Cols[p+3]]
+			acc[4] += s.Vals[p+4] * x[s.Cols[p+4]]
+			acc[5] += s.Vals[p+5] * x[s.Cols[p+5]]
+			acc[6] += s.Vals[p+6] * x[s.Cols[p+6]]
+			acc[7] += s.Vals[p+7] * x[s.Cols[p+7]]
+			p += 8
+		}
+		base := k * 8
+		rows := 8
+		if base+rows > s.NRows {
+			rows = s.NRows - base
+		}
+		for r := 0; r < rows; r++ {
+			if s.RowLen[base+r] == 0 {
+				// An empty row's lanes are pure padding (column 0);
+				// write the exact zero the reference produces even
+				// when x[0] is non-finite.
+				y[s.Perm[base+r]] = 0
+				continue
+			}
+			y[s.Perm[base+r]] = acc[r]
+		}
+	}
+}
+
+// SellCSVariant selects the SELL-C-σ chunk kernel: the 8-accumulator
+// column-major form when the chunk height matches the vector width and
+// vectorization is requested, the plain row walk otherwise.
+func SellCSVariant(s *formats.SellCS, vectorize bool) (func(s *formats.SellCS, x, y []float64, lo, hi int), string) {
+	if vectorize && s.C == 8 {
+		return SellCS8Range, "sellcs-c8"
+	}
+	return SellCSRange, "sellcs"
+}
+
 // VariantName names the kernel Variant selects for the same flags, for
 // diagnostics and prepared-kernel introspection.
 func VariantName(vectorize, prefetch, unroll bool) string {

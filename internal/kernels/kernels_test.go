@@ -129,6 +129,89 @@ func TestSplitTwoPhaseMatchesReference(t *testing.T) {
 	}
 }
 
+func TestSellCSKernelsMatchReference(t *testing.T) {
+	for mname, m := range testMatrices() {
+		t.Run(mname, func(t *testing.T) {
+			s := formats.ConvertSellCSAuto(m)
+			x := vec(m.NCols, 5)
+			want := make([]float64, m.NRows)
+			m.MulVec(x, want)
+			for _, v := range []struct {
+				name string
+				k    func(s *formats.SellCS, x, y []float64, lo, hi int)
+			}{{"plain", SellCSRange}, {"c8", SellCS8Range}} {
+				got := make([]float64, m.NRows)
+				// Uneven chunk ranges exercise partition edges.
+				nc := s.NChunks()
+				bounds := []int{0, nc / 3, 2*nc/3 + 1, nc}
+				if bounds[2] > nc {
+					bounds[2] = nc
+				}
+				for b := 0; b+1 < len(bounds); b++ {
+					if bounds[b] < bounds[b+1] {
+						v.k(s, x, got, bounds[b], bounds[b+1])
+					}
+				}
+				for i := range want {
+					if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+						t.Fatalf("sellcs-%s: y[%d] = %g, want %g", v.name, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSellCS8EmptyRowsExactZeroUnderNonFiniteX(t *testing.T) {
+	// Empty-row lanes are pure padding against column 0; even when
+	// x[0] is non-finite the kernel must scatter the exact zero the
+	// reference produces.
+	m := emptyRowMatrix() // rows 1..8 empty, entries at (0,3) and (9,0)
+	s := formats.ConvertSellCS(m, 8, 8)
+	x := make([]float64, m.NCols)
+	x[0] = math.Inf(1)
+	x[3] = 2
+	y := make([]float64, m.NRows)
+	SellCS8Range(s, x, y, 0, s.NChunks())
+	want := make([]float64, m.NRows)
+	m.MulVec(x, want)
+	for i := range want {
+		if y[i] != want[i] && !(math.IsNaN(y[i]) && math.IsNaN(want[i])) {
+			t.Fatalf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestSellCS8RangeFallsBackForOtherC(t *testing.T) {
+	m := gen.UniformRandom(300, 5, 8)
+	s := formats.ConvertSellCS(m, 4, 64) // C != 8
+	x := vec(m.NCols, 6)
+	want := make([]float64, m.NRows)
+	m.MulVec(x, want)
+	got := make([]float64, m.NRows)
+	SellCS8Range(s, x, got, 0, s.NChunks())
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("fallback: y[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSellCSVariantSelection(t *testing.T) {
+	m := gen.UniformRandom(200, 5, 10)
+	s8 := formats.ConvertSellCS(m, 8, 64)
+	if _, name := SellCSVariant(s8, true); name != "sellcs-c8" {
+		t.Fatalf("vectorized C=8 variant = %q, want sellcs-c8", name)
+	}
+	if _, name := SellCSVariant(s8, false); name != "sellcs" {
+		t.Fatalf("scalar variant = %q, want sellcs", name)
+	}
+	s4 := formats.ConvertSellCS(m, 4, 64)
+	if _, name := SellCSVariant(s4, true); name != "sellcs" {
+		t.Fatalf("C=4 variant = %q, want sellcs", name)
+	}
+}
+
 func TestBoundKernelsRun(t *testing.T) {
 	// The bound kernels are probes, not SpMV: they must run without
 	// touching colind-indexed x (RegularizedRange) and produce the

@@ -1,0 +1,101 @@
+package mmio
+
+// Native Go fuzz target for the Matrix Market parser. Two properties:
+// the parser never panics on any byte stream (it returns errors), and
+// any input it accepts survives a write+reparse round trip — what goes
+// through the assembler once must be a fixed point of the format.
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds is the seed corpus: the fixture of every supported
+// typecode (coordinate real/integer/pattern × general/symmetric/
+// skew-symmetric, array real), plus malformed shapes the error paths
+// reject.
+var fuzzSeeds = []string{
+	sample,
+	"%%MatrixMarket matrix coordinate real symmetric\n3 3 3\n1 1 2\n2 1 5\n3 3 1\n",
+	"%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3\n",
+	"%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n",
+	"%%MatrixMarket matrix coordinate integer general\n2 3 2\n1 1 7\n2 3 -4\n",
+	"%%MatrixMarket matrix array real general\n2 2\n1\n0\n3\n4\n",
+	"%%MatrixMarket matrix coordinate real general\n% comment\n\n1 1 0\n",
+	"%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1\n1 1 2\n", // duplicate, summed
+	"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1e308\n",
+	"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 NaN\n",
+	"3 3 1\n1 1 1\n", // missing banner
+	"%%MatrixMarket matrix coordinate real general\nxyz\n", // bad size line
+	"%%MatrixMarket matrix array real general\n-5 3\n1\n",  // negative dims
+	"%%MatrixMarket matrix coordinate real general\n99999999999 2 1\n1 1 1\n",
+	"%%MatrixMarket", // truncated banner
+	"",
+}
+
+// valsEqual compares float64s treating NaN as equal to itself (the
+// text round trip preserves NaN/Inf spellings, which == cannot see).
+func valsEqual(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}
+
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			// Entry count scales with input size; a bound keeps each
+			// execution fast without narrowing the grammar coverage.
+			t.Skip()
+		}
+		m, err := Read(bytes.NewReader(data)) // must not panic
+		if err != nil {
+			return
+		}
+		if m.NRows > 1<<17 || m.NCols > 1<<17 {
+			// A giant-but-in-cap header (parser-side allocation is
+			// bounded by maxDim) adds nothing to grammar coverage;
+			// skip the O(rows) validate/write/reparse loops so the
+			// fuzz budget explores the format instead.
+			t.Skip()
+		}
+		// Accepted input: the parsed matrix must be a structurally
+		// valid CSR…
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("accepted input produced invalid CSR: %v\ninput: %q", verr, data)
+		}
+		// …and must round-trip through write+reparse exactly: same
+		// shape, same structure, same values.
+		var buf strings.Builder
+		if werr := Write(&buf, m); werr != nil {
+			t.Fatalf("write failed for accepted input: %v", werr)
+		}
+		m2, rerr := Read(strings.NewReader(buf.String()))
+		if rerr != nil {
+			t.Fatalf("reparse failed: %v\nwritten: %q", rerr, buf.String())
+		}
+		if m2.NRows != m.NRows || m2.NCols != m.NCols || m2.NNZ() != m.NNZ() {
+			t.Fatalf("round trip changed shape: %dx%d/%d -> %dx%d/%d",
+				m.NRows, m.NCols, m.NNZ(), m2.NRows, m2.NCols, m2.NNZ())
+		}
+		for i := range m.RowPtr {
+			if m.RowPtr[i] != m2.RowPtr[i] {
+				t.Fatalf("round trip changed rowptr[%d]", i)
+			}
+		}
+		for i := range m.ColInd {
+			if m.ColInd[i] != m2.ColInd[i] {
+				t.Fatalf("round trip changed colind[%d]", i)
+			}
+			if !valsEqual(m.Val[i], m2.Val[i]) {
+				t.Fatalf("round trip changed val[%d]: %g -> %g", i, m.Val[i], m2.Val[i])
+			}
+		}
+	})
+}

@@ -104,6 +104,25 @@ func nextDataLine(br *bufio.Reader) (string, error) {
 	}
 }
 
+// maxDim caps accepted matrix dimensions. CSR conversion allocates
+// O(rows) row pointers, so an adversarial size line like
+// "2000000000 2000000000 0" would force a multi-gigabyte allocation
+// from a 30-byte input. 1<<26 (~67M) admits every SuiteSparse matrix
+// in this reproduction's range (the paper's largest, circuit5M, has
+// 5.6M rows) and the large web graphs beyond it, while bounding the
+// worst hostile-header allocation at ~0.5 GB of row pointers.
+const maxDim = 1 << 26
+
+func checkDims(rows, cols int) error {
+	if rows <= 0 || cols <= 0 {
+		return fmt.Errorf("mmio: invalid dimensions %d x %d", rows, cols)
+	}
+	if rows > maxDim || cols > maxDim {
+		return fmt.Errorf("mmio: dimensions %d x %d exceed the %d cap", rows, cols, maxDim)
+	}
+	return nil
+}
+
 func readCoordinate(br *bufio.Reader, h header) (*matrix.CSR, error) {
 	sizeLine, err := nextDataLine(br)
 	if err != nil {
@@ -113,8 +132,11 @@ func readCoordinate(br *bufio.Reader, h header) (*matrix.CSR, error) {
 	if _, err := fmt.Sscan(sizeLine, &rows, &cols, &nnz); err != nil {
 		return nil, fmt.Errorf("mmio: bad size line %q: %w", sizeLine, err)
 	}
-	if rows <= 0 || cols <= 0 || nnz < 0 {
-		return nil, fmt.Errorf("mmio: invalid dimensions %d x %d, nnz %d", rows, cols, nnz)
+	if err := checkDims(rows, cols); err != nil {
+		return nil, err
+	}
+	if nnz < 0 {
+		return nil, fmt.Errorf("mmio: negative nnz %d", nnz)
 	}
 	coo := matrix.NewCOO(rows, cols)
 	for k := 0; k < nnz; k++ {
@@ -169,6 +191,9 @@ func readArray(br *bufio.Reader, h header) (*matrix.CSR, error) {
 	var rows, cols int
 	if _, err := fmt.Sscan(sizeLine, &rows, &cols); err != nil {
 		return nil, fmt.Errorf("mmio: bad array size line %q: %w", sizeLine, err)
+	}
+	if err := checkDims(rows, cols); err != nil {
+		return nil, err
 	}
 	coo := matrix.NewCOO(rows, cols)
 	// Array format is column-major, all entries present.

@@ -1,0 +1,85 @@
+package native
+
+// Zero-allocation regression guard: the prepared engine's contract is
+// that a steady-state MulVec does no planning work and no heap
+// allocation — PR 1 verified this with a benchmark; this test makes it
+// a failing check for every optimization path, including SELL-C-σ.
+// The CI alloc job runs exactly these tests (-run TestAlloc).
+
+import (
+	"testing"
+
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/sched"
+)
+
+// allocOptims is every distinct prepared execution path: the plain and
+// vectorized row kernels, prefetch, unroll, each converted format
+// (DeltaCSR, SplitCSR, SELL-C-σ), and the cursor-driven dynamic and
+// guided schedules.
+func allocOptims() map[string]ex.Optim {
+	return map[string]ex.Optim{
+		"baseline":       {},
+		"vec8":           {Vectorize: true},
+		"prefetch":       {Prefetch: true},
+		"unroll":         {Unroll: true},
+		"vec8+prefetch":  {Vectorize: true, Prefetch: true},
+		"compress":       {Compress: true},
+		"split":          {Split: true},
+		"sellcs":         {SellCS: true, Vectorize: true},
+		"sellcs-plain":   {SellCS: true},
+		"sellcs-dynamic": {SellCS: true, Vectorize: true, Schedule: sched.Dynamic},
+		"dynamic":        {Schedule: sched.Dynamic},
+		"guided":         {Schedule: sched.Guided},
+	}
+}
+
+func TestAllocFreeSteadyStateMulVec(t *testing.T) {
+	e := New()
+	defer e.Close()
+	// Skewed enough that split extracts rows and SELL pads; large
+	// enough that multiple worker slots engage.
+	m := gen.FewDenseRows(6000, 5, 2, 2000, 31)
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = 1 + float64(i%3)
+	}
+	y := make([]float64, m.NRows)
+	for name, o := range allocOptims() {
+		t.Run(name, func(t *testing.T) {
+			p := e.Prepare(m, o)
+			// Warm: first calls may grow goroutine stacks or touch
+			// lazy runtime state; the steady-state contract starts
+			// after that.
+			for i := 0; i < 3; i++ {
+				p.MulVec(x, y)
+			}
+			if avg := testing.AllocsPerRun(10, func() { p.MulVec(x, y) }); avg != 0 {
+				t.Fatalf("%s: %.1f allocs per steady-state MulVec, want 0", name, avg)
+			}
+		})
+	}
+}
+
+// TestAllocFreeBatch covers the batch serving path with the same
+// contract.
+func TestAllocFreeBatch(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := gen.UniformRandom(4000, 6, 33)
+	const batch = 4
+	xs := make([][]float64, batch)
+	ys := make([][]float64, batch)
+	for b := range xs {
+		xs[b] = make([]float64, m.NCols)
+		ys[b] = make([]float64, m.NRows)
+	}
+	for _, o := range []ex.Optim{{Vectorize: true}, {SellCS: true, Vectorize: true}} {
+		p := e.Prepare(m, o)
+		p.MulVecBatch(xs, ys)
+		if avg := testing.AllocsPerRun(5, func() { p.MulVecBatch(xs, ys) }); avg != 0 {
+			t.Fatalf("%v: %.1f allocs per steady-state MulVecBatch, want 0", o, avg)
+		}
+	}
+}

@@ -90,12 +90,15 @@ func TestPreparedMatchesReference(t *testing.T) {
 		"powerlaw": gen.PowerLaw(3000, 6, 2.0, 800, 13),
 	}
 	opts := map[string]ex.Optim{
-		"baseline":     {},
-		"compress":     {Compress: true},
-		"split":        {Split: true},
-		"vec+prefetch": {Vectorize: true, Prefetch: true},
-		"dynamic":      {Schedule: sched.Dynamic},
-		"guided":       {Schedule: sched.Guided},
+		"baseline":       {},
+		"compress":       {Compress: true},
+		"split":          {Split: true},
+		"vec+prefetch":   {Vectorize: true, Prefetch: true},
+		"dynamic":        {Schedule: sched.Dynamic},
+		"guided":         {Schedule: sched.Guided},
+		"sellcs":         {SellCS: true, Vectorize: true},
+		"sellcs-plain":   {SellCS: true},
+		"sellcs-dynamic": {SellCS: true, Vectorize: true, Schedule: sched.Dynamic},
 	}
 	e := New()
 	defer e.Close()
@@ -155,7 +158,7 @@ func TestPreparedConcurrentMulVec(t *testing.T) {
 	e := New()
 	defer e.Close()
 	m := gen.FewDenseRows(4000, 5, 3, 2000, 21)
-	for _, o := range []ex.Optim{{}, {Split: true}, {Compress: true}, {Schedule: sched.Dynamic}} {
+	for _, o := range []ex.Optim{{}, {Split: true}, {Compress: true}, {Schedule: sched.Dynamic}, {SellCS: true, Vectorize: true}} {
 		p := e.Prepare(m, o)
 		rng := rand.New(rand.NewSource(3))
 		x := make([]float64, m.NCols)
@@ -240,6 +243,19 @@ func TestPreparedIntrospection(t *testing.T) {
 	if s := e.Prepare(m, ex.Optim{Split: true}).(*Prepared); s.Kernel() != "split+csr" {
 		t.Fatalf("split kernel = %q", s.Kernel())
 	}
+	if s := e.Prepare(m, ex.Optim{SellCS: true, Vectorize: true}).(*Prepared); s.Kernel() != "sellcs-c8" {
+		t.Fatalf("sellcs kernel = %q", s.Kernel())
+	}
+	if s := e.Prepare(m, ex.Optim{SellCS: true}).(*Prepared); s.Kernel() != "sellcs" {
+		t.Fatalf("plain sellcs kernel = %q", s.Kernel())
+	}
+	// Precedence: Split wins over SellCS, SellCS wins over Compress.
+	if s := e.Prepare(m, ex.Optim{Split: true, SellCS: true}).(*Prepared); s.Kernel() != "split+csr" {
+		t.Fatalf("split+sellcs kernel = %q", s.Kernel())
+	}
+	if s := e.Prepare(m, ex.Optim{SellCS: true, Compress: true, Vectorize: true}).(*Prepared); s.Kernel() != "sellcs-c8" {
+		t.Fatalf("sellcs+compress kernel = %q", s.Kernel())
+	}
 }
 
 // TestPreparedCacheBounded: a stream of distinct matrices through
@@ -258,5 +274,28 @@ func TestPreparedCacheBounded(t *testing.T) {
 	e.mu.Unlock()
 	if n > maxPreparedKernels {
 		t.Fatalf("cache holds %d kernels, cap %d", n, maxPreparedKernels)
+	}
+}
+
+// TestFormatCachesBounded: streaming distinct matrices through the
+// converted-format paths must not retain conversions without bound.
+func TestFormatCachesBounded(t *testing.T) {
+	e := New()
+	defer e.Close()
+	x := make([]float64, 20)
+	y := make([]float64, 20)
+	for i := 0; i < maxFormatCacheEntries+10; i++ {
+		m := gen.Banded(20, 2, 1.0, int64(i))
+		e.MulVec(m, ex.Optim{SellCS: true}, x, y)
+		e.MulVec(m, ex.Optim{Compress: true}, x, y)
+		e.MulVec(m, ex.Optim{Split: true}, x, y)
+	}
+	e.mu.Lock()
+	ns, nd, np := len(e.sells), len(e.deltas), len(e.splits)
+	e.mu.Unlock()
+	for name, n := range map[string]int{"sells": ns, "deltas": nd, "splits": np} {
+		if n > maxFormatCacheEntries {
+			t.Fatalf("%s cache holds %d conversions, cap %d", name, n, maxFormatCacheEntries)
+		}
 	}
 }

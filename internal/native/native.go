@@ -34,6 +34,7 @@ type Executor struct {
 	mu       sync.Mutex
 	deltas   map[*matrix.CSR]*formats.DeltaCSR
 	splits   map[*matrix.CSR]*formats.SplitCSR
+	sells    map[*matrix.CSR]*formats.SellCS
 	prepared map[preparedKey]*Prepared
 
 	probeOnce sync.Once
@@ -62,6 +63,7 @@ func New() *Executor {
 		Iters:    3,
 		deltas:   make(map[*matrix.CSR]*formats.DeltaCSR),
 		splits:   make(map[*matrix.CSR]*formats.SplitCSR),
+		sells:    make(map[*matrix.CSR]*formats.SellCS),
 		prepared: make(map[preparedKey]*Prepared),
 	}
 	e.workers = NewPool(e.model.Cores)
@@ -128,6 +130,26 @@ func (e *Executor) defaultThreads(m *matrix.CSR) int {
 	return nt
 }
 
+// maxFormatCacheEntries bounds each converted-format memo (DeltaCSR,
+// SplitCSR, SellCS) the same way maxPreparedKernels bounds the kernel
+// cache: a stream of distinct matrices must not retain converted
+// structures — which can exceed the source matrix in size — without
+// bound. Evicted conversions stay usable by whoever holds them.
+const maxFormatCacheEntries = maxPreparedKernels
+
+// cacheFormat inserts v into the memo map under the entry cap,
+// evicting an arbitrary entry when full (map order is effectively
+// random).
+func cacheFormat[V any](cache map[*matrix.CSR]V, m *matrix.CSR, v V) {
+	if len(cache) >= maxFormatCacheEntries {
+		for k := range cache {
+			delete(cache, k)
+			break
+		}
+	}
+	cache[m] = v
+}
+
 // deltaOf memoizes the DeltaCSR conversion.
 func (e *Executor) deltaOf(m *matrix.CSR) *formats.DeltaCSR {
 	e.mu.Lock()
@@ -136,7 +158,7 @@ func (e *Executor) deltaOf(m *matrix.CSR) *formats.DeltaCSR {
 		return d
 	}
 	d := formats.Compress(m)
-	e.deltas[m] = d
+	cacheFormat(e.deltas, m, d)
 	return d
 }
 
@@ -148,7 +170,25 @@ func (e *Executor) splitOf(m *matrix.CSR) *formats.SplitCSR {
 		return s
 	}
 	s := formats.SplitAuto(m)
-	e.splits[m] = s
+	cacheFormat(e.splits, m, s)
+	return s
+}
+
+// SellCSOf returns the executor's memoized SELL-C-σ conversion of m
+// (converting on first use) — the exact structure SellCS-prepared
+// kernels execute, so diagnostics like the sellcs experiment can read
+// padding geometry without converting a second time.
+func (e *Executor) SellCSOf(m *matrix.CSR) *formats.SellCS { return e.sellOf(m) }
+
+// sellOf memoizes the SELL-C-σ conversion at the default C/σ.
+func (e *Executor) sellOf(m *matrix.CSR) *formats.SellCS {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.sells[m]; ok {
+		return s
+	}
+	s := formats.ConvertSellCSAuto(m)
+	cacheFormat(e.sells, m, s)
 	return s
 }
 

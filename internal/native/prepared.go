@@ -121,13 +121,18 @@ func (e *Executor) buildPrepared(m *matrix.CSR, o ex.Optim, nt int) *Prepared {
 		p.bindRange(m, kernels.RegularizedRange, "regularized", o.Schedule)
 	case o.UnitStride:
 		p.bindRange(m, kernels.UnitStrideRange, "unit-stride", o.Schedule)
-	case o.Split:
-		p.bindSplit(e.splitOf(m), o)
-	case o.Compress:
-		p.bindDelta(e.deltaOf(m), m, o.Schedule)
 	default:
-		p.bindRange(m, kernels.Variant(o.Vectorize, o.Prefetch, o.Unroll),
-			kernels.VariantName(o.Vectorize, o.Prefetch, o.Unroll), o.Schedule)
+		switch o.EffectiveFormat() {
+		case ex.FormatSplit:
+			p.bindSplit(e.splitOf(m), o)
+		case ex.FormatSellCS:
+			p.bindSellCS(e.sellOf(m), o)
+		case ex.FormatDelta:
+			p.bindDelta(e.deltaOf(m), m, o.Schedule)
+		default:
+			p.bindRange(m, kernels.Variant(o.Vectorize, o.Prefetch, o.Unroll),
+				kernels.VariantName(o.Vectorize, o.Prefetch, o.Unroll), o.Schedule)
+		}
 	}
 	return p
 }
@@ -175,6 +180,44 @@ func (p *Prepared) bindSplit(s *formats.SplitCSR, o ex.Optim) {
 	p.finish = func() {
 		kernels.SplitPhase2Reduce(s, partials, p.y, nt)
 	}
+}
+
+// bindSellCS compiles the SELL-C-σ chunked kernel: threads are
+// partitioned over chunks (not rows), balanced by padded element count
+// — the work the kernel actually streams — using the ChunkPtr prefix
+// sums. Every chunk owns a disjoint set of original rows, so the
+// permuted scatter into y needs no synchronization and no scratch
+// vector. Dynamic and guided schedules serve chunk ranges from the
+// shared cursor instead.
+func (p *Prepared) bindSellCS(s *formats.SellCS, o ex.Optim) {
+	kern, name := kernels.SellCSVariant(s, o.Vectorize)
+	p.kernelName = name
+	if r := sched.Resolve(o.Schedule, p.m); r == sched.Dynamic || r == sched.Guided {
+		chunks := sched.Chunks(r, s.NChunks(), p.nt, 0)
+		p.body = p.wrap(func(t int) {
+			for {
+				idx := int(p.next.Add(1)) - 1
+				if idx >= len(chunks) {
+					break
+				}
+				c := chunks[idx]
+				kern(s, p.x, p.y, c.Lo, c.Hi)
+			}
+		})
+		return
+	}
+	parts := sellChunkParts(s, p.nt)
+	p.body = p.wrap(func(t int) {
+		r := parts[t]
+		kern(s, p.x, p.y, r.Lo, r.Hi)
+	})
+}
+
+// sellChunkParts splits the chunk list into nt contiguous ranges of
+// approximately equal padded element count (ChunkPtr is the prefix-sum
+// weight array).
+func sellChunkParts(s *formats.SellCS, nt int) []sched.Range {
+	return sched.PartitionPrefix(s.ChunkPtr, s.NChunks(), nt)
 }
 
 // bindDelta compiles the DeltaCSR kernel with per-partition overflow

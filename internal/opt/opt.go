@@ -36,6 +36,16 @@ const (
 	NumMembers
 )
 
+// SellC is the extended pool member introduced after the paper: the
+// SELL-C-σ sliced-ELLPACK format (Kreutzer et al.), the wide-SIMD
+// remedy for imbalanced short-row irregular matrices. It is
+// deliberately NOT part of AllMembers — the trivial optimizers of
+// Table V keep the paper's 5/15 candidate counts — but the classifier
+// can select it (MembersFor) and the oracle always considers it
+// (sellCandidates), so the oracle still dominates every classifier
+// output.
+const SellC Member = NumMembers
+
 // String names the member like the paper's prose.
 func (m Member) String() string {
 	switch m {
@@ -49,6 +59,8 @@ func (m Member) String() string {
 		return "auto-scheduling"
 	case UnrollVec:
 		return "unrolling+vectorization"
+	case SellC:
+		return "sell-c-sigma"
 	default:
 		return "unknown"
 	}
@@ -68,6 +80,11 @@ func (m Member) Apply(o ex.Optim) ex.Optim {
 		o.Schedule = sched.Auto
 	case UnrollVec:
 		o.Unroll = true
+		o.Vectorize = true
+	case SellC:
+		// SELL-C-σ is a vectorized format: the chunk height is the
+		// vector width, so selecting it implies vector execution.
+		o.SellCS = true
 		o.Vectorize = true
 	}
 	return o
@@ -97,9 +114,17 @@ func MembersFor(set classify.Set, fs features.Set) []Member {
 		ms = append(ms, Prefetch)
 	}
 	if set.Has(classify.IMB) {
-		if fs.NNZMax > longRowFactor*fs.NNZAvg && fs.NNZMax > 256 {
+		switch {
+		case fs.NNZMax > longRowFactor*fs.NNZAvg && fs.NNZMax > 256:
 			ms = append(ms, SplitRows)
-		} else {
+		case set.Has(classify.ML):
+			// Imbalanced AND latency bound with no dominating rows:
+			// many short irregular rows. SELL-C-σ's sorted chunks fix
+			// the imbalance structurally while the column-padded
+			// layout vectorizes rows too short for the row-wise CSR
+			// vector kernel.
+			ms = append(ms, SellC)
+		default:
 			ms = append(ms, AutoSched)
 		}
 	}
@@ -182,18 +207,21 @@ func rowSweepSeconds(m *matrix.CSR, mdl machine.Model) float64 {
 }
 
 // ConversionSeconds is the format-conversion cost of the selected
-// optimizations: delta compression and the long-row decomposition each
-// rewrite the matrix (two passes: analyze + emit); the other members
-// only select kernels.
+// optimizations. Only the effective storage format converts — the
+// engine's precedence is Split over SellCS over Compress, and a
+// superseded format is never built, so it costs nothing: the long-row
+// decomposition and delta compression rewrite the matrix in two passes
+// (analyze + emit); SELL-C-σ takes three (measure + window-sort row
+// lengths, size chunks, emit the padded column-major storage). The
+// remaining members only select kernels.
 func ConversionSeconds(m *matrix.CSR, mdl machine.Model, o ex.Optim) float64 {
-	var s float64
-	if o.Compress {
-		s += 2 * sweepSeconds(m, mdl)
+	switch o.EffectiveFormat() {
+	case ex.FormatSplit, ex.FormatDelta:
+		return 2 * sweepSeconds(m, mdl)
+	case ex.FormatSellCS:
+		return 3 * sweepSeconds(m, mdl)
 	}
-	if o.Split {
-		s += 2 * sweepSeconds(m, mdl)
-	}
-	return s
+	return 0
 }
 
 // FeatureExtractionSeconds prices extracting the named features: one
@@ -337,14 +365,40 @@ func candidateOptims(pairs, triples bool) []ex.Optim {
 	return out
 }
 
+// sellCandidates returns the extended-format configurations beyond the
+// Table V pool: SELL-C-σ alone and joined with each pool member the
+// classifier can co-select (every subset of {compression, prefetch,
+// unrolling} — the Split and AutoSched members are mutually exclusive
+// with SellC in MembersFor). The oracle sweeps these so it dominates
+// every configuration the classifiers can produce.
+func sellCandidates() []ex.Optim {
+	joinable := []Member{CompressVec, Prefetch, UnrollVec}
+	out := make([]ex.Optim, 0, 8)
+	for mask := 0; mask < 1<<len(joinable); mask++ {
+		o := SellC.Apply(ex.Optim{})
+		for i, m := range joinable {
+			if mask&(1<<i) != 0 {
+				o = m.Apply(o)
+			}
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
 // sweep measures all candidates and returns the best configuration
 // (by modeled/measured time) plus the total preprocessing cost of
-// trying everything.
-func sweep(e ex.Executor, m *matrix.CSR, c CostParams, pairs, triples bool) (best ex.Optim, bestSecs, pre float64) {
+// trying everything. With extended set, the SELL-C-σ configurations
+// join the pool.
+func sweep(e ex.Executor, m *matrix.CSR, c CostParams, pairs, triples, extended bool) (best ex.Optim, bestSecs, pre float64) {
 	mdl := e.Machine()
 	baseSecs := e.Run(ex.Config{Matrix: m}).Seconds
 	best, bestSecs = ex.Optim{}, baseSecs
-	for _, o := range candidateOptims(pairs, triples) {
+	cands := candidateOptims(pairs, triples)
+	if extended {
+		cands = append(cands, sellCandidates()...)
+	}
+	for _, o := range cands {
 		r := e.Run(ex.Config{Matrix: m, Opt: o})
 		pre += ConversionSeconds(m, mdl, o) +
 			float64(c.MeasureIters)*r.Seconds +
@@ -372,7 +426,7 @@ func (*Oracle) Name() string { return "oracle" }
 
 // Plan implements Optimizer.
 func (o *Oracle) Plan(e ex.Executor, m *matrix.CSR) Plan {
-	best, _, pre := sweep(e, m, o.Costs, true, true)
+	best, _, pre := sweep(e, m, o.Costs, true, true, true)
 	return Plan{Optimizer: o.Name(), Opt: best, PreprocessSeconds: pre}
 }
 
@@ -390,7 +444,7 @@ func (*TrivialSingle) Name() string { return "trivial-single" }
 
 // Plan implements Optimizer.
 func (t *TrivialSingle) Plan(e ex.Executor, m *matrix.CSR) Plan {
-	best, _, pre := sweep(e, m, t.Costs, false, false)
+	best, _, pre := sweep(e, m, t.Costs, false, false, false)
 	return Plan{Optimizer: t.Name(), Opt: best, PreprocessSeconds: pre}
 }
 
@@ -408,7 +462,7 @@ func (*TrivialCombined) Name() string { return "trivial-combined" }
 
 // Plan implements Optimizer.
 func (t *TrivialCombined) Plan(e ex.Executor, m *matrix.CSR) Plan {
-	best, _, pre := sweep(e, m, t.Costs, true, false)
+	best, _, pre := sweep(e, m, t.Costs, true, false, false)
 	return Plan{Optimizer: t.Name(), Opt: best, PreprocessSeconds: pre}
 }
 

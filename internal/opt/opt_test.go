@@ -57,6 +57,74 @@ func TestMembersForTableII(t *testing.T) {
 	}
 }
 
+func TestSellCMemberExtendsThePool(t *testing.T) {
+	// SellC stays outside the paper's Table V pool…
+	for _, m := range AllMembers() {
+		if m == SellC {
+			t.Fatal("SellC must not join the paper's 5-member pool")
+		}
+	}
+	// …but applies the SELL-C-σ knobs (the format is inherently
+	// vectorized).
+	o := SellC.Apply(ex.Optim{})
+	if !o.SellCS || !o.Vectorize {
+		t.Fatalf("SellC knobs incomplete: %v", o)
+	}
+	if SellC.String() != "sell-c-sigma" {
+		t.Fatalf("SellC name = %q", SellC.String())
+	}
+}
+
+func TestMembersForSelectsSellC(t *testing.T) {
+	// Imbalanced AND latency bound without dominating rows: SELL-C-σ.
+	flat := features.Set{NNZAvg: 8, NNZMax: 10, BWSd: 1}
+	ms := MembersFor(classify.NewSet(classify.ML, classify.IMB), flat)
+	var hasSell, hasPrefetch bool
+	for _, m := range ms {
+		hasSell = hasSell || m == SellC
+		hasPrefetch = hasPrefetch || m == Prefetch
+	}
+	if !hasSell || !hasPrefetch {
+		t.Fatalf("ML+IMB flat -> %v, want prefetch and sell-c-sigma", ms)
+	}
+	// Dominating rows still take the Fig 5 decomposition.
+	skewed := features.Set{NNZAvg: 8, NNZMax: 5000, BWSd: 1}
+	for _, m := range MembersFor(classify.NewSet(classify.ML, classify.IMB), skewed) {
+		if m == SellC {
+			t.Fatal("dominating rows must pick decomposition, not SELL")
+		}
+	}
+}
+
+func TestSellCandidatesCoverClassifierOutputs(t *testing.T) {
+	// Every joint configuration the classifier can produce with SellC
+	// in it must appear in the oracle's extended candidate list.
+	cands := map[ex.Optim]bool{}
+	for _, o := range sellCandidates() {
+		cands[o] = true
+	}
+	if len(cands) != 8 {
+		t.Fatalf("extended candidates = %d, want 8", len(cands))
+	}
+	flat := features.Set{NNZAvg: 8, NNZMax: 10}
+	for set := classify.Set(0); set < 16; set++ {
+		o := OptimFor(set, flat)
+		if o.SellCS && !cands[o] {
+			t.Fatalf("classifier output %v missing from oracle candidates", o)
+		}
+	}
+}
+
+func TestSellConversionCost(t *testing.T) {
+	m := gen.Banded(5000, 4, 1.0, 1)
+	mdl := machine.KNC()
+	cs := ConversionSeconds(m, mdl, ex.Optim{SellCS: true})
+	cd := ConversionSeconds(m, mdl, ex.Optim{Compress: true})
+	if cs <= cd {
+		t.Fatalf("SELL conversion (%g) must cost more than delta (%g): it rewrites and sorts", cs, cd)
+	}
+}
+
 func TestOptimForJointApplication(t *testing.T) {
 	fs := features.Set{NNZAvg: 8, NNZMax: 5000}
 	o := OptimFor(classify.NewSet(classify.ML, classify.IMB, classify.MB), fs)
@@ -85,9 +153,16 @@ func TestConversionSeconds(t *testing.T) {
 	}
 	cd := ConversionSeconds(m, mdl, ex.Optim{Compress: true})
 	cs := ConversionSeconds(m, mdl, ex.Optim{Split: true})
-	both := ConversionSeconds(m, mdl, ex.Optim{Compress: true, Split: true})
-	if cd <= 0 || cs <= 0 || both != cd+cs {
-		t.Fatalf("conversion costs wrong: %g %g %g", cd, cs, both)
+	if cd <= 0 || cs <= 0 {
+		t.Fatalf("conversion costs wrong: %g %g", cd, cs)
+	}
+	// Only the effective format converts: Split supersedes both SellCS
+	// and Compress (the engine never builds the superseded structure).
+	if both := ConversionSeconds(m, mdl, ex.Optim{Compress: true, Split: true}); both != cs {
+		t.Fatalf("split+compress cost %g, want split-only %g", both, cs)
+	}
+	if both := ConversionSeconds(m, mdl, ex.Optim{Compress: true, SellCS: true}); both != ConversionSeconds(m, mdl, ex.Optim{SellCS: true}) {
+		t.Fatalf("sell+compress must cost the SELL conversion only, got %g", both)
 	}
 }
 

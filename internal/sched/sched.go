@@ -72,33 +72,43 @@ func PartitionRows(n, nt int) []Range {
 	return ps
 }
 
-// PartitionNNZ splits the rows of m into nt contiguous ranges of
-// approximately equal nonzero count using the row-pointer prefix sums.
-func PartitionNNZ(m *matrix.CSR, nt int) []Range {
+// PartitionPrefix splits n units into nt contiguous ranges of
+// approximately equal weight, where prefix (length n+1) carries the
+// cumulative weights. It is the common balancing step behind the
+// nnz-balanced row partition, the simulator's base-part partition, and
+// the SELL-C-σ chunk partition (whose ChunkPtr array is already such a
+// prefix).
+func PartitionPrefix(prefix []int64, n, nt int) []Range {
 	if nt < 1 {
 		nt = 1
 	}
-	nnz := int64(m.NNZ())
+	total := prefix[n]
 	ps := make([]Range, nt)
-	row := 0
+	unit := 0
 	for t := 0; t < nt; t++ {
-		target := nnz * int64(t+1) / int64(nt)
-		hi := row
-		for hi < m.NRows && m.RowPtr[hi+1] <= target {
+		target := total * int64(t+1) / int64(nt)
+		hi := unit
+		for hi < n && prefix[hi+1] <= target {
 			hi++
 		}
-		// Always make progress when rows remain and this is not a
+		// Always make progress when units remain and this is not a
 		// deliberately empty tail partition.
-		if hi == row && row < m.NRows && m.RowPtr[row] < target {
-			hi = row + 1
+		if hi == unit && unit < n && prefix[unit] < target {
+			hi = unit + 1
 		}
 		if t == nt-1 {
-			hi = m.NRows
+			hi = n
 		}
-		ps[t] = Range{Lo: row, Hi: hi}
-		row = hi
+		ps[t] = Range{Lo: unit, Hi: hi}
+		unit = hi
 	}
 	return ps
+}
+
+// PartitionNNZ splits the rows of m into nt contiguous ranges of
+// approximately equal nonzero count using the row-pointer prefix sums.
+func PartitionNNZ(m *matrix.CSR, nt int) []Range {
+	return PartitionPrefix(m.RowPtr, m.NRows, nt)
 }
 
 // DefaultChunk returns the dynamic-schedule chunk size used when the

@@ -25,6 +25,7 @@ import (
 
 	"github.com/sparsekit/spmvtuner/internal/cache"
 	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/formats"
 	"github.com/sparsekit/spmvtuner/internal/machine"
 	"github.com/sparsekit/spmvtuner/internal/matrix"
 	"github.com/sparsekit/spmvtuner/internal/sched"
@@ -144,6 +145,15 @@ type profile struct {
 	// maxRowNNZ bounds the residual imbalance of dynamic schedules.
 	maxRowNNZ int64
 
+	// SELL-C-σ statistics at the default C/σ: the padded element
+	// count the chunked kernel streams, and the chunk count whose
+	// per-chunk setup replaces CSR's per-row overhead. Computed
+	// lazily (sellStats) — the window sort costs O(N log σ) and most
+	// modeled configurations never touch the format.
+	sellOnce   sync.Once
+	sellPadded int64
+	sellChunks int
+
 	// Split decomposition statistics at the default threshold.
 	splitThreshold int
 	nLong          int
@@ -245,6 +255,16 @@ func maxInt(a, b int) int {
 	return b
 }
 
+// sellStats returns the memoized SELL-C-σ statistics of m, computing
+// them on first use.
+func (p *profile) sellStats(m *matrix.CSR) (paddedNNZ int64, nChunks int) {
+	p.sellOnce.Do(func() {
+		p.sellPadded, p.sellChunks = formats.SellCSStats(m,
+			formats.DefaultChunkHeight, formats.DefaultSortWindow(m.NRows))
+	})
+	return p.sellPadded, p.sellChunks
+}
+
 // threadLoad is the per-thread resource consumption of one SpMV.
 type threadLoad struct {
 	rows int64
@@ -264,6 +284,17 @@ func (e *Executor) Run(cfg ex.Config) ex.Result {
 	}
 	p := e.profileOf(m)
 	o := cfg.Opt
+	// The engine's format precedence, from the shared resolver:
+	// superseded format knobs are inert here exactly as in
+	// buildPrepared and ConversionSeconds.
+	format := o.EffectiveFormat()
+	sellActive := format == ex.FormatSellCS
+	compressActive := format == ex.FormatDelta
+	// The SELL chunk kernel has no prefetch or unroll variants (its
+	// column-major traversal is the vectorized form); model both knobs
+	// as inert there, exactly as the native engine treats them.
+	prefetchActive := o.Prefetch && !sellActive
+	unrollActive := o.Unroll && !sellActive
 
 	// Threads per core actually running.
 	k := (nt + mdl.Cores - 1) / mdl.Cores
@@ -298,14 +329,14 @@ func (e *Executor) Run(cfg ex.Config) ex.Result {
 		scalarCyc = 2/mdl.ScalarFlopsPerCycle + costs.UnitStrideIndexCycles +
 			mdl.ScalarStallCycles*costs.UnitStrideStallFactor
 	}
-	if o.Compress {
+	if compressActive {
 		scalarCyc += costs.DeltaDecodeCycles
 	}
-	if o.Prefetch {
+	if prefetchActive {
 		scalarCyc += costs.PrefetchIssueCycles
 	}
 	rowOv := mdl.RowOverheadCycles
-	if o.Unroll {
+	if unrollActive {
 		// Unrolling overlaps independent iterations: it trims both the
 		// per-element cycles (ILP across accumulators) and the loop
 		// bookkeeping.
@@ -321,19 +352,32 @@ func (e *Executor) Run(cfg ex.Config) ex.Result {
 		// Unit-stride vector loads need no gather.
 		vecCyc = (2/mdl.ScalarFlopsPerCycle + costs.UnitStrideIndexCycles) * costs.VecOpOverheadFactor
 	}
-	if o.Compress {
+	if compressActive {
 		vecCyc += costs.DeltaDecodeCycles * float64(mdl.SIMDLanes) * 0.5
 	}
-	if o.Prefetch {
+	if prefetchActive {
 		vecCyc += costs.PrefetchIssueCycles
 	}
 	vecRowOv := rowOv + mdl.VecRowSetupCycles
+	if sellActive {
+		// SELL-C-σ pays setup per chunk, not per row; that cost is
+		// folded into the vector-op count by assignLoads, so the
+		// per-row loop and mask/remainder overheads vanish — the
+		// format's whole point for short-row matrices.
+		rowOv, vecRowOv = 0, 0
+	}
 
 	// Matrix stream bytes per element and per row.
 	valBytes := 8.0
 	idxBytes := 4.0
 	rowBytes := costs.RowPtrBytesPerRow
-	if o.Compress {
+	if sellActive {
+		// SELL-C-σ streams the padded value/index arrays (the per-
+		// element nnz of the SELL loads is already padded); the chunk
+		// metadata — one pointer and one width — is amortized over C
+		// rows, replacing the per-row row-pointer traffic.
+		rowBytes = 12.0 / float64(formats.DefaultChunkHeight)
+	} else if compressActive {
 		// DeltaCSR: 1- or 2-byte deltas + 4-byte first column per row;
 		// DeltaBytesPerElem carries the amortized escape overhead.
 		idxBytes = costs.DeltaBytesPerElem
@@ -346,11 +390,16 @@ func (e *Executor) Run(cfg ex.Config) ex.Result {
 	if o.Vectorize {
 		yBytes = costs.YBytesVectorPerRow
 	}
+	if sellActive {
+		// The permuted scatter is a per-row scalar store plus the
+		// permutation-table read.
+		yBytes = costs.YBytesScalarPerRow + 4
+	}
 
 	lineBytes := float64(mdl.CacheLineBytes)
 	cps := mdl.CyclesPerSecond()
 	mlp := mdl.MLP
-	if o.Prefetch {
+	if prefetchActive {
 		mlp = mdl.PrefetchMLP
 	}
 	regular := o.RegularizeX || o.UnitStride
@@ -449,6 +498,40 @@ func maxf3(a, b, c float64) float64 {
 func (e *Executor) assignLoads(m *matrix.CSR, p *profile, o ex.Optim, policy sched.Policy, nt int) ([]threadLoad, int) {
 	loads := make([]threadLoad, nt)
 
+	// SELL-C-σ: window sorting plus chunking equalizes per-thread work
+	// by construction (the chunk-balanced static partition the engine
+	// uses), so every thread gets an even share of the padded element
+	// stream, the x misses, and the chunk setup overhead — which
+	// replaces CSR's per-row vector setup, the short-row penalty.
+	// Bound kernels and Split take precedence (EffectiveFormat).
+	if o.EffectiveFormat() == ex.FormatSellCS {
+		padded, chunks := p.sellStats(m)
+		lanes := int64(e.model.SIMDLanes)
+		vecTotal := (padded+lanes-1)/lanes + int64(chunks)
+		n64 := int64(nt)
+		for t := range loads {
+			loads[t] = threadLoad{
+				rows: int64(m.NRows) / n64,
+				nnz:  padded / n64,
+				miss: p.pMiss[m.NRows] / n64,
+				vec:  vecTotal / n64,
+			}
+		}
+		// Dynamic and guided schedules serve SELL chunk ranges from
+		// the shared cursor (bindSellCS), paying the same dequeue cost
+		// as the row path.
+		served := 0
+		switch policy {
+		case sched.Dynamic, sched.Guided:
+			unit := sched.DefaultChunk(chunks, nt)
+			served = (chunks + unit - 1) / unit
+			if policy == sched.Guided {
+				served = served/2 + nt
+			}
+		}
+		return loads, served
+	}
+
 	// Select the prefix arrays: split configurations work on the base
 	// part and spread the long part evenly afterwards.
 	pNNZ := m.RowPtr
@@ -505,7 +588,7 @@ func (e *Executor) assignLoads(m *matrix.CSR, p *profile, o ex.Optim, policy sch
 			}
 		}
 	default: // StaticNNZ (the baseline) and resolved Auto.
-		for t, r := range partitionByPrefix(pNNZ, n, nt) {
+		for t, r := range sched.PartitionPrefix(pNNZ, n, nt) {
 			loads[t] = threadLoad{
 				rows: int64(r.Hi - r.Lo),
 				nnz:  pNNZ[r.Hi] - pNNZ[r.Lo],
@@ -527,32 +610,6 @@ func (e *Executor) assignLoads(m *matrix.CSR, p *profile, o ex.Optim, policy sch
 		}
 	}
 	return loads, chunks
-}
-
-// partitionByPrefix splits rows into nt contiguous ranges with
-// approximately equal prefix-weight (nnz), mirroring
-// sched.PartitionNNZ but over an arbitrary prefix array (the split
-// config's base part has its own).
-func partitionByPrefix(prefix []int64, n, nt int) []sched.Range {
-	ps := make([]sched.Range, nt)
-	totalW := prefix[n]
-	row := 0
-	for t := 0; t < nt; t++ {
-		target := totalW * int64(t+1) / int64(nt)
-		hi := row
-		for hi < n && prefix[hi+1] <= target {
-			hi++
-		}
-		if hi == row && row < n && prefix[row] < target {
-			hi = row + 1
-		}
-		if t == nt-1 {
-			hi = n
-		}
-		ps[t] = sched.Range{Lo: row, Hi: hi}
-		row = hi
-	}
-	return ps
 }
 
 // UniqueXLines exposes the compulsory x-line count of m under this

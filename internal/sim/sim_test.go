@@ -289,3 +289,93 @@ func TestUniqueXLinesExposed(t *testing.T) {
 		t.Fatalf("unique x lines = %d out of range", u)
 	}
 }
+
+func TestSellCSHelpsShortRowImbalance(t *testing.T) {
+	e := New(machine.KNC())
+	// Very short irregular rows: the row-wise vector kernel pays its
+	// mask/remainder setup on every 1-4 element row; SELL-C-σ pays it
+	// once per 8-row chunk and its sorted chunks equalize threads.
+	m := gen.ShortRows(300000, 4, 1)
+	vec := run(e, m, ex.Optim{Vectorize: true})
+	sell := run(e, m, ex.Optim{SellCS: true, Vectorize: true})
+	if sell.Seconds >= vec.Seconds {
+		t.Fatalf("SELL-C-σ (%.3g s) did not beat the row-wise vector kernel (%.3g s) on short rows",
+			sell.Seconds, vec.Seconds)
+	}
+	if sell.Gflops <= 0 || sell.MemBytes <= 0 {
+		t.Fatalf("degenerate SELL result: %+v", sell)
+	}
+}
+
+func TestSellCSEvensOutThreadTimes(t *testing.T) {
+	e := New(machine.KNC())
+	// Power-law row lengths under the static row partition show thread
+	// imbalance; the sorted SELL chunks model an even assignment.
+	m := gen.PowerLaw(200000, 8, 1.8, 4000, 3)
+	base := run(e, m, ex.Optim{Schedule: sched.StaticRows})
+	sell := run(e, m, ex.Optim{SellCS: true, Vectorize: true})
+	spread := func(ts []float64) float64 {
+		if len(ts) == 0 {
+			return 0
+		}
+		max, med := 0.0, stats.Median(append([]float64(nil), ts...))
+		for _, v := range ts {
+			if v > max {
+				max = v
+			}
+		}
+		if med == 0 {
+			return 0
+		}
+		return max / med
+	}
+	if spread(sell.ThreadSeconds) > spread(base.ThreadSeconds) {
+		t.Fatalf("SELL thread spread %.3f above static-rows baseline %.3f",
+			spread(sell.ThreadSeconds), spread(base.ThreadSeconds))
+	}
+}
+
+func TestSellCSSupersededKnobsInert(t *testing.T) {
+	// The native SELL kernel ignores compression, prefetch and unroll
+	// (precedence / no such variants); the model must agree, or the
+	// oracle would rank identical runtime configurations differently.
+	e := New(machine.KNC())
+	m := gen.ShortRows(50000, 3, 5)
+	sell := run(e, m, ex.Optim{SellCS: true, Vectorize: true})
+	for _, o := range []ex.Optim{
+		{SellCS: true, Vectorize: true, Compress: true},
+		{SellCS: true, Vectorize: true, Prefetch: true},
+		{SellCS: true, Vectorize: true, Unroll: true},
+	} {
+		if got := run(e, m, o); got.Seconds != sell.Seconds {
+			t.Fatalf("%v must model identically to plain SELL: %g vs %g",
+				o, got.Seconds, sell.Seconds)
+		}
+	}
+}
+
+func TestSellCSInertUnderSplitPrecedence(t *testing.T) {
+	e := New(machine.KNC())
+	m := gen.FewDenseRows(200000, 6, 3, 50000, 7)
+	split := run(e, m, ex.Optim{Split: true})
+	both := run(e, m, ex.Optim{Split: true, SellCS: true})
+	if split.Seconds != both.Seconds {
+		t.Fatalf("SellCS must be inert under Split precedence: %g vs %g",
+			split.Seconds, both.Seconds)
+	}
+}
+
+func TestSellCSDynamicSchedulePaysDequeues(t *testing.T) {
+	e := New(machine.KNC())
+	// Few threads on a cache-resident matrix: the worst-thread time —
+	// not the chip bandwidth floor — decides, so the per-chunk dequeue
+	// cost of the cursor-driven SELL path is visible.
+	m := gen.ShortRows(20000, 3, 9)
+	static := e.Run(ex.Config{Matrix: m, Threads: 2, Opt: ex.Optim{SellCS: true, Vectorize: true}})
+	dynamic := e.Run(ex.Config{Matrix: m, Threads: 2,
+		Opt: ex.Optim{SellCS: true, Vectorize: true, Schedule: sched.Dynamic}})
+	if dynamic.Seconds <= static.Seconds {
+		t.Fatalf("cursor-driven SELL must pay dequeue cost: dynamic %.6g <= static %.6g",
+			dynamic.Seconds, static.Seconds)
+	}
+}
