@@ -9,12 +9,13 @@
 //	spmvbench -exp platforms            # Table III
 //	spmvbench -exp reuse -scale 0.1     # engine: one-shot vs prepared
 //	spmvbench -exp sellcs -scale 0.1    # SELL-C-σ vs CSR vector kernel
+//	spmvbench -exp spmm -scale 0.1      # blocked SpMM vs per-vector loop
 //	spmvbench -exp all -scale 0.25      # every modeled experiment
 //
-// The reuse and sellcs experiments run natively on the host through
-// the persistent worker-pool engine; everything else is modeled, and
-// "all" covers only the modeled set (request the native ones
-// explicitly).
+// The reuse, sellcs and spmm experiments run natively on the host
+// through the persistent worker-pool engine; everything else is
+// modeled, and "all" covers only the modeled set (request the native
+// ones explicitly).
 //
 // Ablations: ablate-delta, ablate-split, ablate-sched,
 // ablate-prefetch, ablate-partitioned-ml.
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1, fig3, fig7, table4, table5, platforms, features, reuse, sellcs, ablate-*, all")
+		exp      = flag.String("exp", "all", "experiment: fig1, fig3, fig7, table4, table5, platforms, features, reuse, sellcs, spmm, ablate-*, all")
 		platform = flag.String("platform", "", "fig7 platform: knc, knl, bdw (default: all three)")
 		scale    = flag.Float64("scale", 1.0, "suite size multiplier (1.0 = reproduction size)")
 		corpus   = flag.Int("corpus", 210, "training corpus size")
@@ -91,6 +92,8 @@ func main() {
 		emit(experiments.Reuse(cfg).Table())
 	case "sellcs":
 		emit(experiments.SellCS(cfg).Table())
+	case "spmm":
+		emit(experiments.SpMM(cfg).Table())
 	case "ablate-delta":
 		emit(experiments.AblateDelta(cfg).Table())
 	case "ablate-split":

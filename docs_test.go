@@ -1,15 +1,19 @@
-// Mirrors the code samples of README.md, docs/guide/platforms.md and
-// docs/guide/formats.md so the documented API cannot drift without
-// breaking the build: every call here appears in a published snippet.
+// Mirrors the code samples of README.md, docs/guide/platforms.md,
+// docs/guide/formats.md and docs/guide/batching.md so the documented
+// API cannot drift without breaking the build: every call here appears
+// in a published snippet.
 package spmvtuner_test
 
 import (
 	"testing"
 
 	"github.com/sparsekit/spmvtuner"
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
 	"github.com/sparsekit/spmvtuner/internal/formats"
 	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/machine"
 	"github.com/sparsekit/spmvtuner/internal/native"
+	"github.com/sparsekit/spmvtuner/internal/opt"
 	"github.com/sparsekit/spmvtuner/internal/sim"
 )
 
@@ -67,6 +71,67 @@ func TestPlatformsGuideSamples(t *testing.T) {
 		t.Fatalf("calibration produced %g GB/s", mdl.StreamMainGBs)
 	}
 	_ = sim.New(mdl)
+}
+
+// TestBatchingGuideSamples exercises the batching guide: the blocked
+// MulVecBatch serving shape, the interleaved MulMat entry point, the
+// optimizer's block-width sweep, and the aliasing rule.
+func TestBatchingGuideSamples(t *testing.T) {
+	m, err := spmvtuner.SuiteMatrix("poisson3Db", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner := spmvtuner.NewTuner()
+	defer tuner.Close()
+	tuned := tuner.Tune(m)
+
+	// Batch serving: 16 user vectors, blocked into groups of up to 8.
+	xs := make([][]float64, 16)
+	ys := make([][]float64, 16)
+	for i := range xs {
+		xs[i] = make([]float64, m.Cols())
+		for j := range xs[i] {
+			xs[i][j] = float64((i+j)%5) - 2
+		}
+		ys[i] = make([]float64, m.Rows())
+	}
+	tuned.MulVecBatch(xs, ys)
+
+	// Interleaved blocks: no packing step.
+	const nrhs = 8
+	x := make([]float64, m.Cols()*nrhs)
+	y := make([]float64, m.Rows()*nrhs)
+	for j := 0; j < m.Cols(); j++ {
+		for l := 0; l < nrhs; l++ {
+			x[j*nrhs+l] = xs[l][j] // x[j*nrhs+l] = element j of vector l
+		}
+	}
+	tuned.MulMat(x, y, nrhs)
+	for l := 0; l < nrhs; l++ {
+		for i := 0; i < m.Rows(); i++ {
+			if y[i*nrhs+l] != ys[l][i] {
+				t.Fatalf("MulMat and MulVecBatch disagree at rhs %d row %d", l, i)
+			}
+		}
+	}
+
+	// The guide's block-width sweep (internal packages, as it notes).
+	csr := gen.UniformRandom(50000, 12, 1)
+	w, speedup := opt.BestBlockWidth(sim.New(machine.KNL()), csr, ex.Optim{})
+	if w < 1 || speedup < 1 {
+		t.Fatalf("BestBlockWidth = (%d, %g)", w, speedup)
+	}
+
+	// The aliasing rule: in-place multiplication panics.
+	v := make([]float64, m.Cols())
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("aliased MulVec did not panic as the guide promises")
+			}
+		}()
+		tuned.MulVec(v, v)
+	}()
 }
 
 // TestFormatsGuideSamples exercises the storage-format guide: the

@@ -44,6 +44,15 @@ type Optim struct {
 	// Schedule selects the row-scheduling policy; the zero value is
 	// the paper's default static nnz-balanced partitioning.
 	Schedule sched.Policy
+	// BlockWidth is the multi-RHS SpMM block width: how many
+	// right-hand sides a blocked kernel processes per matrix stream.
+	// 0 leaves the engine's default (DefaultBlockWidth) in place for
+	// batch execution; 1 disables blocking (per-vector loop); values
+	// above 1 fix the width and, in the cost model, price one SpMV as
+	// the per-vector share of a k-blocked SpMM — the bytes-per-k
+	// arithmetic-intensity lift. Single-vector MulVec semantics are
+	// unaffected by this knob.
+	BlockWidth int
 
 	// RegularizeX turns every access to x into a regular access by
 	// pointing all column indices at the row index: the P_ML bound
@@ -118,7 +127,25 @@ func (o Optim) String() string {
 	if s == "" {
 		s = "none"
 	}
-	return fmt.Sprintf("%s@%s", s, o.Schedule)
+	s = fmt.Sprintf("%s@%s", s, o.Schedule)
+	if o.BlockWidth > 1 {
+		s += fmt.Sprintf(" x%d", o.BlockWidth)
+	}
+	return s
+}
+
+// DefaultBlockWidth is the SpMM block width the engine uses for batch
+// execution when the configuration does not fix one: it matches the
+// widest register-blocked kernel (k=8) and the modeled SIMD width.
+const DefaultBlockWidth = 8
+
+// EffectiveBlockWidth resolves the SpMM block width batch execution
+// uses: the configured width, or the engine default when unset.
+func (o Optim) EffectiveBlockWidth() int {
+	if o.BlockWidth > 0 {
+		return o.BlockWidth
+	}
+	return DefaultBlockWidth
 }
 
 // Config is one executable SpMV setup.
@@ -192,7 +219,18 @@ type PreparedKernel interface {
 	// MulVecBatch computes ys[i] = A*xs[i] for every pair, keeping
 	// workers hot across the batch (the repeated-multiply serving
 	// path: iterative solvers, PageRank, multi-user traffic).
+	// Implementations block the batch into groups of
+	// Opt().EffectiveBlockWidth() vectors and stream the matrix once
+	// per group. The aliasing rule is blanket: no input vector may
+	// overlap ANY output vector — earlier groups' outputs are written
+	// before later groups' inputs are read.
 	MulVecBatch(xs, ys [][]float64)
+	// MulMat computes Y = A*X for k right-hand sides stored in the
+	// interleaved block layout (X[j*k+l] is element j of vector l;
+	// see matrix.PackBlock), streaming the matrix once for the whole
+	// block. len(x) must be NCols*k and len(y) NRows*k; x and y must
+	// not alias.
+	MulMat(x, y []float64, k int)
 	// Opt returns the configuration the kernel was compiled for.
 	Opt() Optim
 	// Threads returns the execution width chosen at preparation time.

@@ -74,3 +74,25 @@ func TestOptimStringMentionsSchedule(t *testing.T) {
 		}
 	}
 }
+
+func TestOptimStringMentionsBlockWidth(t *testing.T) {
+	o := Optim{Vectorize: true, BlockWidth: 8}
+	if got := o.String(); got != "vec@static-nnz x8" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := (Optim{Vectorize: true}).String(); got != "vec@static-nnz" {
+		t.Fatalf("unblocked String() = %q, block suffix must not leak", got)
+	}
+}
+
+func TestEffectiveBlockWidth(t *testing.T) {
+	if w := (Optim{}).EffectiveBlockWidth(); w != DefaultBlockWidth {
+		t.Fatalf("default width = %d, want %d", w, DefaultBlockWidth)
+	}
+	if w := (Optim{BlockWidth: 1}).EffectiveBlockWidth(); w != 1 {
+		t.Fatalf("explicit width 1 = %d", w)
+	}
+	if w := (Optim{BlockWidth: 4}).EffectiveBlockWidth(); w != 4 {
+		t.Fatalf("explicit width 4 = %d", w)
+	}
+}

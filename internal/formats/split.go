@@ -145,3 +145,37 @@ func (s *SplitCSR) LongRowPartial(k int, x []float64, lo, hi int64) float64 {
 	}
 	return sum
 }
+
+// LongRowPartialBlock is the blocked form of LongRowPartial: it writes
+// the k partial sums of extracted long row r over [lo, hi) — one per
+// right-hand side of the interleaved block x — into out[:k].
+func (s *SplitCSR) LongRowPartialBlock(r int, x, out []float64, k int, lo, hi int64) {
+	out = out[:k]
+	for l := range out {
+		out[l] = 0
+	}
+	for j := lo; j < hi; j++ {
+		v := s.LongVal[j]
+		xr := x[int(s.LongCol[j])*k:][:k]
+		for l := range out {
+			out[l] += v * xr[l]
+		}
+	}
+}
+
+// MulMat computes Y = A*X sequentially for k interleaved right-hand
+// sides: base rows via the blocked CSR reference, then each long row's
+// contribution added on top (Fig 6's two steps, single threaded).
+func (s *SplitCSR) MulMat(x, y []float64, k int) {
+	s.Base.MulMat(x, y, k)
+	for r, row := range s.LongRowIdx {
+		yr := y[int(row)*k:][:k]
+		for j := s.LongPtr[r]; j < s.LongPtr[r+1]; j++ {
+			v := s.LongVal[j]
+			xr := x[int(s.LongCol[j])*k:][:k]
+			for l := range yr {
+				yr[l] += v * xr[l]
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/sparsekit/spmvtuner/internal/formats"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// blockRef computes the reference output block via per-vector MulVec.
+func blockRef(m *matrix.CSR, x []float64, k int) []float64 {
+	want := make([]float64, m.NRows*k)
+	xv := make([]float64, m.NCols)
+	yv := make([]float64, m.NRows)
+	for l := 0; l < k; l++ {
+		for j := 0; j < m.NCols; j++ {
+			xv[j] = x[j*k+l]
+		}
+		m.MulVec(xv, yv)
+		for i := 0; i < m.NRows; i++ {
+			want[i*k+l] = yv[i]
+		}
+	}
+	return want
+}
+
+func randBlock(n, k int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n*k)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func checkBlock(t *testing.T, label string, got, want []float64, k int) {
+	t.Helper()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+			t.Fatalf("%s k=%d: y[%d] = %g, want %g", label, k, i, got[i], want[i])
+		}
+	}
+}
+
+// TestCSRBlockRangeAllWidths covers the register-blocked
+// specializations (2, 4, 8) and the generic tail (3, 5, 9) against the
+// per-vector reference, including a mid-matrix row range.
+func TestCSRBlockRangeAllWidths(t *testing.T) {
+	m := gen.PowerLaw(300, 6, 1.9, 100, 17)
+	for _, k := range []int{1, 2, 3, 4, 5, 8, 9} {
+		x := randBlock(m.NCols, k, int64(k))
+		want := blockRef(m, x, k)
+		y := make([]float64, m.NRows*k)
+		CSRBlockRange(m, x, y, k, 0, m.NRows)
+		checkBlock(t, "full", y, want, k)
+
+		// Partial range: only rows [50, 200) may be written.
+		for i := range y {
+			y[i] = math.NaN()
+		}
+		CSRBlockRange(m, x, y, k, 50, 200)
+		for i := 50; i < 200; i++ {
+			for l := 0; l < k; l++ {
+				if math.Abs(y[i*k+l]-want[i*k+l]) > 1e-12*(1+math.Abs(want[i*k+l])) {
+					t.Fatalf("range k=%d: y[%d][%d] wrong", k, i, l)
+				}
+			}
+		}
+		for i := 0; i < 50; i++ {
+			if !math.IsNaN(y[i*k]) {
+				t.Fatalf("range k=%d: wrote outside [50,200) at row %d", k, i)
+			}
+		}
+	}
+}
+
+// TestDeltaBlockRangeMidStream drives the blocked DeltaCSR kernel from
+// a mid-matrix row with the matching overflow offset — the parallel
+// dispatch shape.
+func TestDeltaBlockRangeMidStream(t *testing.T) {
+	// Wide scatter forces escaped deltas into the overflow stream.
+	m := gen.Unstructured3D(400, 9, 0.9, 23)
+	d := formats.Compress(m)
+	offs := d.OverflowOffsets()
+	for _, k := range []int{2, 3, 8} {
+		x := randBlock(m.NCols, k, int64(40+k))
+		want := blockRef(m, x, k)
+		y := make([]float64, m.NRows*k)
+		mid := m.NRows / 3
+		DeltaBlockRange(d, x, y, k, 0, mid, 0)
+		DeltaBlockRange(d, x, y, k, mid, m.NRows, offs[mid])
+		checkBlock(t, "delta", y, want, k)
+	}
+}
+
+// TestSellCSBlockRangePartialChunks exercises the blocked SELL kernel
+// over split chunk ranges, as the chunk-partitioned engine runs it.
+func TestSellCSBlockRangePartialChunks(t *testing.T) {
+	m := gen.ShortRows(500, 5, 29)
+	s := formats.ConvertSellCSAuto(m)
+	for _, k := range []int{2, 5, 8} {
+		x := randBlock(m.NCols, k, int64(60+k))
+		want := blockRef(m, x, k)
+		y := make([]float64, m.NRows*k)
+		half := s.NChunks() / 2
+		SellCSBlockRange(s, x, y, k, 0, half)
+		SellCSBlockRange(s, x, y, k, half, s.NChunks())
+		checkBlock(t, "sellcs", y, want, k)
+	}
+}
+
+// TestSplitPhase2BlockTwoPhase runs the complete blocked Fig 6 shape —
+// base rows via the blocked CSR kernel, per-thread blocked partials,
+// then the blocked reduction — and compares against the reference.
+func TestSplitPhase2BlockTwoPhase(t *testing.T) {
+	m := gen.FewDenseRows(600, 4, 3, 400, 31)
+	s := formats.Split(m, 64)
+	if s.NumLongRows() == 0 {
+		t.Fatal("generator produced no long rows")
+	}
+	const nt = 3
+	for _, k := range []int{2, 3, 8} {
+		x := randBlock(m.NCols, k, int64(80+k))
+		want := blockRef(m, x, k)
+		y := make([]float64, m.NRows*k)
+		CSRBlockRange(s.Base, x, y, k, 0, m.NRows)
+		partials := make([]float64, nt*s.NumLongRows()*k)
+		for tid := 0; tid < nt; tid++ {
+			SplitPhase2PartialBlock(s, x, partials, k, tid, nt)
+		}
+		SplitPhase2ReduceBlock(s, partials, y, k, nt)
+		checkBlock(t, "split", y, want, k)
+	}
+}

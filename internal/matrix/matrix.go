@@ -259,10 +259,16 @@ func (m *CSR) Bytes() int64 {
 
 // MulVec computes y = A*x sequentially; it is the correctness reference
 // for every optimized kernel. len(x) must be NCols and len(y) NRows.
+// x and y must not alias: y[i] is written while x is still being
+// gathered, so an aliased call would silently read partially
+// overwritten input.
 func (m *CSR) MulVec(x, y []float64) {
 	if len(x) != m.NCols || len(y) != m.NRows {
 		panic(fmt.Sprintf("matrix: MulVec dimension mismatch: x=%d y=%d for %dx%d",
 			len(x), len(y), m.NRows, m.NCols))
+	}
+	if Aliased(x, y) {
+		panic("matrix: MulVec input and output must not alias")
 	}
 	for i := 0; i < m.NRows; i++ {
 		var sum float64

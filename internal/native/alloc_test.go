@@ -62,24 +62,55 @@ func TestAllocFreeSteadyStateMulVec(t *testing.T) {
 	}
 }
 
-// TestAllocFreeBatch covers the batch serving path with the same
-// contract.
+// TestAllocFreeBatch covers the batch serving path — now the blocked
+// SpMM engine: the batch is packed into interleaved blocks and
+// dispatched one barrier per block, and after the first call (which
+// sizes the pack buffers) it must stay allocation-free for every
+// prepared path, including batch shapes that take the register-blocked
+// k=8, the generic-k tail, and the single-vector remainder.
 func TestAllocFreeBatch(t *testing.T) {
 	e := New()
 	defer e.Close()
-	m := gen.UniformRandom(4000, 6, 33)
-	const batch = 4
-	xs := make([][]float64, batch)
-	ys := make([][]float64, batch)
-	for b := range xs {
-		xs[b] = make([]float64, m.NCols)
-		ys[b] = make([]float64, m.NRows)
+	m := gen.FewDenseRows(4000, 5, 2, 1500, 33)
+	for _, batch := range []int{4, 9} {
+		xs := make([][]float64, batch)
+		ys := make([][]float64, batch)
+		for b := range xs {
+			xs[b] = make([]float64, m.NCols)
+			ys[b] = make([]float64, m.NRows)
+		}
+		for name, o := range allocOptims() {
+			p := e.Prepare(m, o)
+			// Warm: the first blocked batch allocates the pack buffers.
+			for i := 0; i < 3; i++ {
+				p.MulVecBatch(xs, ys)
+			}
+			if avg := testing.AllocsPerRun(5, func() { p.MulVecBatch(xs, ys) }); avg != 0 {
+				t.Fatalf("%s batch=%d: %.1f allocs per steady-state MulVecBatch, want 0", name, batch, avg)
+			}
+		}
 	}
-	for _, o := range []ex.Optim{{Vectorize: true}, {SellCS: true, Vectorize: true}} {
+}
+
+// TestAllocFreeMulMat: the interleaved-block entry point works on
+// caller-owned buffers and must allocate nothing at a stable width.
+func TestAllocFreeMulMat(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := gen.FewDenseRows(4000, 5, 2, 1500, 34)
+	const k = 8
+	x := make([]float64, m.NCols*k)
+	y := make([]float64, m.NRows*k)
+	for i := range x {
+		x[i] = 1 + float64(i%5)
+	}
+	for name, o := range allocOptims() {
 		p := e.Prepare(m, o)
-		p.MulVecBatch(xs, ys)
-		if avg := testing.AllocsPerRun(5, func() { p.MulVecBatch(xs, ys) }); avg != 0 {
-			t.Fatalf("%v: %.1f allocs per steady-state MulVecBatch, want 0", o, avg)
+		for i := 0; i < 3; i++ {
+			p.MulMat(x, y, k)
+		}
+		if avg := testing.AllocsPerRun(5, func() { p.MulMat(x, y, k) }); avg != 0 {
+			t.Fatalf("%s: %.1f allocs per steady-state MulMat, want 0", name, avg)
 		}
 	}
 }

@@ -185,26 +185,97 @@ func TestPreparedConcurrentMulVec(t *testing.T) {
 	}
 }
 
+// TestPreparedMulVecBatch covers the blocked batch path across batch
+// sizes that exercise the full-width blocks, the generic-k tail, the
+// single-vector tail, and every prepared format.
 func TestPreparedMulVecBatch(t *testing.T) {
 	e := New()
 	defer e.Close()
-	m := gen.UniformRandom(2000, 6, 5)
-	p := e.Prepare(m, ex.Optim{Vectorize: true})
-	rng := rand.New(rand.NewSource(9))
-	const batch = 5
-	xs := make([][]float64, batch)
-	ys := make([][]float64, batch)
-	for b := 0; b < batch; b++ {
-		xs[b] = make([]float64, m.NCols)
-		for i := range xs[b] {
-			xs[b][i] = rng.NormFloat64()
+	m := gen.FewDenseRows(2000, 5, 2, 900, 5)
+	opts := map[string]ex.Optim{
+		"vec":      {Vectorize: true},
+		"compress": {Compress: true},
+		"split":    {Split: true},
+		"sellcs":   {SellCS: true, Vectorize: true},
+		"dynamic":  {Schedule: sched.Dynamic},
+		"pervec":   {Vectorize: true, BlockWidth: 1}, // blocking disabled
+		"narrow":   {Vectorize: true, BlockWidth: 4},
+	}
+	for on, o := range opts {
+		for _, batch := range []int{1, 5, 8, 9, 17} {
+			p := e.Prepare(m, o)
+			rng := rand.New(rand.NewSource(int64(9 + batch)))
+			xs := make([][]float64, batch)
+			ys := make([][]float64, batch)
+			for b := 0; b < batch; b++ {
+				xs[b] = make([]float64, m.NCols)
+				for i := range xs[b] {
+					xs[b][i] = rng.NormFloat64()
+				}
+				ys[b] = make([]float64, m.NRows)
+			}
+			// Twice: buffers and cursors must reset between batches.
+			p.MulVecBatch(xs, ys)
+			p.MulVecBatch(xs, ys)
+			for b := 0; b < batch; b++ {
+				refCheck(t, m, xs[b], ys[b], on)
+			}
 		}
-		ys[b] = make([]float64, m.NRows)
 	}
-	p.MulVecBatch(xs, ys)
-	for b := 0; b < batch; b++ {
-		refCheck(t, m, xs[b], ys[b], "batch")
+}
+
+// TestPreparedMulMat drives the interleaved-block entry point for
+// every format at register-blocked and generic widths, including a
+// width above the configured block width (the split partials must
+// grow).
+func TestPreparedMulMat(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := gen.FewDenseRows(1500, 5, 2, 700, 6)
+	opts := map[string]ex.Optim{
+		"vec":      {Vectorize: true},
+		"compress": {Compress: true},
+		"split":    {Split: true},
+		"sellcs":   {SellCS: true, Vectorize: true},
+		"guided":   {Schedule: sched.Guided},
 	}
+	for on, o := range opts {
+		p := e.Prepare(m, o)
+		for _, k := range []int{1, 2, 3, 8, 12} {
+			rng := rand.New(rand.NewSource(int64(13 * k)))
+			xs := make([][]float64, k)
+			for l := range xs {
+				xs[l] = make([]float64, m.NCols)
+				for i := range xs[l] {
+					xs[l][i] = rng.NormFloat64()
+				}
+			}
+			xb := matrix.PackBlock(nil, xs)
+			yb := make([]float64, m.NRows*k)
+			p.MulMat(xb, yb, k)
+			yv := make([]float64, m.NRows)
+			for l := 0; l < k; l++ {
+				for i := 0; i < m.NRows; i++ {
+					yv[i] = yb[i*k+l]
+				}
+				refCheck(t, m, xs[l], yv, on)
+			}
+		}
+	}
+}
+
+func TestPreparedMulMatAliasPanics(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := gen.UniformRandom(64, 3, 7)
+	p := e.Prepare(m, ex.Optim{})
+	v := make([]float64, 64*2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulMat accepted aliased input and output")
+		}
+	}()
+	p.MulMat(v, v, 2)
 }
 
 // TestPreparedUsableAfterClose: closing the executor parks the pool;

@@ -44,6 +44,22 @@ type Prepared struct {
 	// Fig 6 phase-2 reduction).
 	body   func(t int)
 	finish func()
+
+	// Blocked multi-RHS (SpMM) state. bodyBlock computes slot t's share
+	// of one blocked multiply, reading x/y as an interleaved block of bk
+	// vectors; finishBlock is its post-barrier reduction. blockW is the
+	// width MulVecBatch repartitions batches into; ensureBlock, when
+	// non-nil, grows width-dependent scratch (the split partials) before
+	// a dispatch wider than seen so far.
+	bk          int
+	blockW      int
+	bodyBlock   func(t int)
+	finishBlock func()
+	ensureBlock func(k int)
+	// xb, yb are the engine-owned pack buffers of the batch path,
+	// allocated on first blocked batch and reused thereafter (the
+	// zero-alloc steady state covers them).
+	xb, yb []float64
 }
 
 // Opt returns the optimization configuration the kernel was compiled
@@ -67,12 +83,65 @@ func (p *Prepared) MulVec(x, y []float64) {
 
 // MulVecBatch computes ys[i] = A*xs[i] for every pair, holding the
 // workers hot across the whole batch — the multi-user serving shape
-// where one matrix multiplies many vectors back to back.
+// where one matrix multiplies many vectors back to back. The batch is
+// repartitioned once into blocks of up to blockW vectors; each block
+// is packed into the interleaved layout and dispatched as ONE pool
+// barrier that streams the matrix a single time for the whole block
+// (per-vector matrix traffic drops by 1/k), with a generic-k kernel
+// covering the tail block. Steady-state calls with a stable batch
+// shape are allocation-free. No input vector may overlap ANY output
+// vector (earlier blocks' outputs are written before later blocks'
+// inputs are packed); the facade enforces this, callers of the
+// internal engine must uphold it themselves.
 func (p *Prepared) MulVecBatch(xs, ys [][]float64) {
 	p.mu.Lock()
-	for i := range xs {
-		p.mulVecLocked(xs[i], ys[i], nil)
+	defer p.mu.Unlock()
+	w := p.blockW
+	if w < 2 || p.bodyBlock == nil {
+		for i := range xs {
+			p.mulVecLocked(xs[i], ys[i], nil)
+		}
+		return
 	}
+	for i := 0; i < len(xs); {
+		k := len(xs) - i
+		if k > w {
+			k = w
+		}
+		if k == 1 {
+			p.mulVecLocked(xs[i], ys[i], nil)
+			i++
+			continue
+		}
+		p.xb = matrix.PackBlock(p.xb, xs[i:i+k])
+		if need := p.m.NRows * k; cap(p.yb) < need {
+			p.yb = make([]float64, need)
+		} else {
+			p.yb = p.yb[:need]
+		}
+		p.mulMatLocked(p.xb, p.yb, k, nil)
+		matrix.UnpackBlock(ys[i:i+k], p.yb)
+		i += k
+	}
+}
+
+// MulMat computes Y = A*X for k right-hand sides stored in the
+// interleaved block layout (X[j*k+l] is element j of vector l; see
+// matrix.PackBlock), streaming the matrix once for the whole block.
+// Safe for concurrent use; allocation-free in steady state for any k
+// up to the largest seen. x and y must not alias.
+func (p *Prepared) MulMat(x, y []float64, k int) {
+	if k < 1 {
+		panic("native: MulMat block width < 1")
+	}
+	if len(x) != p.m.NCols*k || len(y) != p.m.NRows*k {
+		panic("native: MulMat dimension mismatch")
+	}
+	if matrix.Aliased(x, y) {
+		panic("native: MulMat input and output must not alias")
+	}
+	p.mu.Lock()
+	p.mulMatLocked(x, y, k, nil)
 	p.mu.Unlock()
 }
 
@@ -98,6 +167,40 @@ func (p *Prepared) mulVecLocked(x, y, perThread []float64) {
 	p.x, p.y, p.timing = nil, nil, nil
 }
 
+// mulMatTimed is the blocked measurement entry point (native Run with
+// a BlockWidth configuration).
+func (p *Prepared) mulMatTimed(x, y []float64, k int, perThread []float64) {
+	p.mu.Lock()
+	p.mulMatLocked(x, y, k, perThread)
+	p.mu.Unlock()
+}
+
+// mulMatLocked dispatches one blocked multiply of k interleaved
+// right-hand sides as a single pool barrier.
+func (p *Prepared) mulMatLocked(x, y []float64, k int, perThread []float64) {
+	if k == 1 {
+		p.mulVecLocked(x, y, perThread)
+		return
+	}
+	if p.bodyBlock == nil {
+		panic("native: bound kernels have no blocked form")
+	}
+	if p.ensureBlock != nil {
+		p.ensureBlock(k)
+	}
+	p.x, p.y, p.timing, p.bk = x, y, perThread, k
+	p.next.Store(0)
+	if p.pool != nil {
+		p.pool.Run(p.nt, p.bodyBlock)
+	} else {
+		spawnRun(p.nt, p.bodyBlock)
+	}
+	if p.finishBlock != nil {
+		p.finishBlock()
+	}
+	p.x, p.y, p.timing, p.bk = nil, nil, nil, 0
+}
+
 // wrap adds the optional per-thread timing shell around a slot body.
 func (p *Prepared) wrap(work func(t int)) func(t int) {
 	return func(t int) {
@@ -115,7 +218,7 @@ func (p *Prepared) wrap(work func(t int)) func(t int) {
 // to the executor's worker pool. It accepts bound kernels (Run measures
 // them); the public Prepare rejects them.
 func (e *Executor) buildPrepared(m *matrix.CSR, o ex.Optim, nt int) *Prepared {
-	p := &Prepared{m: m, opt: o, nt: nt, pool: e.workers}
+	p := &Prepared{m: m, opt: o, nt: nt, pool: e.workers, blockW: o.EffectiveBlockWidth()}
 	switch {
 	case o.RegularizeX:
 		p.bindRange(m, kernels.RegularizedRange, "regularized", o.Schedule)
@@ -137,9 +240,17 @@ func (e *Executor) buildPrepared(m *matrix.CSR, o ex.Optim, nt int) *Prepared {
 	return p
 }
 
-// bindRange compiles a RangeKernel under the resolved schedule.
+// bindRange compiles a RangeKernel under the resolved schedule. The
+// blocked body always runs the register-blocked CSR SpMM kernel: the
+// scalar variants (prefetch, unroll, the 8-accumulator vector
+// stand-in) exist to optimize the one-vector loop, and register
+// blocking across right-hand sides IS that optimization for blocks.
+// The bound probe kernels (RegularizeX/UnitStride) do not compute SpMV
+// and have no blocked form; bodyBlock stays nil for them, so batch
+// calls fall back to the per-vector probe and MulMat rejects them.
 func (p *Prepared) bindRange(m *matrix.CSR, k kernels.RangeKernel, name string, policy sched.Policy) {
 	p.kernelName = name
+	blocked := !p.opt.IsBoundKernel()
 	sp := sched.Prepare(policy, m, p.nt)
 	if sp.Chunks != nil {
 		chunks := sp.Chunks
@@ -153,6 +264,18 @@ func (p *Prepared) bindRange(m *matrix.CSR, k kernels.RangeKernel, name string, 
 				k(m, p.x, p.y, c.Lo, c.Hi)
 			}
 		})
+		if blocked {
+			p.bodyBlock = p.wrap(func(t int) {
+				for {
+					idx := int(p.next.Add(1)) - 1
+					if idx >= len(chunks) {
+						break
+					}
+					c := chunks[idx]
+					kernels.CSRBlockRange(m, p.x, p.y, p.bk, c.Lo, c.Hi)
+				}
+			})
+		}
 		return
 	}
 	parts := sp.Parts
@@ -160,6 +283,12 @@ func (p *Prepared) bindRange(m *matrix.CSR, k kernels.RangeKernel, name string, 
 		r := parts[t]
 		k(m, p.x, p.y, r.Lo, r.Hi)
 	})
+	if blocked {
+		p.bodyBlock = p.wrap(func(t int) {
+			r := parts[t]
+			kernels.CSRBlockRange(m, p.x, p.y, p.bk, r.Lo, r.Hi)
+		})
+	}
 }
 
 // bindSplit compiles the two-phase SplitCSR kernel (Fig 6): phase 1
@@ -179,6 +308,26 @@ func (p *Prepared) bindSplit(s *formats.SplitCSR, o ex.Optim) {
 	})
 	p.finish = func() {
 		kernels.SplitPhase2Reduce(s, partials, p.y, nt)
+	}
+	// Blocked path: the phase-2 partial buffer grows to nt*nLong*k
+	// cells; pre-sizing at the configured block width keeps steady-state
+	// batches allocation-free, ensureBlock covers wider explicit MulMat
+	// calls.
+	partialsBlock := make([]float64, nt*s.NumLongRows()*p.blockW)
+	p.ensureBlock = func(k int) {
+		if need := nt * s.NumLongRows() * k; cap(partialsBlock) < need {
+			partialsBlock = make([]float64, need)
+		} else {
+			partialsBlock = partialsBlock[:need]
+		}
+	}
+	p.bodyBlock = p.wrap(func(t int) {
+		r := parts[t]
+		kernels.CSRBlockRange(s.Base, p.x, p.y, p.bk, r.Lo, r.Hi)
+		kernels.SplitPhase2PartialBlock(s, p.x, partialsBlock, p.bk, t, nt)
+	})
+	p.finishBlock = func() {
+		kernels.SplitPhase2ReduceBlock(s, partialsBlock, p.y, p.bk, nt)
 	}
 }
 
@@ -204,12 +353,26 @@ func (p *Prepared) bindSellCS(s *formats.SellCS, o ex.Optim) {
 				kern(s, p.x, p.y, c.Lo, c.Hi)
 			}
 		})
+		p.bodyBlock = p.wrap(func(t int) {
+			for {
+				idx := int(p.next.Add(1)) - 1
+				if idx >= len(chunks) {
+					break
+				}
+				c := chunks[idx]
+				kernels.SellCSBlockRange(s, p.x, p.y, p.bk, c.Lo, c.Hi)
+			}
+		})
 		return
 	}
 	parts := sellChunkParts(s, p.nt)
 	p.body = p.wrap(func(t int) {
 		r := parts[t]
 		kern(s, p.x, p.y, r.Lo, r.Hi)
+	})
+	p.bodyBlock = p.wrap(func(t int) {
+		r := parts[t]
+		kernels.SellCSBlockRange(s, p.x, p.y, p.bk, r.Lo, r.Hi)
 	})
 }
 
@@ -229,5 +392,9 @@ func (p *Prepared) bindDelta(d *formats.DeltaCSR, m *matrix.CSR, policy sched.Po
 	p.body = p.wrap(func(t int) {
 		r := parts[t]
 		kernels.DeltaRange(d, p.x, p.y, r.Lo, r.Hi, offs[r.Lo])
+	})
+	p.bodyBlock = p.wrap(func(t int) {
+		r := parts[t]
+		kernels.DeltaBlockRange(d, p.x, p.y, p.bk, r.Lo, r.Hi, offs[r.Lo])
 	})
 }

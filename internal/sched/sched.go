@@ -113,8 +113,12 @@ func PartitionNNZ(m *matrix.CSR, nt int) []Range {
 
 // DefaultChunk returns the dynamic-schedule chunk size used when the
 // caller does not specify one: enough rows that scheduling overhead is
-// amortized, capped so small matrices still load-balance.
+// amortized, capped so small matrices still load-balance. nt values
+// below 1 are clamped to 1, as in PartitionRows.
 func DefaultChunk(n, nt int) int {
+	if nt < 1 {
+		nt = 1
+	}
 	c := n / (nt * 16)
 	if c < 8 {
 		c = 8
@@ -124,8 +128,12 @@ func DefaultChunk(n, nt int) int {
 
 // Chunks materializes the ordered chunk list a dynamic or guided
 // schedule would serve. Dynamic uses fixed-size chunks; guided starts
-// at remaining/nt and halves down to chunk.
+// at remaining/nt and halves down to chunk. nt values below 1 are
+// clamped to 1, as in PartitionRows.
 func Chunks(p Policy, n, nt, chunk int) []Range {
+	if nt < 1 {
+		nt = 1
+	}
 	if chunk < 1 {
 		chunk = DefaultChunk(n, nt)
 	}

@@ -96,6 +96,23 @@ func TestChunksCoverGuided(t *testing.T) {
 	}
 }
 
+// TestChunksClampNonPositiveThreads is the regression test for the
+// integer divide-by-zero: Chunks(Guided, 100, 0, 0) used to panic
+// because DefaultChunk and the guided loop divide by nt. Both now
+// clamp nt to 1, as PartitionRows always has.
+func TestChunksClampNonPositiveThreads(t *testing.T) {
+	for _, nt := range []int{0, -3} {
+		coverExactly(t, Chunks(Guided, 100, nt, 0), 100)
+		coverExactly(t, Chunks(Dynamic, 100, nt, 0), 100)
+	}
+	if c := DefaultChunk(100, 0); c < 1 {
+		t.Fatalf("DefaultChunk(100, 0) = %d, want >= 1", c)
+	}
+	if c := DefaultChunk(1<<20, -1); c != DefaultChunk(1<<20, 1) {
+		t.Fatalf("negative nt chunk = %d, want the nt=1 chunk %d", c, DefaultChunk(1<<20, 1))
+	}
+}
+
 func TestDefaultChunkFloor(t *testing.T) {
 	if c := DefaultChunk(10, 64); c != 8 {
 		t.Fatalf("tiny matrix chunk = %d, want floor 8", c)

@@ -229,18 +229,27 @@ func (t *Tuner) Tune(m *Matrix) *Tuned {
 func (t *Tuner) Close() error { return t.nat.Close() }
 
 // MulVec computes y = A*x with the tuned parallel kernel. Steady-state
-// calls are allocation-free and safe from concurrent goroutines.
+// calls are allocation-free and safe from concurrent goroutines. x and
+// y must not overlap (matrix.Aliased): y is written while x is still
+// being gathered, so an aliased call would silently compute garbage.
 func (k *Tuned) MulVec(x, y []float64) {
 	if len(x) != k.m.Cols() || len(y) != k.m.Rows() {
 		panic(fmt.Sprintf("spmvtuner: MulVec dimension mismatch: x=%d y=%d for %dx%d",
 			len(x), len(y), k.m.Rows(), k.m.Cols()))
+	}
+	if matrix.Aliased(x, y) {
+		panic("spmvtuner: MulVec input and output must not alias")
 	}
 	k.prep.MulVec(x, y)
 }
 
 // MulVecBatch computes ys[i] = A*xs[i] for every pair, keeping the
 // worker pool hot across the whole batch — the serving shape where one
-// tuned matrix multiplies many user vectors back to back.
+// tuned matrix multiplies many user vectors back to back. The engine
+// repartitions the batch into blocks of up to 8 vectors and streams
+// the matrix once per block (see docs/guide/batching.md), so large
+// batches run well past single-vector throughput. The aliasing rule
+// is blanket: no input vector may overlap ANY output vector.
 func (k *Tuned) MulVecBatch(xs, ys [][]float64) {
 	if len(xs) != len(ys) {
 		panic(fmt.Sprintf("spmvtuner: MulVecBatch length mismatch: %d inputs, %d outputs", len(xs), len(ys)))
@@ -251,7 +260,35 @@ func (k *Tuned) MulVecBatch(xs, ys [][]float64) {
 				i, len(xs[i]), len(ys[i]), k.m.Rows(), k.m.Cols()))
 		}
 	}
+	// The aliasing rule is blanket across the batch, not per pair: an
+	// earlier block's outputs are written before a later block's inputs
+	// are packed, so ANY shared input/output buffer reads overwritten
+	// data.
+	if matrix.AnyAliased(xs, ys) {
+		panic("spmvtuner: MulVecBatch inputs and outputs must not alias")
+	}
 	k.prep.MulVecBatch(xs, ys)
+}
+
+// MulMat computes Y = A*X for nrhs right-hand sides stored in the
+// interleaved block layout: X is one []float64 of length Cols()*nrhs
+// where element j of vector l lives at X[j*nrhs+l], and Y likewise
+// with Rows()*nrhs. The matrix is streamed once per block of
+// right-hand sides — the blocked SpMM serving path, with no packing
+// cost when the caller already holds interleaved blocks. X and Y must
+// not alias.
+func (k *Tuned) MulMat(x, y []float64, nrhs int) {
+	if nrhs < 1 {
+		panic(fmt.Sprintf("spmvtuner: MulMat nrhs %d < 1", nrhs))
+	}
+	if len(x) != k.m.Cols()*nrhs || len(y) != k.m.Rows()*nrhs {
+		panic(fmt.Sprintf("spmvtuner: MulMat dimension mismatch: x=%d y=%d for %dx%d with nrhs=%d",
+			len(x), len(y), k.m.Rows(), k.m.Cols(), nrhs))
+	}
+	if matrix.Aliased(x, y) {
+		panic("spmvtuner: MulMat input and output must not alias")
+	}
+	k.prep.MulMat(x, y, nrhs)
 }
 
 // Info returns the tuning decision.

@@ -250,3 +250,66 @@ func TestTunedInfoExposed(t *testing.T) {
 		t.Fatal("no optimization string")
 	}
 }
+
+// TestTunedMulMat: the interleaved multi-RHS entry point must match
+// per-vector reference multiplies for register-blocked and generic
+// widths.
+func TestTunedMulMat(t *testing.T) {
+	m := buildRandom(1500, 1500, 5, 21)
+	tu := NewTuner()
+	defer tu.Close()
+	tuned := tu.Tune(m)
+	want := make([]float64, m.Rows())
+	xv := make([]float64, m.Cols())
+	for _, k := range []int{1, 3, 8} {
+		x := make([]float64, m.Cols()*k)
+		for i := range x {
+			x[i] = float64((i+k)%11) - 5
+		}
+		y := make([]float64, m.Rows()*k)
+		tuned.MulMat(x, y, k)
+		for l := 0; l < k; l++ {
+			for j := 0; j < m.Cols(); j++ {
+				xv[j] = x[j*k+l]
+			}
+			m.MulVec(xv, want)
+			for i := range want {
+				if math.Abs(want[i]-y[i*k+l]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("k=%d rhs=%d: y[%d] = %g, want %g", k, l, i, y[i*k+l], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTunedAliasingRejected: no multiply path may accept aliased input
+// and output — an aliased call silently computes garbage (y is written
+// while x is still being gathered), so it panics instead.
+func TestTunedAliasingRejected(t *testing.T) {
+	m := buildRandom(100, 100, 3, 22)
+	tu := NewTuner()
+	defer tu.Close()
+	tuned := tu.Tune(m)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	v := make([]float64, 100)
+	mustPanic("MulVec aliased", func() { tuned.MulVec(v, v) })
+	other := make([]float64, 100)
+	mustPanic("MulVecBatch aliased", func() {
+		tuned.MulVecBatch([][]float64{other, v}, [][]float64{make([]float64, 100), v})
+	})
+	mustPanic("MulVecBatch cross-pair aliased", func() {
+		// Input 1 shares output 0: block 0's results would be read as
+		// block 1's input. The blanket rule must catch it.
+		tuned.MulVecBatch([][]float64{other, v}, [][]float64{v, make([]float64, 100)})
+	})
+	vb := make([]float64, 100*2)
+	mustPanic("MulMat aliased", func() { tuned.MulMat(vb, vb, 2) })
+	mustPanic("MulMat bad nrhs", func() { tuned.MulMat(vb, vb, 0) })
+}
