@@ -10,10 +10,11 @@
 //	spmvbench -exp reuse -scale 0.1     # engine: one-shot vs prepared
 //	spmvbench -exp sellcs -scale 0.1    # SELL-C-σ vs CSR vector kernel
 //	spmvbench -exp spmm -scale 0.1      # blocked SpMM vs per-vector loop
+//	spmvbench -exp sym -scale 0.1       # symmetric SSS vs expanded CSR
 //	spmvbench -exp all -scale 0.25      # every modeled experiment
 //
-// The reuse, sellcs and spmm experiments run natively on the host
-// through the persistent worker-pool engine; everything else is
+// The reuse, sellcs, spmm and sym experiments run natively on the
+// host through the persistent worker-pool engine; everything else is
 // modeled, and "all" covers only the modeled set (request the native
 // ones explicitly).
 //
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1, fig3, fig7, table4, table5, platforms, features, reuse, sellcs, spmm, ablate-*, all")
+		exp      = flag.String("exp", "all", "experiment: fig1, fig3, fig7, table4, table5, platforms, features, reuse, sellcs, spmm, sym, ablate-*, all")
 		platform = flag.String("platform", "", "fig7 platform: knc, knl, bdw (default: all three)")
 		scale    = flag.Float64("scale", 1.0, "suite size multiplier (1.0 = reproduction size)")
 		corpus   = flag.Int("corpus", 210, "training corpus size")
@@ -94,6 +95,8 @@ func main() {
 		emit(experiments.SellCS(cfg).Table())
 	case "spmm":
 		emit(experiments.SpMM(cfg).Table())
+	case "sym":
+		emit(experiments.Sym(cfg).Table())
 	case "ablate-delta":
 		emit(experiments.AblateDelta(cfg).Table())
 	case "ablate-split":

@@ -54,7 +54,11 @@ func main() {
 	for i := range b {
 		b[i] = 1
 	}
-	mul := func(x, y []float64) { tuned.MulVec(x, y) }
+	// The tuned kernel IS the solver's SpMV: for SPD systems the tuner
+	// detects symmetry and routes every CG iteration through the
+	// symmetric SSS storage path when the classifier deems it
+	// bandwidth bound (the optimizations line above says which).
+	mul := solver.MulVec(tuned.MulVec)
 	opts := solver.Options{Tol: *tol, MaxIters: *maxIt}
 	if *precond && *method == "cg" {
 		opts.Precond = solver.Jacobi(csr)

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sparsekit/spmvtuner"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/solver"
+)
+
+// TestCGThroughTunedKernelMatchesReference is the solve-path
+// regression test: CG driven by the tuned (possibly symmetric-storage)
+// kernel must converge to the same residual as CG driven by the plain
+// sequential reference, and both solutions must satisfy the system.
+func TestCGThroughTunedKernelMatchesReference(t *testing.T) {
+	csr := gen.Poisson2D(40, 40) // SPD: the symmetric path's home turf
+	m := wrap(csr)
+
+	tuner := spmvtuner.NewTuner()
+	defer tuner.Close()
+	tuned := tuner.Tune(m)
+
+	b := make([]float64, csr.NRows)
+	for i := range b {
+		b[i] = 1
+	}
+	opts := solver.Options{Tol: 1e-10, MaxIters: 10000}
+
+	ref, err := solver.CG(csr.MulVec, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := solver.CG(tuned.MulVec, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Converged || !got.Converged {
+		t.Fatalf("convergence mismatch: reference=%v tuned=%v", ref.Converged, got.Converged)
+	}
+	if math.Abs(ref.Residual-got.Residual) > 1e-9 {
+		t.Fatalf("residuals diverge: reference %.3g, tuned %.3g", ref.Residual, got.Residual)
+	}
+	for i := range ref.X {
+		if math.Abs(ref.X[i]-got.X[i]) > 1e-6*(1+math.Abs(ref.X[i])) {
+			t.Fatalf("solutions diverge at %d: %.12g vs %.12g", i, ref.X[i], got.X[i])
+		}
+	}
+}
+
+// TestWrapPreservesSystem pins the CLI's internal-to-public conversion:
+// the wrapped matrix must be the same operator, and tuning it must
+// resolve the symmetry kind (the transparent SSS entry condition).
+func TestWrapPreservesSystem(t *testing.T) {
+	csr := gen.Poisson2D(12, 12)
+	m := wrap(csr)
+	if m.Rows() != csr.NRows || m.NNZ() != csr.NNZ() {
+		t.Fatalf("wrap changed shape: %dx? nnz %d", m.Rows(), m.NNZ())
+	}
+	if got := matrix.DetectSymmetry(csr); got != matrix.SymSymmetric {
+		t.Fatalf("Poisson2D not symmetric? %v", got)
+	}
+}

@@ -1,7 +1,7 @@
 // Mirrors the code samples of README.md, docs/guide/platforms.md,
-// docs/guide/formats.md and docs/guide/batching.md so the documented
-// API cannot drift without breaking the build: every call here appears
-// in a published snippet.
+// docs/guide/formats.md, docs/guide/batching.md and
+// docs/guide/symmetry.md so the documented API cannot drift without
+// breaking the build: every call here appears in a published snippet.
 package spmvtuner_test
 
 import (
@@ -161,5 +161,50 @@ func TestFormatsGuideSamples(t *testing.T) {
 	}
 	if !s.Reassemble().Equal(csr) {
 		t.Fatal("guide round-trip promise broken")
+	}
+}
+
+// TestSymmetryGuideSamples exercises docs/guide/symmetry.md: the
+// programmatic build + transparent Tune flow, the deterministic
+// modeled proposal, and the SSS round-trip promise.
+func TestSymmetryGuideSamples(t *testing.T) {
+	// The guide's Builder flow: symmetric entries, no annotation.
+	n := 600
+	b := spmvtuner.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 4)
+		if j := i + 1; j < n {
+			b.Add(i, j, -1)
+			b.Add(j, i, -1)
+		}
+	}
+	m := b.Build()
+
+	tuner := spmvtuner.NewTuner()
+	defer tuner.Close()
+	tuned := tuner.Tune(m) // symmetry detected here
+	x := make([]float64, m.Cols())
+	y := make([]float64, m.Rows())
+	tuned.MulVec(x, y)
+
+	// The guide's modeled-analysis sample must stay deterministic.
+	wide, err := spmvtuner.SuiteMatrix("sym-fem", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := spmvtuner.NewTuner(spmvtuner.OnPlatform("bdw")).Analyze(wide)
+	if a.Optimizations == "" {
+		t.Fatal("empty modeled analysis")
+	}
+
+	// Direct conversion path (internal packages, as the guide notes):
+	// exact round trip and the roughly-halved byte promise.
+	csr := gen.Poisson2D(30, 30)
+	s := formats.ConvertSSS(csr)
+	if !s.Reassemble().Equal(csr) {
+		t.Fatal("SSS round-trip promise broken")
+	}
+	if s.Bytes() >= csr.Bytes() {
+		t.Fatalf("SSS bytes %d not below CSR bytes %d", s.Bytes(), csr.Bytes())
 	}
 }

@@ -41,6 +41,13 @@ type Optim struct {
 	// matrices. See EffectiveFormat for the precedence when combined
 	// with the other format knobs.
 	SellCS bool
+	// Symmetric stores the matrix in SSS form (strictly lower
+	// triangle + diagonal) and runs the symmetric two-phase kernel —
+	// the strongest MB-class remedy, halving the dominant matrix
+	// stream at the price of a per-thread partial-buffer reduction for
+	// the mirrored contributions. Valid only for matrices whose
+	// Sym kind is symmetric; the optimizers gate on it.
+	Symmetric bool
 	// Schedule selects the row-scheduling policy; the zero value is
 	// the paper's default static nnz-balanced partitioning.
 	Schedule sched.Policy
@@ -80,19 +87,26 @@ const (
 	FormatSplit
 	// FormatSellCS is SELL-C-σ: sorted, column-padded row chunks.
 	FormatSellCS
+	// FormatSSS is symmetric storage: lower triangle CSR + diagonal.
+	FormatSSS
 )
 
 // EffectiveFormat resolves the storage format one configuration
 // actually executes — the single source of the format precedence the
 // native engine, the analytic cost model, and conversion pricing all
-// share: bound kernels read plain CSR, Split wins over SellCS (a
-// dominating long row would explode a chunk's padding), and SellCS
-// wins over Compress (the SELL layout replaces the index stream).
-// Superseded format knobs are inert: never converted, never priced.
+// share: bound kernels read plain CSR, Symmetric wins over everything
+// (halving the element stream outcompresses any re-encoding of it,
+// and the SSS reduction spreads the mirrored work evenly), Split wins
+// over SellCS (a dominating long row would explode a chunk's padding),
+// and SellCS wins over Compress (the SELL layout replaces the index
+// stream). Superseded format knobs are inert: never converted, never
+// priced.
 func (o Optim) EffectiveFormat() Format {
 	switch {
 	case o.IsBoundKernel():
 		return FormatCSR
+	case o.Symmetric:
+		return FormatSSS
 	case o.Split:
 		return FormatSplit
 	case o.SellCS:
@@ -122,6 +136,7 @@ func (o Optim) String() string {
 	add("unroll", o.Unroll)
 	add("split", o.Split)
 	add("sellcs", o.SellCS)
+	add("sym", o.Symmetric)
 	add("regx", o.RegularizeX)
 	add("unit", o.UnitStride)
 	if s == "" {

@@ -276,6 +276,28 @@ func TestSellCSExperiment(t *testing.T) {
 	}
 }
 
+func TestSymExperiment(t *testing.T) {
+	res := Sym(Config{Scale: 0.02, Matrices: []string{"lap2d", "sym-fem"}})
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.CSRUs <= 0 || r.SSSUs <= 0 {
+			t.Fatalf("%s: nonpositive timing %+v", r.Matrix, r)
+		}
+		if r.BytesX <= 1 {
+			t.Fatalf("%s: SSS did not shrink matrix bytes (bytes-x %.2f)", r.Matrix, r.BytesX)
+		}
+		if r.MaxDiff > 1e-12 {
+			t.Fatalf("%s: SSS diverged from the reference by %g", r.Matrix, r.MaxDiff)
+		}
+	}
+	s := res.Table().String()
+	if !strings.Contains(s, "bytes-x") {
+		t.Fatalf("table missing bytes column:\n%s", s)
+	}
+}
+
 func TestTrainProducesUsableClassifier(t *testing.T) {
 	tc := Train(machineKNC(), tiny)
 	if tc.Tree == nil || len(tc.Names) == 0 {

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/machine"
+	"github.com/sparsekit/spmvtuner/internal/native"
+	"github.com/sparsekit/spmvtuner/internal/report"
+	"github.com/sparsekit/spmvtuner/internal/sim"
+	"github.com/sparsekit/spmvtuner/internal/suite"
+)
+
+// SymRow compares the expanded-CSR reference path against the
+// symmetric SSS kernel for one symmetric suite matrix, both through
+// the prepared persistent-pool engine.
+type SymRow struct {
+	Matrix  string
+	NNZ     int     // assembled (mirrored) stored elements
+	CSRMB   float64 // matrix stream of the CSR kernel, MiB
+	SSSMB   float64 // matrix stream of the SSS kernel, MiB
+	BytesX  float64 // CSRMB / SSSMB — the compression the format buys
+	CSRUs   float64 // per-op, prepared csr
+	SSSUs   float64 // per-op, prepared sss
+	Speedup float64 // CSRUs / SSSUs
+	ModelX  float64 // cost-model predicted speedup on the host model
+	MaxDiff float64 // max relative difference vs the reference result
+}
+
+// SymResult holds the symmetric-storage comparison.
+type SymResult struct {
+	Rows []SymRow
+}
+
+// symSelected returns the symmetric suite recipes the config asks for
+// (all of them when no -matrix subset is given).
+func symSelected(c Config) []suite.Recipe {
+	all := suite.Symmetric()
+	if len(c.Matrices) == 0 {
+		return all
+	}
+	want := make(map[string]bool, len(c.Matrices))
+	for _, n := range c.Matrices {
+		want[n] = true
+	}
+	var out []suite.Recipe
+	for _, r := range all {
+		if want[r.Name] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Sym runs the symmetric-storage cross-check natively on the host:
+// the SSS kernel must agree with the expanded-CSR reference, and the
+// reported bytes/perf delta shows what halving the matrix stream buys
+// against the reduction cost. The cost model's prediction sits beside
+// each measurement — it is what the oracle consults to decide when
+// the nt·n partial-buffer traffic eats the bandwidth win (the very
+// sparse Laplacians at high thread counts).
+func Sym(cfg Config) SymResult {
+	c := cfg.withDefaults()
+	e := native.New()
+	defer e.Close()
+	model := sim.New(machine.Host())
+
+	var res SymResult
+	for _, r := range symSelected(c) {
+		m := r.Build(c.Scale)
+		x := make([]float64, m.NCols)
+		for i := range x {
+			x[i] = 1 + 0.25*float64(i%7)
+		}
+		want := make([]float64, m.NRows)
+		m.MulVec(x, want)
+		iters := reuseIters(m.NNZ())
+
+		y := make([]float64, m.NRows)
+		timeOp := func(o ex.Optim) float64 {
+			p := e.Prepare(m, o)
+			p.MulVec(x, y) // warm
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				p.MulVec(x, y)
+			}
+			return time.Since(start).Seconds() / float64(iters)
+		}
+		csr := timeOp(ex.Optim{})
+		sss := timeOp(ex.Optim{Symmetric: true})
+
+		var maxDiff float64
+		for i := range want {
+			d := math.Abs(y[i]-want[i]) / (1 + math.Abs(want[i]))
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+
+		sssBytes := e.SSSOf(m).Bytes()
+		row := SymRow{
+			Matrix:  m.Name,
+			NNZ:     m.NNZ(),
+			CSRMB:   float64(m.Bytes()) / (1 << 20),
+			SSSMB:   float64(sssBytes) / (1 << 20),
+			CSRUs:   csr * 1e6,
+			SSSUs:   sss * 1e6,
+			MaxDiff: maxDiff,
+		}
+		if sssBytes > 0 {
+			row.BytesX = float64(m.Bytes()) / float64(sssBytes)
+		}
+		if sss > 0 {
+			row.Speedup = csr / sss
+		}
+		base := model.Run(ex.Config{Matrix: m}).Seconds
+		pred := model.Run(ex.Config{Matrix: m, Opt: ex.Optim{Symmetric: true}}).Seconds
+		if pred > 0 {
+			row.ModelX = base / pred
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Table renders the comparison.
+func (r SymResult) Table() *report.Table {
+	t := report.New("Symmetric SSS storage vs expanded CSR (host, prepared engine)",
+		"matrix", "nnz", "csr MiB", "sss MiB", "bytes-x", "csr us/op", "sss us/op", "speedup", "model-x", "maxdiff")
+	for _, row := range r.Rows {
+		t.Add(row.Matrix, report.F(float64(row.NNZ)), report.F(row.CSRMB), report.F(row.SSSMB),
+			report.Fx(row.BytesX), report.F(row.CSRUs), report.F(row.SSSUs),
+			report.Fx(row.Speedup), report.Fx(row.ModelX), report.F(row.MaxDiff))
+	}
+	t.AddNote("SSS stores the lower triangle + diagonal: bytes-x approaches 2 as rows densify")
+	t.AddNote("the mirrored contribution costs a per-thread partial-buffer reduction (nt x n cells);")
+	t.AddNote("the cost model prices it, so the oracle only proposes SSS when the halved stream wins")
+	return t
+}

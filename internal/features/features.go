@@ -41,6 +41,15 @@ type Set struct {
 	// distance from the previous element in the row exceeds the number
 	// of elements in a cache line (Θ(NNZ)).
 	MissesAvg float64
+
+	// Symmetric reports the matrix's annotated symmetry kind (Θ(1): it
+	// reads the CSR.Sym flag that mmio parsing, the suite builders and
+	// the facade's detection set — extraction never rescans the
+	// matrix). It is a format-selection input for the optimizer's
+	// symmetric-storage proposal, not one of the paper's Table I
+	// classifier features, so it has no feature Name and never enters
+	// the decision-tree vectors.
+	Symmetric bool
 }
 
 // Params fixes the platform-dependent inputs of feature extraction.
@@ -71,6 +80,7 @@ func Extract(m *matrix.CSR, p Params) Set {
 	if WorkingSetBytes(m) <= p.LLCBytes {
 		s.Size = 1
 	}
+	s.Symmetric = m.Sym == matrix.SymSymmetric
 	n := m.NRows
 	if n == 0 {
 		return s

@@ -204,6 +204,69 @@ func TestDifferentialSpMM(t *testing.T) {
 	}
 }
 
+// symFamilies are the symmetric regimes of the differential sweep:
+// the SPD Laplacians the iterative solvers run on, plus symmetrized
+// (A + Aᵀ) versions of the structural families above. Every SSS
+// conversion must agree with the mirrored-CSR reference and
+// round-trip exactly.
+func symFamilies() []family {
+	base := families()
+	out := []family{
+		{"lap2d", func(n int, seed int64) *matrix.CSR {
+			side := 2
+			for side*side < n {
+				side++
+			}
+			return gen.Poisson2D(side, side)
+		}},
+		{"lap3d", func(n int, seed int64) *matrix.CSR {
+			side := 2
+			for side*side*side < n {
+				side++
+			}
+			return gen.Poisson3D(side, side, side)
+		}},
+	}
+	for _, f := range base {
+		f := f
+		out = append(out, family{"sym-" + f.name, func(n int, seed int64) *matrix.CSR {
+			return symmetrize(f.build(n, seed))
+		}})
+	}
+	return out
+}
+
+// TestDifferentialSSS is the symmetric-format sweep: for every
+// symmetric family and several seeds, the SSS kernel must agree with
+// the mirrored-CSR reference within diffRelTol — per vector and for
+// each register-blocked width k ∈ {1, 2, 4, 8} — and reconstruct the
+// mirrored matrix exactly.
+func TestDifferentialSSS(t *testing.T) {
+	for _, fam := range symFamilies() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			for _, seed := range []int64{1, 2, 3, 4, 5} {
+				n := 40 + int(seed*37)%300
+				m := fam.build(n, seed)
+				if err := m.Validate(); err != nil {
+					t.Fatalf("seed %d: generator emitted invalid CSR: %v", seed, err)
+				}
+				if matrix.DetectSymmetry(m) != matrix.SymSymmetric {
+					t.Fatalf("seed %d: family %s is not symmetric", seed, fam.name)
+				}
+				s := ConvertSSS(m)
+				mulDiff(t, "sss", m, s.MulVec)
+				if !s.Reassemble().Equal(m) {
+					t.Fatalf("seed %d: SSS round trip changed the matrix", seed)
+				}
+				for _, k := range []int{1, 2, 4, 8} {
+					mulMatDiff(t, "sss", m, k, s.MulMat)
+				}
+			}
+		})
+	}
+}
+
 // TestDifferentialFormatsPreserveNNZ: no conversion may create or drop
 // stored elements (padding is storage, not elements).
 func TestDifferentialFormatsPreserveNNZ(t *testing.T) {

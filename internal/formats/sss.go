@@ -1,0 +1,196 @@
+package formats
+
+import (
+	"fmt"
+
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// SSS is the Symmetric Sparse Skyline storage format: a symmetric
+// matrix keeps only its strictly lower triangle in CSR form plus a
+// dense diagonal array. SpMV reads each stored off-diagonal element
+// once and applies it twice — y[i] += v*x[j] for the stored (i,j) and
+// y[j] += v*x[i] for the implied mirror — so the dominant matrix
+// stream (values + column indices) of a bandwidth-bound multiply is
+// roughly halved. The price is the mirrored contribution's scatter
+// into y[j] outside the computing thread's row partition, which the
+// parallel engine resolves with per-thread partial buffers and a
+// phase-2 reduction (the same machinery as SplitCSR's long rows).
+type SSS struct {
+	// N is the matrix dimension (SSS matrices are square).
+	N int
+	// Lower holds the strictly lower triangle (column < row) as an
+	// ordinary N x N CSR matrix.
+	Lower *matrix.CSR
+	// Diag is the dense main diagonal; rows without a stored diagonal
+	// entry hold 0.
+	Diag []float64
+	// HasDiag marks rows whose diagonal entry is actually stored in
+	// the source matrix — Diag alone cannot distinguish a stored
+	// explicit zero from an absent entry, and Reassemble must
+	// reproduce the original exactly.
+	HasDiag []bool
+
+	Name string
+}
+
+// ConvertSSS builds the symmetric storage of m. The matrix must be
+// exactly symmetric (matrix.DetectSymmetry == SymSymmetric): the
+// upper triangle is discarded and reconstructed from the lower one,
+// so any asymmetry would silently corrupt results — callers gate on
+// the symmetry kind, and a violation here is a programming error.
+func ConvertSSS(m *matrix.CSR) *SSS {
+	if matrix.DetectSymmetry(m) != matrix.SymSymmetric {
+		panic(fmt.Sprintf("formats: ConvertSSS on a non-symmetric matrix (%dx%d %q)",
+			m.NRows, m.NCols, m.Name))
+	}
+	n := m.NRows
+	s := &SSS{
+		N:       n,
+		Diag:    make([]float64, n),
+		HasDiag: make([]bool, n),
+		Name:    m.Name,
+	}
+	lower := &matrix.CSR{
+		NRows:  n,
+		NCols:  n,
+		RowPtr: make([]int64, n+1),
+	}
+	var lowerNNZ int64
+	for i := 0; i < n; i++ {
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			if int(m.ColInd[j]) < i {
+				lowerNNZ++
+			}
+		}
+	}
+	lower.ColInd = make([]int32, 0, lowerNNZ)
+	lower.Val = make([]float64, 0, lowerNNZ)
+	for i := 0; i < n; i++ {
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			c := int(m.ColInd[j])
+			switch {
+			case c < i:
+				lower.ColInd = append(lower.ColInd, m.ColInd[j])
+				lower.Val = append(lower.Val, m.Val[j])
+			case c == i:
+				s.Diag[i] = m.Val[j]
+				s.HasDiag[i] = true
+			}
+			// c > i: implied by the stored (c, i) mirror.
+		}
+		lower.RowPtr[i+1] = int64(len(lower.ColInd))
+	}
+	s.Lower = lower
+	return s
+}
+
+// NNZ returns the stored element count: lower-triangle entries plus
+// stored diagonals — the compression the format exists for. The
+// assembled matrix's logical nonzero count is FullNNZ.
+func (s *SSS) NNZ() int {
+	n := s.Lower.NNZ()
+	for _, h := range s.HasDiag {
+		if h {
+			n++
+		}
+	}
+	return n
+}
+
+// FullNNZ returns the assembled matrix's stored-element count:
+// each off-diagonal element counts twice.
+func (s *SSS) FullNNZ() int { return s.NNZ() + s.Lower.NNZ() }
+
+// Bytes returns the memory footprint of the SSS arrays: the lower
+// CSR plus 8 bytes per diagonal entry. This is the matrix stream the
+// symmetric kernel reads per multiply — compare CSR.Bytes() of the
+// assembled matrix for the saving.
+func (s *SSS) Bytes() int64 {
+	return s.Lower.Bytes() + int64(s.N)*8
+}
+
+// Reassemble reconstructs the full symmetric CSR matrix; inverse of
+// ConvertSSS (exact: mirrored values are the stored bits).
+func (s *SSS) Reassemble() *matrix.CSR {
+	coo := matrix.NewCOO(s.N, s.N)
+	for i := 0; i < s.N; i++ {
+		if s.HasDiag[i] {
+			coo.Add(i, i, s.Diag[i])
+		}
+		for j := s.Lower.RowPtr[i]; j < s.Lower.RowPtr[i+1]; j++ {
+			c := int(s.Lower.ColInd[j])
+			v := s.Lower.Val[j]
+			coo.Add(i, c, v)
+			coo.Add(c, i, v)
+		}
+	}
+	m := coo.ToCSR()
+	m.Name = s.Name
+	m.Sym = matrix.SymSymmetric
+	return m
+}
+
+// MulVec computes y = A*x sequentially from the symmetric storage —
+// the correctness reference for the parallel SSS kernel. Each stored
+// off-diagonal element contributes to two output rows. Rows without a
+// stored diagonal entry contribute Diag[i]*x[i] = 0 exactly for
+// finite x (the kernels assume finite inputs, as the SELL padding
+// does).
+func (s *SSS) MulVec(x, y []float64) {
+	if len(x) != s.N || len(y) != s.N {
+		panic(fmt.Sprintf("formats: SSS MulVec dimension mismatch: x=%d y=%d for n=%d",
+			len(x), len(y), s.N))
+	}
+	for i := 0; i < s.N; i++ {
+		y[i] = s.Diag[i] * x[i]
+	}
+	L := s.Lower
+	for i := 0; i < s.N; i++ {
+		xi := x[i]
+		var sum float64
+		for j := L.RowPtr[i]; j < L.RowPtr[i+1]; j++ {
+			c := L.ColInd[j]
+			v := L.Val[j]
+			sum += v * x[c]
+			y[c] += v * xi
+		}
+		y[i] += sum
+	}
+}
+
+// MulMat computes Y = A*X sequentially for k interleaved right-hand
+// sides (the matrix.PackBlock layout), streaming the lower triangle
+// once for the whole block.
+func (s *SSS) MulMat(x, y []float64, k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("formats: SSS MulMat block width %d < 1", k))
+	}
+	if len(x) != s.N*k || len(y) != s.N*k {
+		panic(fmt.Sprintf("formats: SSS MulMat dimension mismatch: x=%d y=%d for n=%d k=%d",
+			len(x), len(y), s.N, k))
+	}
+	for i := 0; i < s.N; i++ {
+		d := s.Diag[i]
+		xr := x[i*k : i*k+k]
+		yr := y[i*k : i*k+k]
+		for l := range yr {
+			yr[l] = d * xr[l]
+		}
+	}
+	L := s.Lower
+	for i := 0; i < s.N; i++ {
+		xi := x[i*k : i*k+k]
+		yi := y[i*k : i*k+k]
+		for j := L.RowPtr[i]; j < L.RowPtr[i+1]; j++ {
+			c := int(L.ColInd[j])
+			v := L.Val[j]
+			xc := x[c*k : c*k+k]
+			yc := y[c*k : c*k+k]
+			for l := 0; l < k; l++ {
+				yi[l] += v * xc[l]
+				yc[l] += v * xi[l]
+			}
+		}
+	}
+}

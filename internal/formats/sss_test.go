@@ -1,0 +1,96 @@
+package formats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// symmetrize returns A + Aᵀ (duplicates summed), an exactly symmetric
+// matrix with the structural character of the source family.
+func symmetrize(m *matrix.CSR) *matrix.CSR {
+	coo := matrix.NewCOO(m.NRows, m.NRows)
+	for i := 0; i < m.NRows; i++ {
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			c := int(m.ColInd[j])
+			if c >= m.NRows {
+				continue
+			}
+			coo.Add(i, c, m.Val[j])
+			if c != i {
+				coo.Add(c, i, m.Val[j])
+			}
+		}
+	}
+	s := coo.ToCSR()
+	s.Name = m.Name + "+T"
+	return s
+}
+
+func TestConvertSSSRoundTrip(t *testing.T) {
+	m := symmetrize(gen.UniformRandom(120, 5, 7))
+	s := ConvertSSS(m)
+	if got := s.Reassemble(); !got.Equal(m) {
+		t.Fatal("SSS round trip changed the matrix")
+	}
+	if s.FullNNZ() != m.NNZ() {
+		t.Fatalf("FullNNZ = %d, want %d", s.FullNNZ(), m.NNZ())
+	}
+	if s.NNZ() >= m.NNZ() {
+		t.Fatalf("SSS stored %d elements, full matrix has %d — no compression", s.NNZ(), m.NNZ())
+	}
+	if s.Bytes() >= m.Bytes() {
+		t.Fatalf("SSS bytes %d >= CSR bytes %d", s.Bytes(), m.Bytes())
+	}
+}
+
+func TestConvertSSSKeepsExplicitZeroDiagonal(t *testing.T) {
+	coo := matrix.NewCOO(3, 3)
+	coo.Add(0, 0, 0) // explicit zero: must survive the round trip
+	coo.Add(2, 1, 5)
+	coo.Add(1, 2, 5)
+	m := coo.ToCSR()
+	s := ConvertSSS(m)
+	if !s.HasDiag[0] || s.HasDiag[1] || s.HasDiag[2] {
+		t.Fatalf("HasDiag = %v, want [true false false]", s.HasDiag)
+	}
+	if got := s.Reassemble(); !got.Equal(m) {
+		t.Fatal("explicit zero diagonal lost in round trip")
+	}
+}
+
+func TestConvertSSSPanicsOnAsymmetric(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ConvertSSS accepted an asymmetric matrix")
+		}
+	}()
+	ConvertSSS(gen.UniformRandom(30, 3, 1))
+}
+
+func TestSSSMulVecMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 17, 200} {
+		m := symmetrize(gen.PowerLaw(n, 4, 1.8, n, int64(n)))
+		s := ConvertSSS(m)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		m.MulVec(x, want)
+		got := make([]float64, n)
+		for i := range got {
+			got[i] = math.NaN()
+		}
+		s.MulVec(x, got)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d: y[%d] = %g, want %g", n, i, got[i], want[i])
+			}
+		}
+	}
+}

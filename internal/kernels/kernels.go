@@ -146,28 +146,17 @@ func SplitPhase1(s *formats.SplitCSR, x, y []float64, lo, hi int) {
 
 // SplitPhase2Partial computes thread t's share of every long row: the
 // element range of each long row is divided evenly among nt threads
-// and the partial sums are written to partials[t*nLong+k] for a later
-// reduction (Fig 6's step 2).
-func SplitPhase2Partial(s *formats.SplitCSR, x []float64, partials []float64, t, nt int) {
+// and the partial sums are written to slot[k] — the thread's private
+// cell array of the shared reduction engine (internal/native), which
+// folds all slots into y after the barrier (Fig 6's step 2).
+func SplitPhase2Partial(s *formats.SplitCSR, x []float64, slot []float64, t, nt int) {
 	nLong := s.NumLongRows()
 	for k := 0; k < nLong; k++ {
 		lo, hi := s.LongPtr[k], s.LongPtr[k+1]
 		span := hi - lo
 		plo := lo + span*int64(t)/int64(nt)
 		phi := lo + span*int64(t+1)/int64(nt)
-		partials[t*nLong+k] = s.LongRowPartial(k, x, plo, phi)
-	}
-}
-
-// SplitPhase2Reduce folds the per-thread partials into y.
-func SplitPhase2Reduce(s *formats.SplitCSR, partials []float64, y []float64, nt int) {
-	nLong := s.NumLongRows()
-	for k := 0; k < nLong; k++ {
-		var sum float64
-		for t := 0; t < nt; t++ {
-			sum += partials[t*nLong+k]
-		}
-		y[s.LongRowIdx[k]] += sum
+		slot[k] = s.LongRowPartial(k, x, plo, phi)
 	}
 }
 

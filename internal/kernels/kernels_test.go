@@ -115,12 +115,22 @@ func TestSplitTwoPhaseMatchesReference(t *testing.T) {
 		lo, hi := tid*m.NRows/nt, (tid+1)*m.NRows/nt
 		SplitPhase1(s, x, got, lo, hi)
 	}
-	// Phase 2: every thread computes a slice of every long row.
-	partials := make([]float64, nt*s.NumLongRows())
+	// Phase 2: every thread computes a slice of every long row into its
+	// private slot, then the slots fold into y (in production the shared
+	// reduction engine in internal/native owns the fold; the test
+	// hand-rolls it to pin the partial layout).
+	nLong := s.NumLongRows()
+	partials := make([]float64, nt*nLong)
 	for tid := 0; tid < nt; tid++ {
-		SplitPhase2Partial(s, x, partials, tid, nt)
+		SplitPhase2Partial(s, x, partials[tid*nLong:(tid+1)*nLong], tid, nt)
 	}
-	SplitPhase2Reduce(s, partials, got, nt)
+	for r := 0; r < nLong; r++ {
+		var sum float64
+		for tid := 0; tid < nt; tid++ {
+			sum += partials[tid*nLong+r]
+		}
+		got[s.LongRowIdx[r]] += sum
+	}
 
 	for i := range want {
 		if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {

@@ -123,30 +123,16 @@ func SellCSBlockRange(s *formats.SellCS, x, y []float64, k, lo, hi int) {
 }
 
 // SplitPhase2PartialBlock is the blocked form of SplitPhase2Partial:
-// thread t's share of every long row, with k partial sums per
-// (thread, long row) cell written to partials[(t*nLong+r)*k ...].
-func SplitPhase2PartialBlock(s *formats.SplitCSR, x, partials []float64, k, t, nt int) {
+// thread t's share of every long row, with k partial sums per long-row
+// cell written to slot[r*k ...] — the thread's private cell array of
+// the shared reduction engine.
+func SplitPhase2PartialBlock(s *formats.SplitCSR, x, slot []float64, k, t, nt int) {
 	nLong := s.NumLongRows()
 	for r := 0; r < nLong; r++ {
 		lo, hi := s.LongPtr[r], s.LongPtr[r+1]
 		span := hi - lo
 		plo := lo + span*int64(t)/int64(nt)
 		phi := lo + span*int64(t+1)/int64(nt)
-		s.LongRowPartialBlock(r, x, partials[(t*nLong+r)*k:], k, plo, phi)
-	}
-}
-
-// SplitPhase2ReduceBlock folds the blocked per-thread partials into the
-// interleaved output block.
-func SplitPhase2ReduceBlock(s *formats.SplitCSR, partials, y []float64, k, nt int) {
-	nLong := s.NumLongRows()
-	for r := 0; r < nLong; r++ {
-		yr := y[int(s.LongRowIdx[r])*k:][:k]
-		for t := 0; t < nt; t++ {
-			pr := partials[(t*nLong+r)*k:][:k]
-			for l := range yr {
-				yr[l] += pr[l]
-			}
-		}
+		s.LongRowPartialBlock(r, x, slot[r*k:], k, plo, phi)
 	}
 }

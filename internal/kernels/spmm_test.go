@@ -127,11 +127,22 @@ func TestSplitPhase2BlockTwoPhase(t *testing.T) {
 		want := blockRef(m, x, k)
 		y := make([]float64, m.NRows*k)
 		CSRBlockRange(s.Base, x, y, k, 0, m.NRows)
-		partials := make([]float64, nt*s.NumLongRows()*k)
+		nLong := s.NumLongRows()
+		partials := make([]float64, nt*nLong*k)
 		for tid := 0; tid < nt; tid++ {
-			SplitPhase2PartialBlock(s, x, partials, k, tid, nt)
+			SplitPhase2PartialBlock(s, x, partials[tid*nLong*k:(tid+1)*nLong*k], k, tid, nt)
 		}
-		SplitPhase2ReduceBlock(s, partials, y, k, nt)
+		// Fold the per-thread slots into the block (production uses the
+		// shared reduction engine in internal/native).
+		for r := 0; r < nLong; r++ {
+			yr := y[int(s.LongRowIdx[r])*k:][:k]
+			for tid := 0; tid < nt; tid++ {
+				pr := partials[(tid*nLong+r)*k:][:k]
+				for l := range yr {
+					yr[l] += pr[l]
+				}
+			}
+		}
 		checkBlock(t, "split", y, want, k)
 	}
 }

@@ -1,0 +1,61 @@
+package kernels
+
+import (
+	"github.com/sparsekit/spmvtuner/internal/formats"
+)
+
+// Symmetric (SSS) kernels. Each thread owns a contiguous row range of
+// the lower triangle: the diagonal and lower contributions of its own
+// rows land directly in y (row ownership is exclusive), while the
+// mirrored transpose contribution of every stored element scatters
+// into y[col] — a row some other thread may own. Those scatters go to
+// the thread's private partial buffer (scatter), and the shared
+// reduction engine (internal/native) folds all buffers into y after
+// the barrier, exactly as SplitCSR's long-row partials do.
+
+// SSSRange computes rows [lo, hi) of the symmetric kernel: y[i] gets
+// the diagonal plus lower-triangle dot product of row i, and the
+// mirrored contribution v*x[i] of each stored (i, j) accumulates into
+// scatter[j]. All stored columns of rows [lo, hi) are strictly below
+// hi, so the caller must zero scatter[0:hi) before the pass — cells at
+// or above hi are never touched.
+func SSSRange(s *formats.SSS, x, y, scatter []float64, lo, hi int) {
+	L := s.Lower
+	for i := lo; i < hi; i++ {
+		xi := x[i]
+		sum := s.Diag[i] * xi
+		for j := L.RowPtr[i]; j < L.RowPtr[i+1]; j++ {
+			c := L.ColInd[j]
+			v := L.Val[j]
+			sum += v * x[c]
+			scatter[c] += v * xi
+		}
+		y[i] = sum
+	}
+}
+
+// SSSBlockRange is the blocked multi-RHS form of SSSRange for k
+// interleaved right-hand sides: the lower triangle streams once per
+// block, each element serving both its own row and its mirror for all
+// k vectors. scatter[0 : hi*k] must be zeroed by the caller.
+func SSSBlockRange(s *formats.SSS, x, y, scatter []float64, k, lo, hi int) {
+	L := s.Lower
+	for i := lo; i < hi; i++ {
+		d := s.Diag[i]
+		xi := x[i*k : i*k+k]
+		yi := y[i*k : i*k+k]
+		for l := range yi {
+			yi[l] = d * xi[l]
+		}
+		for j := L.RowPtr[i]; j < L.RowPtr[i+1]; j++ {
+			c := int(L.ColInd[j])
+			v := L.Val[j]
+			xc := x[c*k : c*k+k]
+			sc := scatter[c*k : c*k+k]
+			for l := 0; l < k; l++ {
+				yi[l] += v * xc[l]
+				sc[l] += v * xi[l]
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sparsekit/spmvtuner/internal/formats"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// symTestMatrix builds an exactly symmetric matrix (A + Aᵀ over a
+// random pattern) large enough that multi-thread partitions engage.
+func symTestMatrix(n int, seed int64) *matrix.CSR {
+	src := gen.UniformRandom(n, 4, seed)
+	coo := matrix.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		for j := src.RowPtr[i]; j < src.RowPtr[i+1]; j++ {
+			c := int(src.ColInd[j])
+			coo.Add(i, c, src.Val[j])
+			if c != i {
+				coo.Add(c, i, src.Val[j])
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// TestSSSRangeTwoPhase runs the full parallel shape by hand — static
+// partitions, per-thread scatter buffers, then the fold — and compares
+// against the mirrored-CSR reference. The fold is hand-rolled here;
+// production uses the shared reduction engine in internal/native.
+func TestSSSRangeTwoPhase(t *testing.T) {
+	m := symTestMatrix(700, 9)
+	s := formats.ConvertSSS(m)
+	x := vec(m.NCols, 3)
+	want := make([]float64, m.NRows)
+	m.MulVec(x, want)
+
+	const nt = 4
+	got := make([]float64, m.NRows)
+	scatters := make([][]float64, nt)
+	for tid := 0; tid < nt; tid++ {
+		lo, hi := tid*s.N/nt, (tid+1)*s.N/nt
+		scatters[tid] = make([]float64, s.N)
+		SSSRange(s, x, got, scatters[tid], lo, hi)
+	}
+	for c := 0; c < s.N; c++ {
+		for tid := 0; tid < nt; tid++ {
+			got[c] += scatters[tid][c]
+		}
+	}
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-12*(1+math.Abs(want[i])) {
+			t.Fatalf("sss: y[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSSSBlockRangeTwoPhase is the blocked analogue across the
+// register-blocked and generic widths.
+func TestSSSBlockRangeTwoPhase(t *testing.T) {
+	m := symTestMatrix(400, 17)
+	s := formats.ConvertSSS(m)
+	const nt = 3
+	for _, k := range []int{2, 3, 8} {
+		x := randBlock(m.NCols, k, int64(50+k))
+		want := blockRef(m, x, k)
+		y := make([]float64, m.NRows*k)
+		scatters := make([][]float64, nt)
+		for tid := 0; tid < nt; tid++ {
+			lo, hi := tid*s.N/nt, (tid+1)*s.N/nt
+			scatters[tid] = make([]float64, s.N*k)
+			SSSBlockRange(s, x, y, scatters[tid], k, lo, hi)
+		}
+		for c := 0; c < s.N; c++ {
+			for tid := 0; tid < nt; tid++ {
+				for l := 0; l < k; l++ {
+					y[c*k+l] += scatters[tid][c*k+l]
+				}
+			}
+		}
+		checkBlock(t, "sss", y, want, k)
+	}
+}
+
+// TestSSSRangeScatterPrefix pins the zeroing contract: rows [lo, hi)
+// only touch scatter cells below hi.
+func TestSSSRangeScatterPrefix(t *testing.T) {
+	m := symTestMatrix(120, 5)
+	s := formats.ConvertSSS(m)
+	x := vec(m.NCols, 7)
+	y := make([]float64, m.NRows)
+	scatter := make([]float64, s.N)
+	const hi = 60
+	poison := math.NaN()
+	for c := hi; c < s.N; c++ {
+		scatter[c] = poison
+	}
+	SSSRange(s, x, y, scatter, 20, hi)
+	for c := hi; c < s.N; c++ {
+		if !math.IsNaN(scatter[c]) {
+			t.Fatalf("scatter[%d] written outside the [0,hi) contract", c)
+		}
+	}
+}

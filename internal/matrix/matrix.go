@@ -121,6 +121,13 @@ type CSR struct {
 	// Name optionally identifies the matrix (suite matrices carry the
 	// paper's matrix names).
 	Name string
+
+	// Sym records the matrix's symmetry kind so downstream layers
+	// (formats, tuner, writer) can exploit it without rescanning. The
+	// Matrix Market parser annotates it from the file header;
+	// programmatic builders leave it SymUnknown and SymmetryKind
+	// detects on demand.
+	Sym Symmetry
 }
 
 // NNZ returns the number of stored elements.
@@ -179,6 +186,7 @@ func (m *CSR) Clone() *CSR {
 		ColInd: append([]int32(nil), m.ColInd...),
 		Val:    append([]float64(nil), m.Val...),
 		Name:   m.Name,
+		Sym:    m.Sym,
 	}
 }
 

@@ -1,0 +1,89 @@
+package matrix
+
+// Symmetry classifies a square matrix's relation to its transpose.
+// The kind rides on the CSR through parsing and conversion so the
+// formats and the tuner can exploit it: a symmetric matrix stores only
+// its lower triangle + diagonal in SSS form, halving the dominant
+// matrix stream of a bandwidth-bound SpMV.
+type Symmetry uint8
+
+const (
+	// SymUnknown means the relation has not been established: matrices
+	// assembled programmatically start here, and SymmetryKind detects
+	// on demand. It is the zero value on purpose — an unannotated CSR
+	// claims nothing.
+	SymUnknown Symmetry = iota
+	// SymGeneral is a matrix with no exploitable transpose relation
+	// (including every non-square matrix).
+	SymGeneral
+	// SymSymmetric means A == Aᵀ exactly (structure and values).
+	SymSymmetric
+	// SymSkew means A == -Aᵀ exactly; any stored diagonal entries are
+	// explicit zeros.
+	SymSkew
+)
+
+// String names the kind with the Matrix Market vocabulary.
+func (s Symmetry) String() string {
+	switch s {
+	case SymGeneral:
+		return "general"
+	case SymSymmetric:
+		return "symmetric"
+	case SymSkew:
+		return "skew-symmetric"
+	default:
+		return "unknown"
+	}
+}
+
+// DetectSymmetry classifies m against its transpose in O(NNZ): the
+// entry point for programmatically built matrices, whose assembly path
+// (COO, generators) cannot annotate symmetry the way the Matrix Market
+// parser does. Equality is exact — structure and bit-identical values —
+// because the symmetric storage path reconstructs the mirrored half
+// from the lower triangle and must round-trip without drift. A matrix
+// that satisfies both relations (all stored values zero) reports
+// SymSymmetric.
+func DetectSymmetry(m *CSR) Symmetry {
+	if m.NRows != m.NCols {
+		return SymGeneral
+	}
+	t := m.Transpose()
+	for i := range m.RowPtr {
+		if m.RowPtr[i] != t.RowPtr[i] {
+			return SymGeneral
+		}
+	}
+	sym, skew := true, true
+	for p := range m.ColInd {
+		if m.ColInd[p] != t.ColInd[p] {
+			return SymGeneral
+		}
+		if m.Val[p] != t.Val[p] {
+			sym = false
+		}
+		if m.Val[p] != -t.Val[p] {
+			skew = false
+		}
+		if !sym && !skew {
+			return SymGeneral
+		}
+	}
+	if sym {
+		return SymSymmetric
+	}
+	return SymSkew
+}
+
+// SymmetryKind returns the matrix's symmetry kind, running
+// DetectSymmetry once and caching the answer when the kind is still
+// SymUnknown. The cache write makes this unsafe to call concurrently
+// with itself or with reads of Sym; resolve the kind before sharing
+// the matrix across goroutines (the facade does so at Tune time).
+func (m *CSR) SymmetryKind() Symmetry {
+	if m.Sym == SymUnknown {
+		m.Sym = DetectSymmetry(m)
+	}
+	return m.Sym
+}

@@ -1,0 +1,92 @@
+package matrix
+
+import "testing"
+
+// sym3 builds a 3x3 symmetric matrix with an explicit diagonal.
+func sym3() *CSR {
+	coo := NewCOO(3, 3)
+	coo.Add(0, 0, 4)
+	coo.Add(1, 1, 5)
+	coo.Add(2, 2, 6)
+	coo.Add(1, 0, 2)
+	coo.Add(0, 1, 2)
+	coo.Add(2, 1, -3)
+	coo.Add(1, 2, -3)
+	return coo.ToCSR()
+}
+
+func TestDetectSymmetrySymmetric(t *testing.T) {
+	if got := DetectSymmetry(sym3()); got != SymSymmetric {
+		t.Fatalf("DetectSymmetry = %v, want symmetric", got)
+	}
+}
+
+func TestDetectSymmetrySkew(t *testing.T) {
+	coo := NewCOO(3, 3)
+	coo.Add(1, 0, 2)
+	coo.Add(0, 1, -2)
+	coo.Add(2, 0, -7)
+	coo.Add(0, 2, 7)
+	if got := DetectSymmetry(coo.ToCSR()); got != SymSkew {
+		t.Fatalf("DetectSymmetry = %v, want skew", got)
+	}
+}
+
+func TestDetectSymmetryGeneral(t *testing.T) {
+	cases := map[string]func() *CSR{
+		"values-differ": func() *CSR {
+			coo := NewCOO(2, 2)
+			coo.Add(0, 1, 1)
+			coo.Add(1, 0, 2)
+			return coo.ToCSR()
+		},
+		"structure-differs": func() *CSR {
+			coo := NewCOO(2, 2)
+			coo.Add(0, 1, 1)
+			return coo.ToCSR()
+		},
+		"rectangular": func() *CSR {
+			coo := NewCOO(2, 3)
+			coo.Add(0, 1, 1)
+			coo.Add(1, 0, 1)
+			return coo.ToCSR()
+		},
+		"skew-with-nonzero-diagonal": func() *CSR {
+			coo := NewCOO(2, 2)
+			coo.Add(0, 1, 2)
+			coo.Add(1, 0, -2)
+			coo.Add(0, 0, 1)
+			return coo.ToCSR()
+		},
+	}
+	for name, build := range cases {
+		if got := DetectSymmetry(build()); got != SymGeneral {
+			t.Errorf("%s: DetectSymmetry = %v, want general", name, got)
+		}
+	}
+}
+
+func TestDetectSymmetryAllZeroValuesPrefersSymmetric(t *testing.T) {
+	coo := NewCOO(2, 2)
+	coo.Add(0, 1, 0)
+	coo.Add(1, 0, 0)
+	if got := DetectSymmetry(coo.ToCSR()); got != SymSymmetric {
+		t.Fatalf("DetectSymmetry = %v, want symmetric for all-zero values", got)
+	}
+}
+
+func TestSymmetryKindCachesAndCloneCarries(t *testing.T) {
+	m := sym3()
+	if m.Sym != SymUnknown {
+		t.Fatalf("fresh CSR Sym = %v, want unknown", m.Sym)
+	}
+	if got := m.SymmetryKind(); got != SymSymmetric {
+		t.Fatalf("SymmetryKind = %v, want symmetric", got)
+	}
+	if m.Sym != SymSymmetric {
+		t.Fatal("SymmetryKind did not cache")
+	}
+	if c := m.Clone(); c.Sym != SymSymmetric {
+		t.Fatalf("Clone dropped symmetry kind: %v", c.Sym)
+	}
+}

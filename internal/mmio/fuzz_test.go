@@ -27,6 +27,13 @@ var fuzzSeeds = []string{
 	"%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1\n1 1 2\n", // duplicate, summed
 	"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1e308\n",
 	"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 NaN\n",
+	// Symmetric write+reparse fixed point: these now round-trip through
+	// the compact "symmetric"/"skew-symmetric" writer, which must
+	// reproduce the assembled matrix exactly.
+	"%%MatrixMarket matrix coordinate real symmetric\n4 4 5\n1 1 2.5\n2 1 -1\n4 2 4\n3 3 9\n4 4 0.125\n",
+	"%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 2 7\n2 2 1\n", // upper-triangle entry, mirrored on parse
+	"%%MatrixMarket matrix coordinate real skew-symmetric\n3 3 3\n2 1 3\n3 1 -0.5\n2 2 0\n",
+	"%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n",
 	"3 3 1\n1 1 1\n", // missing banner
 	"%%MatrixMarket matrix coordinate real general\nxyz\n", // bad size line
 	"%%MatrixMarket matrix array real general\n-5 3\n1\n",  // negative dims

@@ -135,10 +135,16 @@ func readCoordinate(br *bufio.Reader, h header) (*matrix.CSR, error) {
 	if err := checkDims(rows, cols); err != nil {
 		return nil, err
 	}
+	if h.symmetry != "general" && rows != cols {
+		// A rectangular symmetric file is self-contradictory, and
+		// mirroring its entries would index outside the matrix.
+		return nil, fmt.Errorf("mmio: %s matrix must be square, got %d x %d", h.symmetry, rows, cols)
+	}
 	if nnz < 0 {
 		return nil, fmt.Errorf("mmio: negative nnz %d", nnz)
 	}
 	coo := matrix.NewCOO(rows, cols)
+	sawNaN := false
 	for k := 0; k < nnz; k++ {
 		line, err := nextDataLine(br)
 		if err != nil {
@@ -169,6 +175,9 @@ func readCoordinate(br *bufio.Reader, h header) (*matrix.CSR, error) {
 			if err != nil {
 				return nil, fmt.Errorf("mmio: entry %d: bad value %q", k+1, fields[2])
 			}
+			if v != v {
+				sawNaN = true
+			}
 		}
 		coo.Add(i-1, j-1, v)
 		if i != j {
@@ -180,7 +189,32 @@ func readCoordinate(br *bufio.Reader, h header) (*matrix.CSR, error) {
 			}
 		}
 	}
-	return coo.ToCSR(), nil
+	m := coo.ToCSR()
+	m.Sym = symmetryKind(h.symmetry)
+	if sawNaN && m.Sym != matrix.SymGeneral {
+		// NaN never compares equal to itself, so DetectSymmetry would
+		// refute the header's claim and the symmetric-storage path
+		// would reject the matrix at conversion time. Downgrade to the
+		// general kind rather than annotate something unverifiable —
+		// the assembled (mirrored) matrix is unchanged either way.
+		m.Sym = matrix.SymGeneral
+	}
+	return m, nil
+}
+
+// symmetryKind maps a Matrix Market symmetry word to the matrix-level
+// kind, so symmetry survives parsing instead of being flattened away by
+// the mirroring above: downstream layers (the SSS format, the tuner's
+// symmetric path, Write) all key off CSR.Sym.
+func symmetryKind(word string) matrix.Symmetry {
+	switch word {
+	case "symmetric":
+		return matrix.SymSymmetric
+	case "skew-symmetric":
+		return matrix.SymSkew
+	default:
+		return matrix.SymGeneral
+	}
 }
 
 func readArray(br *bufio.Reader, h header) (*matrix.CSR, error) {
@@ -212,14 +246,29 @@ func readArray(br *bufio.Reader, h header) (*matrix.CSR, error) {
 			}
 		}
 	}
-	return coo.ToCSR(), nil
+	m := coo.ToCSR()
+	if h.symmetry == "general" {
+		// Non-general array files are parsed as the full entry grid
+		// above (a pre-existing simplification), so their symmetry is
+		// left for DetectSymmetry rather than asserted from the header.
+		m.Sym = matrix.SymGeneral
+	}
+	return m, nil
 }
 
-// Write emits m as "matrix coordinate real general" with 1-based
-// indices, one entry per line in row-major order.
+// Write emits m in Matrix Market coordinate real format with 1-based
+// indices, one entry per line in row-major order. A matrix carrying a
+// verified symmetry kind is written as "symmetric" or "skew-symmetric"
+// with only its lower triangle (diagonal included), so a matrix parsed
+// from a symmetric file round-trips with the halved on-disk entry
+// count instead of doubling into "general". The kind is re-verified
+// against the stored entries before the compact form is used — a
+// mislabeled matrix falls back to "general" rather than silently
+// dropping its upper triangle.
 func Write(w io.Writer, m *matrix.CSR) error {
+	kind := writeKind(m)
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real %s\n", kind); err != nil {
 		return err
 	}
 	if m.Name != "" {
@@ -227,17 +276,58 @@ func Write(w io.Writer, m *matrix.CSR) error {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.NRows, m.NCols, m.NNZ()); err != nil {
+	if kind == matrix.SymGeneral {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.NRows, m.NCols, m.NNZ()); err != nil {
+			return err
+		}
+		for i := 0; i < m.NRows; i++ {
+			for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+				if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, m.ColInd[j]+1, m.Val[j]); err != nil {
+					return err
+				}
+			}
+		}
+		return bw.Flush()
+	}
+	// Symmetric/skew-symmetric: lower triangle only. The mirrored half
+	// is implied by the header and reconstructed exactly on reparse
+	// (negation is exact for the skew case). Explicit diagonal entries
+	// are emitted as stored — the reader adds unmirrored diagonals once,
+	// so write+reparse is a fixed point of the full assembled matrix.
+	var stored int64
+	for i := 0; i < m.NRows; i++ {
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			if int(m.ColInd[j]) <= i {
+				stored++
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.NRows, m.NCols, stored); err != nil {
 		return err
 	}
 	for i := 0; i < m.NRows; i++ {
 		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			if int(m.ColInd[j]) > i {
+				continue
+			}
 			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, m.ColInd[j]+1, m.Val[j]); err != nil {
 				return err
 			}
 		}
 	}
 	return bw.Flush()
+}
+
+// writeKind resolves the symmetry word Write emits: the matrix's
+// claimed kind when DetectSymmetry confirms it, general otherwise.
+func writeKind(m *matrix.CSR) matrix.Symmetry {
+	switch m.Sym {
+	case matrix.SymSymmetric, matrix.SymSkew:
+		if matrix.DetectSymmetry(m) == m.Sym {
+			return m.Sym
+		}
+	}
+	return matrix.SymGeneral
 }
 
 // WriteFile writes m to path in Matrix Market format.

@@ -1,0 +1,131 @@
+package mmio
+
+// Symmetry round-trip coverage: a matrix parsed from a symmetric file
+// must carry the kind, write back as "symmetric" with the halved
+// on-disk entry count, and reparse to the identical assembled matrix —
+// the fixed point the fuzz harness checks on arbitrary inputs.
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+const symSample = `%%MatrixMarket matrix coordinate real symmetric
+3 3 4
+1 1 2.5
+2 1 -1
+3 2 4
+3 3 9
+`
+
+func TestReadCarriesSymmetryKind(t *testing.T) {
+	cases := map[string]matrix.Symmetry{
+		sample:    matrix.SymGeneral,
+		symSample: matrix.SymSymmetric,
+		"%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3\n": matrix.SymSkew,
+	}
+	for src, want := range cases {
+		m, err := Read(strings.NewReader(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Sym != want {
+			t.Errorf("parsed Sym = %v, want %v", m.Sym, want)
+		}
+	}
+}
+
+func TestWriteSymmetricRoundTrip(t *testing.T) {
+	m, err := Read(strings.NewReader(symSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 6 { // 4 stored entries, 2 mirrored
+		t.Fatalf("assembled nnz = %d, want 6", m.NNZ())
+	}
+	var buf strings.Builder
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "coordinate real symmetric") {
+		t.Fatalf("symmetric matrix written as non-symmetric:\n%s", out)
+	}
+	if !strings.Contains(out, "3 3 4") {
+		t.Fatalf("symmetric write did not halve the entry count:\n%s", out)
+	}
+	m2, err := Read(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Equal(m) {
+		t.Fatal("symmetric write+reparse changed the matrix")
+	}
+	if m2.Sym != matrix.SymSymmetric {
+		t.Fatalf("reparsed Sym = %v, want symmetric", m2.Sym)
+	}
+}
+
+func TestWriteSkewSymmetricRoundTrip(t *testing.T) {
+	src := "%%MatrixMarket matrix coordinate real skew-symmetric\n3 3 2\n2 1 3\n3 1 -0.5\n"
+	m, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "skew-symmetric") {
+		t.Fatalf("skew matrix written as non-skew:\n%s", buf.String())
+	}
+	m2, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Equal(m) {
+		t.Fatal("skew write+reparse changed the matrix")
+	}
+}
+
+// TestReadNaNSymmetricDowngradesKind: a symmetric-header file with a
+// NaN value must not carry the symmetric kind — DetectSymmetry cannot
+// confirm it (NaN != NaN) and the tuner's SSS conversion would reject
+// the matrix with a panic on what is plain user input.
+func TestReadNaNSymmetricDowngradesKind(t *testing.T) {
+	m, err := Read(strings.NewReader(
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 NaN\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sym != matrix.SymGeneral {
+		t.Fatalf("NaN symmetric file parsed with Sym = %v, want general", m.Sym)
+	}
+}
+
+// TestWriteMislabeledSymmetryFallsBack: a hand-flagged matrix whose
+// entries are not actually symmetric must be written as general —
+// losing the upper triangle would corrupt data silently.
+func TestWriteMislabeledSymmetryFallsBack(t *testing.T) {
+	coo := matrix.NewCOO(2, 2)
+	coo.Add(0, 1, 1)
+	coo.Add(1, 0, 2)
+	m := coo.ToCSR()
+	m.Sym = matrix.SymSymmetric // wrong on purpose
+	var buf strings.Builder
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "real general") {
+		t.Fatalf("mislabeled matrix not written as general:\n%s", buf.String())
+	}
+	m2, err := Read(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NNZ() != 2 {
+		t.Fatalf("fallback lost entries: nnz = %d, want 2", m2.NNZ())
+	}
+}

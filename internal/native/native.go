@@ -35,6 +35,7 @@ type Executor struct {
 	deltas   map[*matrix.CSR]*formats.DeltaCSR
 	splits   map[*matrix.CSR]*formats.SplitCSR
 	sells    map[*matrix.CSR]*formats.SellCS
+	ssses    map[*matrix.CSR]*formats.SSS
 	prepared map[preparedKey]*Prepared
 
 	probeOnce sync.Once
@@ -64,6 +65,7 @@ func New() *Executor {
 		deltas:   make(map[*matrix.CSR]*formats.DeltaCSR),
 		splits:   make(map[*matrix.CSR]*formats.SplitCSR),
 		sells:    make(map[*matrix.CSR]*formats.SellCS),
+		ssses:    make(map[*matrix.CSR]*formats.SSS),
 		prepared: make(map[preparedKey]*Prepared),
 	}
 	e.workers = NewPool(e.model.Cores)
@@ -174,6 +176,25 @@ func (e *Executor) splitOf(m *matrix.CSR) *formats.SplitCSR {
 	return s
 }
 
+// SSSOf returns the executor's memoized symmetric-storage conversion
+// of m (converting on first use) — the exact structure SSS-prepared
+// kernels execute, so diagnostics like the sym experiment can read the
+// compressed footprint without converting a second time. m must be
+// symmetric (ConvertSSS verifies).
+func (e *Executor) SSSOf(m *matrix.CSR) *formats.SSS { return e.sssOf(m) }
+
+// sssOf memoizes the SSS conversion.
+func (e *Executor) sssOf(m *matrix.CSR) *formats.SSS {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.ssses[m]; ok {
+		return s
+	}
+	s := formats.ConvertSSS(m)
+	cacheFormat(e.ssses, m, s)
+	return s
+}
+
 // SellCSOf returns the executor's memoized SELL-C-σ conversion of m
 // (converting on first use) — the exact structure SellCS-prepared
 // kernels execute, so diagnostics like the sellcs experiment can read
@@ -267,7 +288,7 @@ func (e *Executor) Run(cfg ex.Config) ex.Result {
 	}
 	best.ThreadSeconds = avg
 	best.Gflops = ex.GflopsOf(m, best.Seconds)
-	best.MemBytes = float64(m.Bytes())/perVec + float64(m.NCols+m.NRows)*8
+	best.MemBytes = float64(p.matrixBytes)/perVec + float64(m.NCols+m.NRows)*8
 	return best
 }
 

@@ -25,6 +25,12 @@ type Prepared struct {
 	nt         int
 	kernelName string
 	pool       *Pool // nil: transient fork/join execution (MulVecOnce)
+	// matrixBytes is the matrix stream the compiled kernel actually
+	// reads per multiply: the converted format's footprint when one
+	// was built (SSS ≈ half the mirrored CSR, Delta's compressed
+	// index stream, SELL's padded arrays), the CSR arrays otherwise
+	// (Split stores the same elements as CSR, so the default holds).
+	matrixBytes int64
 
 	// mu serializes multiplies on this kernel; concurrent callers are
 	// safe and run back to back.
@@ -156,15 +162,22 @@ func (p *Prepared) mulVecTimed(x, y []float64, perThread []float64) {
 func (p *Prepared) mulVecLocked(x, y, perThread []float64) {
 	p.x, p.y, p.timing = x, y, perThread
 	p.next.Store(0)
-	if p.pool != nil {
-		p.pool.Run(p.nt, p.body)
-	} else {
-		spawnRun(p.nt, p.body)
-	}
+	p.runPhase(p.body)
 	if p.finish != nil {
 		p.finish()
 	}
 	p.x, p.y, p.timing = nil, nil, nil
+}
+
+// runPhase dispatches one barrier of the kernel — through the
+// persistent pool when bound, transient goroutines otherwise. Multi-
+// phase kernels (the SSS reduction) dispatch it again from finish.
+func (p *Prepared) runPhase(body func(t int)) {
+	if p.pool != nil {
+		p.pool.Run(p.nt, body)
+	} else {
+		spawnRun(p.nt, body)
+	}
 }
 
 // mulMatTimed is the blocked measurement entry point (native Run with
@@ -190,11 +203,7 @@ func (p *Prepared) mulMatLocked(x, y []float64, k int, perThread []float64) {
 	}
 	p.x, p.y, p.timing, p.bk = x, y, perThread, k
 	p.next.Store(0)
-	if p.pool != nil {
-		p.pool.Run(p.nt, p.bodyBlock)
-	} else {
-		spawnRun(p.nt, p.bodyBlock)
-	}
+	p.runPhase(p.bodyBlock)
 	if p.finishBlock != nil {
 		p.finishBlock()
 	}
@@ -202,6 +211,9 @@ func (p *Prepared) mulMatLocked(x, y []float64, k int, perThread []float64) {
 }
 
 // wrap adds the optional per-thread timing shell around a slot body.
+// Timing accumulates (+=) rather than assigns so multi-phase kernels —
+// the SSS compute + reduce barriers — report each slot's total busy
+// time; callers hand in a zeroed slice per measured operation.
 func (p *Prepared) wrap(work func(t int)) func(t int) {
 	return func(t int) {
 		if p.timing == nil {
@@ -210,7 +222,7 @@ func (p *Prepared) wrap(work func(t int)) func(t int) {
 		}
 		begin := time.Now()
 		work(t)
-		p.timing[t] = time.Since(begin).Seconds()
+		p.timing[t] += time.Since(begin).Seconds()
 	}
 }
 
@@ -218,7 +230,8 @@ func (p *Prepared) wrap(work func(t int)) func(t int) {
 // to the executor's worker pool. It accepts bound kernels (Run measures
 // them); the public Prepare rejects them.
 func (e *Executor) buildPrepared(m *matrix.CSR, o ex.Optim, nt int) *Prepared {
-	p := &Prepared{m: m, opt: o, nt: nt, pool: e.workers, blockW: o.EffectiveBlockWidth()}
+	p := &Prepared{m: m, opt: o, nt: nt, pool: e.workers, blockW: o.EffectiveBlockWidth(),
+		matrixBytes: m.Bytes()}
 	switch {
 	case o.RegularizeX:
 		p.bindRange(m, kernels.RegularizedRange, "regularized", o.Schedule)
@@ -226,12 +239,20 @@ func (e *Executor) buildPrepared(m *matrix.CSR, o ex.Optim, nt int) *Prepared {
 		p.bindRange(m, kernels.UnitStrideRange, "unit-stride", o.Schedule)
 	default:
 		switch o.EffectiveFormat() {
+		case ex.FormatSSS:
+			s := e.sssOf(m)
+			p.matrixBytes = s.Bytes()
+			p.bindSSS(s, o)
 		case ex.FormatSplit:
 			p.bindSplit(e.splitOf(m), o)
 		case ex.FormatSellCS:
-			p.bindSellCS(e.sellOf(m), o)
+			s := e.sellOf(m)
+			p.matrixBytes = s.Bytes()
+			p.bindSellCS(s, o)
 		case ex.FormatDelta:
-			p.bindDelta(e.deltaOf(m), m, o.Schedule)
+			d := e.deltaOf(m)
+			p.matrixBytes = d.Bytes()
+			p.bindDelta(d, m, o.Schedule)
 		default:
 			p.bindRange(m, kernels.Variant(o.Vectorize, o.Prefetch, o.Unroll),
 				kernels.VariantName(o.Vectorize, o.Prefetch, o.Unroll), o.Schedule)
@@ -293,42 +314,70 @@ func (p *Prepared) bindRange(m *matrix.CSR, k kernels.RangeKernel, name string, 
 
 // bindSplit compiles the two-phase SplitCSR kernel (Fig 6): phase 1
 // over the base rows, phase-2 partials per thread, and the reduction as
-// the post-barrier finish step. The partial buffer is allocated once
-// here and reused every call.
+// the post-barrier finish step. The partial buffers live in the shared
+// reduction engine, one cell per extracted long row, folded into y
+// through the LongRowIdx scatter table; the few cells make the serial
+// fold cheaper than a second barrier.
 func (p *Prepared) bindSplit(s *formats.SplitCSR, o ex.Optim) {
 	inner := kernels.Variant(o.Vectorize, o.Prefetch, o.Unroll)
 	p.kernelName = "split+" + kernels.VariantName(o.Vectorize, o.Prefetch, o.Unroll)
 	parts := sched.Prepare(o.Schedule, s.Base, p.nt).Parts
-	partials := make([]float64, p.nt*s.NumLongRows())
+	red := newReducer(p.nt, s.NumLongRows(), p.blockW, s.LongRowIdx)
 	nt := p.nt
 	p.body = p.wrap(func(t int) {
 		r := parts[t]
 		inner(s.Base, p.x, p.y, r.Lo, r.Hi)
-		kernels.SplitPhase2Partial(s, p.x, partials, t, nt)
+		kernels.SplitPhase2Partial(s, p.x, red.slot(t), t, nt)
 	})
-	p.finish = func() {
-		kernels.SplitPhase2Reduce(s, partials, p.y, nt)
-	}
-	// Blocked path: the phase-2 partial buffer grows to nt*nLong*k
-	// cells; pre-sizing at the configured block width keeps steady-state
-	// batches allocation-free, ensureBlock covers wider explicit MulMat
-	// calls.
-	partialsBlock := make([]float64, nt*s.NumLongRows()*p.blockW)
-	p.ensureBlock = func(k int) {
-		if need := nt * s.NumLongRows() * k; cap(partialsBlock) < need {
-			partialsBlock = make([]float64, need)
-		} else {
-			partialsBlock = partialsBlock[:need]
-		}
-	}
+	p.finish = func() { red.reduce(p.y) }
+	p.ensureBlock = red.ensureBlock
 	p.bodyBlock = p.wrap(func(t int) {
 		r := parts[t]
 		kernels.CSRBlockRange(s.Base, p.x, p.y, p.bk, r.Lo, r.Hi)
-		kernels.SplitPhase2PartialBlock(s, p.x, partialsBlock, p.bk, t, nt)
+		kernels.SplitPhase2PartialBlock(s, p.x, red.slotBlock(t, p.bk), p.bk, t, nt)
 	})
-	p.finishBlock = func() {
-		kernels.SplitPhase2ReduceBlock(s, partialsBlock, p.y, p.bk, nt)
-	}
+	p.finishBlock = func() { red.reduceBlock(p.y, p.bk) }
+}
+
+// bindSSS compiles the symmetric kernel: threads own nnz-balanced row
+// ranges of the lower triangle, write their own rows' results straight
+// into y, and accumulate the mirrored transpose contributions in their
+// reduction-engine slots (full y-length cell arrays). The post-barrier
+// finish is a second parallel dispatch folding disjoint row ranges of
+// all slots into y — with cells = rows, a serial fold would cost
+// O(nt·n) on the dispatching goroutine. Schedules resolve to the
+// static nnz-balanced partition: a dynamic cursor would make each
+// thread's scatter region unbounded, forcing full-buffer zeroing per
+// multiply instead of the [0, part.Hi) prefix the static partition
+// guarantees.
+func (p *Prepared) bindSSS(s *formats.SSS, o ex.Optim) {
+	p.kernelName = "sss"
+	parts := sched.Prepare(o.Schedule, s.Lower, p.nt).Parts
+	rparts := sched.PartitionRows(s.N, p.nt)
+	red := newReducer(p.nt, s.N, p.blockW, nil)
+	p.body = p.wrap(func(t int) {
+		r := parts[t]
+		slot := red.slot(t)
+		clear(slot[:r.Hi])
+		kernels.SSSRange(s, p.x, p.y, slot, r.Lo, r.Hi)
+	})
+	reduce := p.wrap(func(t int) {
+		r := rparts[t]
+		red.reduceRange(p.y, r.Lo, r.Hi)
+	})
+	p.finish = func() { p.runPhase(reduce) }
+	p.ensureBlock = red.ensureBlock
+	p.bodyBlock = p.wrap(func(t int) {
+		r := parts[t]
+		slot := red.slotBlock(t, p.bk)
+		clear(slot[:r.Hi*p.bk])
+		kernels.SSSBlockRange(s, p.x, p.y, slot, p.bk, r.Lo, r.Hi)
+	})
+	reduceBlock := p.wrap(func(t int) {
+		r := rparts[t]
+		red.reduceRangeBlock(p.y, p.bk, r.Lo, r.Hi)
+	})
+	p.finishBlock = func() { p.runPhase(reduceBlock) }
 }
 
 // bindSellCS compiles the SELL-C-σ chunked kernel: threads are

@@ -1,0 +1,204 @@
+package native
+
+// Engine tests for the symmetric (SSS) prepared path: correctness
+// against the mirrored-CSR reference through the two-barrier dispatch
+// (compute + parallel reduce), zero-alloc steady state for every entry
+// point, and the matrix-bytes benchmark the acceptance criteria track.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// symMatrix builds an exactly symmetric matrix (A + Aᵀ) big enough
+// that the executor picks several worker slots.
+func symMatrix(n int, seed int64) *matrix.CSR {
+	src := gen.UniformRandom(n, 6, seed)
+	coo := matrix.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 4)
+		for j := src.RowPtr[i]; j < src.RowPtr[i+1]; j++ {
+			c := int(src.ColInd[j])
+			if c == i {
+				continue
+			}
+			coo.Add(i, c, src.Val[j])
+			coo.Add(c, i, src.Val[j])
+		}
+	}
+	m := coo.ToCSR()
+	m.Sym = matrix.SymSymmetric
+	m.Name = "sym-test"
+	return m
+}
+
+func TestPreparedSSSMatchesReference(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := symMatrix(4000, 3)
+	rng := rand.New(rand.NewSource(11))
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, m.NRows)
+	m.MulVec(x, want)
+
+	p := e.Prepare(m, ex.Optim{Symmetric: true})
+	if p.(*Prepared).Kernel() != "sss" {
+		t.Fatalf("kernel = %q, want sss", p.(*Prepared).Kernel())
+	}
+	got := make([]float64, m.NRows)
+	for trial := 0; trial < 3; trial++ { // reused buffers must re-zero
+		p.MulVec(x, got)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d: y[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPreparedSSSMulMatMatchesReference(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := symMatrix(1500, 7)
+	rng := rand.New(rand.NewSource(13))
+	for _, k := range []int{2, 3, 8} {
+		x := make([]float64, m.NCols*k)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, m.NRows*k)
+		m.MulMat(x, want, k)
+		got := make([]float64, m.NRows*k)
+		p := e.Prepare(m, ex.Optim{Symmetric: true})
+		p.MulMat(x, got, k)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatalf("k=%d: y[%d] = %g, want %g", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPreparedSSSShrinkingBlockWidth is the stale-partials regression
+// test: the blocked reduction buffer's slot offsets are k-dependent,
+// so running a wide block and then a narrower one on the same kernel
+// must not fold leftovers from the wide layout into y (the default
+// batch path hits exactly this — a blockW-8 engine serving a batch
+// with a 2-7 vector tail). Thread width is pinned above 1: the bug is
+// invisible at nt=1.
+func TestPreparedSSSShrinkingBlockWidth(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := symMatrix(1200, 41)
+	p := e.buildPrepared(m, ex.Optim{Symmetric: true}, 4)
+	rng := rand.New(rand.NewSource(19))
+	for _, k := range []int{8, 2, 5, 3} { // shrink, grow, shrink
+		x := make([]float64, m.NCols*k)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, m.NRows*k)
+		m.MulMat(x, want, k)
+		got := make([]float64, m.NRows*k)
+		p.MulMat(x, got, k)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatalf("k=%d: y[%d] = %g, want %g (stale partials from a previous width?)",
+					k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPrepareSSSPanicsOnAsymmetric(t *testing.T) {
+	e := New()
+	defer e.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Prepare accepted Symmetric on an asymmetric matrix")
+		}
+	}()
+	e.Prepare(gen.UniformRandom(500, 4, 9), ex.Optim{Symmetric: true})
+}
+
+// TestAllocFreeSSS extends the zero-alloc guards to the symmetric
+// prepared paths: per-vector, batch, and interleaved MulMat (the CI
+// alloc job runs -run TestAlloc).
+func TestAllocFreeSSS(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := symMatrix(3000, 21)
+	o := ex.Optim{Symmetric: true}
+	p := e.Prepare(m, o)
+
+	x := make([]float64, m.NCols)
+	y := make([]float64, m.NRows)
+	for i := range x {
+		x[i] = 1 + float64(i%3)
+	}
+	for i := 0; i < 3; i++ {
+		p.MulVec(x, y)
+	}
+	if avg := testing.AllocsPerRun(10, func() { p.MulVec(x, y) }); avg != 0 {
+		t.Fatalf("MulVec: %.1f allocs per steady-state op, want 0", avg)
+	}
+
+	for _, batch := range []int{4, 9} {
+		xs := make([][]float64, batch)
+		ys := make([][]float64, batch)
+		for b := range xs {
+			xs[b] = make([]float64, m.NCols)
+			ys[b] = make([]float64, m.NRows)
+		}
+		for i := 0; i < 3; i++ {
+			p.MulVecBatch(xs, ys)
+		}
+		if avg := testing.AllocsPerRun(5, func() { p.MulVecBatch(xs, ys) }); avg != 0 {
+			t.Fatalf("batch=%d: %.1f allocs per steady-state MulVecBatch, want 0", batch, avg)
+		}
+	}
+
+	const k = 8
+	xb := make([]float64, m.NCols*k)
+	yb := make([]float64, m.NRows*k)
+	for i := 0; i < 3; i++ {
+		p.MulMat(xb, yb, k)
+	}
+	if avg := testing.AllocsPerRun(5, func() { p.MulMat(xb, yb, k) }); avg != 0 {
+		t.Fatalf("MulMat: %.1f allocs per steady-state op, want 0", avg)
+	}
+}
+
+// BenchmarkMulVecSSS compares the symmetric kernel against the plain
+// CSR path on a bandwidth-bound symmetric matrix and reports each
+// configuration's matrix-stream bytes — the acceptance signal that SSS
+// moves measurably fewer matrix bytes per multiply.
+func BenchmarkMulVecSSS(b *testing.B) {
+	e := New()
+	defer e.Close()
+	m := symMatrix(60000, 31)
+	x := make([]float64, m.NCols)
+	y := make([]float64, m.NRows)
+	for i := range x {
+		x[i] = 1 + float64(i%5)*0.25
+	}
+	run := func(b *testing.B, o ex.Optim) {
+		p := e.Prepare(m, o)
+		p.MulVec(x, y)
+		b.ReportMetric(float64(p.(*Prepared).matrixBytes), "matrix-bytes/op")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.MulVec(x, y)
+		}
+	}
+	b.Run("csr", func(b *testing.B) { run(b, ex.Optim{}) })
+	b.Run("sss", func(b *testing.B) { run(b, ex.Optim{Symmetric: true}) })
+}

@@ -46,6 +46,15 @@ const (
 // output.
 const SellC Member = NumMembers
 
+// SymSSS is the second extended pool member: symmetric (SSS) storage,
+// the strongest MB-class remedy — only the lower triangle + diagonal
+// stream per multiply, roughly halving matrix bytes. Like SellC it is
+// NOT part of AllMembers (the Table V candidate counts stay the
+// paper's); the classifier proposes it for MB-classed symmetric
+// matrices (MembersFor) and the oracle sweeps it whenever the matrix
+// carries the symmetric kind (symCandidates).
+const SymSSS Member = NumMembers + 1
+
 // String names the member like the paper's prose.
 func (m Member) String() string {
 	switch m {
@@ -61,6 +70,8 @@ func (m Member) String() string {
 		return "unrolling+vectorization"
 	case SellC:
 		return "sell-c-sigma"
+	case SymSSS:
+		return "symmetric-sss"
 	default:
 		return "unknown"
 	}
@@ -86,6 +97,8 @@ func (m Member) Apply(o ex.Optim) ex.Optim {
 		// vector width, so selecting it implies vector execution.
 		o.SellCS = true
 		o.Vectorize = true
+	case SymSSS:
+		o.Symmetric = true
 	}
 	return o
 }
@@ -108,6 +121,14 @@ const longRowFactor = 16
 func MembersFor(set classify.Set, fs features.Set) []Member {
 	var ms []Member
 	if set.Has(classify.MB) {
+		if fs.Symmetric {
+			// A bandwidth-bound symmetric matrix gets symmetric
+			// storage: halving the element stream beats re-encoding it
+			// (EffectiveFormat already resolves SSS over Delta when
+			// both are selected, so CompressVec joins only for its
+			// vectorization half).
+			ms = append(ms, SymSSS)
+		}
 		ms = append(ms, CompressVec)
 	}
 	if set.Has(classify.ML) {
@@ -208,18 +229,23 @@ func rowSweepSeconds(m *matrix.CSR, mdl machine.Model) float64 {
 
 // ConversionSeconds is the format-conversion cost of the selected
 // optimizations. Only the effective storage format converts — the
-// engine's precedence is Split over SellCS over Compress, and a
-// superseded format is never built, so it costs nothing: the long-row
-// decomposition and delta compression rewrite the matrix in two passes
-// (analyze + emit); SELL-C-σ takes three (measure + window-sort row
-// lengths, size chunks, emit the padded column-major storage). The
-// remaining members only select kernels.
+// engine's precedence is Symmetric over Split over SellCS over
+// Compress, and a superseded format is never built, so it costs
+// nothing: the long-row decomposition and delta compression rewrite
+// the matrix in two passes (analyze + emit); SELL-C-σ takes three
+// (measure + window-sort row lengths, size chunks, emit the padded
+// column-major storage); the symmetric extraction takes four — its
+// exactness verification builds and compares a full transpose (~two
+// sweeps) before the count + emit passes. The remaining members only
+// select kernels.
 func ConversionSeconds(m *matrix.CSR, mdl machine.Model, o ex.Optim) float64 {
 	switch o.EffectiveFormat() {
 	case ex.FormatSplit, ex.FormatDelta:
 		return 2 * sweepSeconds(m, mdl)
 	case ex.FormatSellCS:
 		return 3 * sweepSeconds(m, mdl)
+	case ex.FormatSSS:
+		return 4 * sweepSeconds(m, mdl)
 	}
 	return 0
 }
@@ -386,6 +412,19 @@ func sellCandidates() []ex.Optim {
 	return out
 }
 
+// symCandidates returns the symmetric-storage configurations the
+// oracle sweeps when the matrix carries the symmetric kind. There is
+// exactly one: the SSS kernel has no vectorize/prefetch/unroll
+// variants (both the native engine and the cost model treat those
+// knobs as inert under FormatSSS), Split and AutoSched are excluded
+// by design (the reduction already spreads the mirrored work evenly
+// and the binding resolves schedules statically), and Compress is
+// superseded by the format precedence — joining any of them would
+// only re-measure SSS under another name.
+func symCandidates() []ex.Optim {
+	return []ex.Optim{SymSSS.Apply(ex.Optim{})}
+}
+
 // BlockWidths lists the multi-RHS SpMM block widths the engine
 // implements register-blocked kernels for, plus the unblocked width 1.
 func BlockWidths() []int { return []int{1, 2, 4, 8} }
@@ -432,6 +471,13 @@ func sweep(e ex.Executor, m *matrix.CSR, c CostParams, pairs, triples, extended 
 	cands := candidateOptims(pairs, triples)
 	if extended {
 		cands = append(cands, sellCandidates()...)
+		if m.Sym == matrix.SymSymmetric {
+			// Gated on the annotated kind, not detection: the sweep
+			// must not mutate or rescan matrices mid-flight. Callers
+			// that want the oracle to consider SSS resolve the kind
+			// first (the facade does at Tune time).
+			cands = append(cands, symCandidates()...)
+		}
 	}
 	for _, o := range cands {
 		r := e.Run(ex.Config{Matrix: m, Opt: o})

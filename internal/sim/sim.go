@@ -154,6 +154,13 @@ type profile struct {
 	sellPadded int64
 	sellChunks int
 
+	// Symmetric-storage statistics: the strictly-lower element count
+	// the SSS kernel streams (each element applied twice). Computed
+	// lazily (symStats) — the scan is O(NNZ) and only symmetric
+	// configurations consult it.
+	symOnce  sync.Once
+	symLower int64
+
 	// Split decomposition statistics at the default threshold.
 	splitThreshold int
 	nLong          int
@@ -265,6 +272,20 @@ func (p *profile) sellStats(m *matrix.CSR) (paddedNNZ int64, nChunks int) {
 	return p.sellPadded, p.sellChunks
 }
 
+// symStats returns the memoized strictly-lower element count of m.
+func (p *profile) symStats(m *matrix.CSR) int64 {
+	p.symOnce.Do(func() {
+		for i := 0; i < m.NRows; i++ {
+			for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+				if int(m.ColInd[j]) < i {
+					p.symLower++
+				}
+			}
+		}
+	})
+	return p.symLower
+}
+
 // threadLoad is the per-thread resource consumption of one SpMV.
 type threadLoad struct {
 	rows int64
@@ -290,11 +311,17 @@ func (e *Executor) Run(cfg ex.Config) ex.Result {
 	format := o.EffectiveFormat()
 	sellActive := format == ex.FormatSellCS
 	compressActive := format == ex.FormatDelta
+	// Symmetric storage models only matrices that actually carry the
+	// kind; on anything else the knob is inert (the native engine
+	// rejects the conversion outright).
+	sssActive := format == ex.FormatSSS && m.Sym == matrix.SymSymmetric
 	// The SELL chunk kernel has no prefetch or unroll variants (its
 	// column-major traversal is the vectorized form); model both knobs
-	// as inert there, exactly as the native engine treats them.
-	prefetchActive := o.Prefetch && !sellActive
-	unrollActive := o.Unroll && !sellActive
+	// as inert there, exactly as the native engine treats them. The
+	// scalar SSS kernel has no vector/prefetch/unroll variants either.
+	prefetchActive := o.Prefetch && !sellActive && !sssActive
+	unrollActive := o.Unroll && !sellActive && !sssActive
+	vectorizeActive := o.Vectorize && !sssActive
 
 	// Threads per core actually running.
 	k := (nt + mdl.Cores - 1) / mdl.Cores
@@ -371,6 +398,25 @@ func (e *Executor) Run(cfg ex.Config) ex.Result {
 	valBytes := 8.0
 	idxBytes := 4.0
 	rowBytes := costs.RowPtrBytesPerRow
+	// Symmetric storage streams only the strictly-lower elements (each
+	// applied twice), so the per-element value/index bytes shrink by
+	// the lower/full ratio (≈ 1/2); the dense diagonal adds 8 bytes
+	// per row on top of the row pointers. The reduction cost appears
+	// below as per-thread partial-buffer traffic.
+	symReduceBytes := 0.0
+	if sssActive && m.NNZ() > 0 {
+		lowerFrac := float64(p.symStats(m)) / float64(m.NNZ())
+		valBytes *= lowerFrac
+		idxBytes *= lowerFrac
+		rowBytes += 8
+		// Each thread zeroes + accumulates its own n-cell partial
+		// buffer (one write stream) and reads an equal share of all nt
+		// buffers in the parallel reduce — ≈ 2·8·n bytes per thread,
+		// nt·n cells in total. This is the term that lets the oracle
+		// predict when the reduction eats the halved-stream win (small
+		// or very sparse matrices at high thread counts).
+		symReduceBytes = 16 * float64(m.NRows)
+	}
 	if sellActive {
 		// SELL-C-σ streams the padded value/index arrays (the per-
 		// element nnz of the SELL loads is already padded); the chunk
@@ -387,7 +433,7 @@ func (e *Executor) Run(cfg ex.Config) ex.Result {
 		idxBytes = 0 // the P_CMP kernel loads no column indices
 	}
 	yBytes := costs.YBytesScalarPerRow
-	if o.Vectorize {
+	if vectorizeActive {
 		yBytes = costs.YBytesVectorPerRow
 	}
 	if sellActive {
@@ -436,7 +482,7 @@ func (e *Executor) Run(cfg ex.Config) ex.Result {
 		ld := loads[t]
 		// Compute term.
 		var compCyc float64
-		if o.Vectorize {
+		if vectorizeActive {
 			compCyc = float64(ld.vec)*vecCyc + float64(ld.rows)*vecRowOv
 		} else {
 			compCyc = float64(ld.nnz)*scalarCyc + float64(ld.rows)*rowOv
@@ -452,7 +498,7 @@ func (e *Executor) Run(cfg ex.Config) ex.Result {
 			xBytes = float64(ld.miss) * missScale * lineBytes
 		}
 		bytes := float64(ld.nnz)*(valBytes+idxBytes) +
-			float64(ld.rows)*(rowBytes+yBytes) + xBytes
+			float64(ld.rows)*(rowBytes+yBytes) + xBytes + symReduceBytes
 		tBW := bytes / (perCoreBW / float64(k))
 
 		// Latency term: only irregular x misses expose latency;
@@ -472,7 +518,7 @@ func (e *Executor) Run(cfg ex.Config) ex.Result {
 			tt += float64(dynamicChunks) / float64(nt) * costs.ChunkAtomicNs * 1e-9 * blockInv
 		}
 		// The split kernel's step 2 reduction synchronizes per long row.
-		if o.Split && p.nLong > 0 {
+		if format == ex.FormatSplit && p.nLong > 0 {
 			tt += float64(p.nLong) * costs.SyncNsPerLongRow * 1e-9 * blockInv
 		}
 		threadSecs[t] = tt
@@ -558,10 +604,12 @@ func (e *Executor) assignLoads(m *matrix.CSR, p *profile, o ex.Optim, policy sch
 	}
 
 	// Select the prefix arrays: split configurations work on the base
-	// part and spread the long part evenly afterwards.
+	// part and spread the long part evenly afterwards. Resolved through
+	// the shared precedence so a superseded Split knob stays inert.
+	splitActive := o.EffectiveFormat() == ex.FormatSplit
 	pNNZ := m.RowPtr
 	pMiss, pVec := p.pMiss, p.pVec
-	if o.Split {
+	if splitActive {
 		pNNZ, pMiss, pVec = p.pNNZBase, p.pMissBase, p.pVecBase
 	}
 	n := m.NRows
@@ -595,7 +643,7 @@ func (e *Executor) assignLoads(m *matrix.CSR, p *profile, o ex.Optim, policy sch
 		// lands on thread 0. Split configurations removed long rows
 		// from the base, so their residual uses the threshold.
 		maxRow := p.maxRowNNZ
-		if o.Split && maxRow > int64(p.splitThreshold) {
+		if splitActive && maxRow > int64(p.splitThreshold) {
 			maxRow = int64(p.splitThreshold)
 		}
 		residual := maxRow - total.nnz/int64(nt)
@@ -624,7 +672,7 @@ func (e *Executor) assignLoads(m *matrix.CSR, p *profile, o ex.Optim, policy sch
 	}
 
 	// Phase 2 of the split kernel: long rows spread over all threads.
-	if o.Split && p.longNNZ > 0 {
+	if splitActive && p.longNNZ > 0 {
 		share := p.longNNZ / int64(nt)
 		missShare := p.longMiss / int64(nt)
 		vecShare := p.longVec / int64(nt)

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/machine"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// symmetrizeT returns A + Aᵀ with the kind annotated.
+func symmetrizeT(src *matrix.CSR) *matrix.CSR {
+	coo := matrix.NewCOO(src.NRows, src.NRows)
+	for i := 0; i < src.NRows; i++ {
+		for j := src.RowPtr[i]; j < src.RowPtr[i+1]; j++ {
+			c := int(src.ColInd[j])
+			coo.Add(i, c, src.Val[j])
+			if c != i {
+				coo.Add(c, i, src.Val[j])
+			}
+		}
+	}
+	m := coo.ToCSR()
+	m.Sym = matrix.SymSymmetric
+	return m
+}
+
+// TestSymModelHalvesMatrixTraffic: on a wide-band bandwidth-saturated
+// symmetric matrix (many nonzeros per row, so the halved element
+// stream dwarfs the nt·n reduction term), the modeled SSS run must
+// move clearly fewer bytes than CSR and the modeled time must improve.
+func TestSymModelHalvesMatrixTraffic(t *testing.T) {
+	e := New(machine.Broadwell())
+	m := symmetrizeT(gen.Banded(30000, 100, 1.0, 7))
+	base := e.Run(ex.Config{Matrix: m})
+	sss := e.Run(ex.Config{Matrix: m, Opt: ex.Optim{Symmetric: true}})
+	if sss.MemBytes >= 0.8*base.MemBytes {
+		t.Fatalf("SSS modeled bytes %.3g not clearly below CSR %.3g", sss.MemBytes, base.MemBytes)
+	}
+	if sss.Seconds >= base.Seconds {
+		t.Fatalf("SSS modeled time %.3g not below CSR %.3g on an MB matrix", sss.Seconds, base.Seconds)
+	}
+}
+
+// TestSymModelReductionEatsWinWhenSparse: the point of modeling the
+// nt·n partial-buffer traffic is predicting when NOT to use symmetric
+// storage — a very sparse Laplacian at full Broadwell thread count
+// pays more in reduction bytes than the halved stream saves, so the
+// model must price SSS above CSR there.
+func TestSymModelReductionEatsWinWhenSparse(t *testing.T) {
+	e := New(machine.Broadwell())
+	side := 500 // 250k rows, ~5 nnz/row
+	m := gen.Poisson2D(side, side)
+	m.Sym = matrix.SymSymmetric
+	base := e.Run(ex.Config{Matrix: m})
+	sss := e.Run(ex.Config{Matrix: m, Opt: ex.Optim{Symmetric: true}})
+	if sss.Seconds <= base.Seconds {
+		t.Fatalf("model missed the reduction cost: SSS %.3g <= CSR %.3g on a 5-point Laplacian at %d threads",
+			sss.Seconds, base.Seconds, machine.Broadwell().Threads())
+	}
+}
+
+// TestSymModelReductionCostGrowsWithThreads: the nt·n partial-buffer
+// term must make total modeled traffic increase with thread count —
+// the mechanism behind the prediction above.
+func TestSymModelReductionCostGrowsWithThreads(t *testing.T) {
+	e := New(machine.Broadwell())
+	side := 320
+	m := gen.Poisson2D(side, side)
+	m.Sym = matrix.SymSymmetric
+	few := e.Run(ex.Config{Matrix: m, Threads: 2, Opt: ex.Optim{Symmetric: true}})
+	many := e.Run(ex.Config{Matrix: m, Threads: 16, Opt: ex.Optim{Symmetric: true}})
+	if many.MemBytes <= few.MemBytes {
+		t.Fatalf("reduction traffic did not grow with threads: nt=16 %.3g <= nt=2 %.3g",
+			many.MemBytes, few.MemBytes)
+	}
+}
+
+// TestSymModelInertOnGeneralMatrix: the Symmetric knob must model as
+// plain CSR when the matrix does not carry the symmetric kind.
+func TestSymModelInertOnGeneralMatrix(t *testing.T) {
+	e := New(machine.Broadwell())
+	m := gen.UniformRandom(5000, 6, 3) // Sym unknown
+	base := e.Run(ex.Config{Matrix: m})
+	sss := e.Run(ex.Config{Matrix: m, Opt: ex.Optim{Symmetric: true}})
+	if sss.Seconds != base.Seconds || sss.MemBytes != base.MemBytes {
+		t.Fatalf("Symmetric knob not inert on a general matrix: %v vs %v", sss, base)
+	}
+}

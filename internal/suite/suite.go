@@ -168,6 +168,72 @@ func Evaluation() []Recipe {
 	}
 }
 
+// Symmetric returns the symmetric SPD recipe families — the
+// workloads the classifier, oracle and experiments exercise the
+// symmetric-storage (SSS) path with, and the systems the iterative
+// solvers converge on. The Laplacians are promoted from the ad-hoc
+// copies the solver tests carried; sym-fem adds a dense-rowed FEM-like
+// operator where the halved matrix stream clearly beats the reduction
+// cost. Every build annotates matrix.SymSymmetric (the generators are
+// symmetric by construction), so detection never rescans.
+func Symmetric() []Recipe {
+	symmetric := func(m *matrix.CSR, name string) *matrix.CSR {
+		m.Sym = matrix.SymSymmetric
+		m.Name = name
+		return m
+	}
+	return []Recipe{
+		{"lap2d", 640000, 3196800, "2D 5-point Laplacian: SPD, regular, very sparse rows",
+			func(s float64) *matrix.CSR {
+				side := isqrt(sn(640000, s))
+				return symmetric(gen.Poisson2D(side, side), "lap2d")
+			}},
+		{"lap3d", 512000, 3545600, "3D 7-point Laplacian: SPD, regular",
+			func(s float64) *matrix.CSR {
+				side := icbrt(sn(512000, s))
+				return symmetric(gen.Poisson3D(side, side, side), "lap3d")
+			}},
+		{"sym-fem", 60000, 12060000, "symmetrized wide-band FEM operator: MB-bound dense rows",
+			func(s float64) *matrix.CSR {
+				return symmetric(symmetrizeCSR(gen.Banded(sn(60000, s), 100, 1.0, 140)), "sym-fem")
+			}},
+	}
+}
+
+// symmetrizeCSR returns A + Aᵀ (duplicates summed) — exactly
+// symmetric with the structural character of the source.
+func symmetrizeCSR(src *matrix.CSR) *matrix.CSR {
+	coo := matrix.NewCOO(src.NRows, src.NRows)
+	for i := 0; i < src.NRows; i++ {
+		for j := src.RowPtr[i]; j < src.RowPtr[i+1]; j++ {
+			c := int(src.ColInd[j])
+			coo.Add(i, c, src.Val[j])
+			if c != i {
+				coo.Add(c, i, src.Val[j])
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// isqrt returns the smallest side with side*side >= n.
+func isqrt(n int) int {
+	side := 2
+	for side*side < n {
+		side++
+	}
+	return side
+}
+
+// icbrt returns the smallest side with side^3 >= n.
+func icbrt(n int) int {
+	side := 2
+	for side*side*side < n {
+		side++
+	}
+	return side
+}
+
 // LoadEvaluation builds every evaluation matrix at the given scale.
 func LoadEvaluation(scale float64) []*matrix.CSR {
 	rs := Evaluation()
@@ -178,19 +244,31 @@ func LoadEvaluation(scale float64) []*matrix.CSR {
 	return out
 }
 
-// Names lists the evaluation suite names in figure order.
+// Names lists every buildable suite matrix name: the evaluation suite
+// in figure order, followed by the symmetric SPD suite — the same set
+// ByName resolves, so discovery and resolution never disagree.
 func Names() []string {
 	rs := Evaluation()
-	out := make([]string, len(rs))
-	for i, r := range rs {
-		out[i] = r.Name
+	ss := Symmetric()
+	out := make([]string, 0, len(rs)+len(ss))
+	for _, r := range rs {
+		out = append(out, r.Name)
+	}
+	for _, r := range ss {
+		out = append(out, r.Name)
 	}
 	return out
 }
 
-// ByName builds a single evaluation matrix (nil if unknown).
+// ByName builds a single evaluation or symmetric-suite matrix (nil if
+// unknown).
 func ByName(name string, scale float64) *matrix.CSR {
 	for _, r := range Evaluation() {
+		if r.Name == name {
+			return r.Build(scale)
+		}
+	}
+	for _, r := range Symmetric() {
 		if r.Name == name {
 			return r.Build(scale)
 		}

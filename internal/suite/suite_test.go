@@ -58,13 +58,16 @@ func TestByNameUnknown(t *testing.T) {
 
 func TestNamesMatchRecipes(t *testing.T) {
 	names := Names()
-	rs := Evaluation()
+	rs := append(Evaluation(), Symmetric()...)
 	if len(names) != len(rs) {
 		t.Fatal("Names length mismatch")
 	}
 	for i := range rs {
 		if names[i] != rs[i].Name {
 			t.Fatalf("names[%d] = %q, want %q", i, names[i], rs[i].Name)
+		}
+		if ByName(names[i], 0.005) == nil {
+			t.Fatalf("listed name %q does not resolve", names[i])
 		}
 	}
 }

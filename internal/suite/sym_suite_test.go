@@ -1,0 +1,36 @@
+package suite
+
+import (
+	"testing"
+
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// TestSymmetricRecipesAreActuallySymmetric: the annotation each
+// symmetric recipe carries must be verifiable — a mislabeled build
+// would send the tuner down the SSS path and corrupt results.
+func TestSymmetricRecipesAreActuallySymmetric(t *testing.T) {
+	for _, r := range Symmetric() {
+		m := r.Build(0.01)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: invalid CSR: %v", r.Name, err)
+		}
+		if m.Sym != matrix.SymSymmetric {
+			t.Fatalf("%s: Sym = %v, want annotated symmetric", r.Name, m.Sym)
+		}
+		if got := matrix.DetectSymmetry(m); got != matrix.SymSymmetric {
+			t.Fatalf("%s: annotated symmetric but detection says %v", r.Name, got)
+		}
+		if m.Name != r.Name {
+			t.Fatalf("recipe %q built matrix named %q", r.Name, m.Name)
+		}
+	}
+}
+
+// TestByNameFindsSymmetricRecipes: the CLI's -matrix selector must
+// reach the symmetric suite.
+func TestByNameFindsSymmetricRecipes(t *testing.T) {
+	if m := ByName("lap2d", 0.01); m == nil || m.Sym != matrix.SymSymmetric {
+		t.Fatal("ByName did not build lap2d with the symmetric kind")
+	}
+}

@@ -92,9 +92,10 @@ func (b *Builder) Add(row, col int, val float64) *Builder {
 // Build finalizes the matrix.
 func (b *Builder) Build() *Matrix { return &Matrix{csr: b.coo.ToCSR()} }
 
-// SuiteMatrix generates one of the paper's 32 evaluation matrices by
-// name (synthetic stand-ins for the SuiteSparse originals) at the
-// given scale (1.0 = reproduction size).
+// SuiteMatrix generates a suite matrix by name at the given scale
+// (1.0 = reproduction size): one of the paper's 32 evaluation
+// matrices (synthetic stand-ins for the SuiteSparse originals) or one
+// of the symmetric SPD recipes (lap2d, lap3d, sym-fem).
 func SuiteMatrix(name string, scale float64) (*Matrix, error) {
 	csr := suite.ByName(name, scale)
 	if csr == nil {
@@ -103,7 +104,8 @@ func SuiteMatrix(name string, scale float64) (*Matrix, error) {
 	return &Matrix{csr: csr}, nil
 }
 
-// SuiteNames lists the evaluation-suite matrix names in paper order.
+// SuiteNames lists every SuiteMatrix-resolvable name: the evaluation
+// suite in paper order, then the symmetric SPD suite.
 func SuiteNames() []string { return suite.Names() }
 
 // Tuner plans optimized SpMV executions.
@@ -182,6 +184,7 @@ type Analysis struct {
 
 // Analyze diagnoses the matrix without committing to execution.
 func (t *Tuner) Analyze(m *Matrix) Analysis {
+	m.csr.SymmetryKind() // resolve once so the planner can exploit symmetry
 	a := t.pipeline.Analyze(m.csr)
 	return Analysis{
 		Classes:           a.Classes.String(),
@@ -206,8 +209,12 @@ type Tuned struct {
 }
 
 // Tune analyzes the matrix and compiles an optimized persistent native
-// kernel.
+// kernel. Symmetry is resolved up front (one O(NNZ) detection, cached
+// on the matrix), so a symmetric matrix transparently gets the SSS
+// storage path whenever the planner classifies it bandwidth bound —
+// no caller annotation needed.
 func (t *Tuner) Tune(m *Matrix) *Tuned {
+	m.csr.SymmetryKind()
 	plan, prep := t.pipeline.Prepare(m.csr)
 	if prep == nil {
 		// Modeled analysis: the plan came from the simulator, but

@@ -71,8 +71,15 @@ func TestSuiteMatrix(t *testing.T) {
 	if _, err := SuiteMatrix("bogus", 1); err == nil {
 		t.Fatal("unknown suite name accepted")
 	}
-	if len(SuiteNames()) != 32 {
-		t.Fatalf("suite names = %d, want 32", len(SuiteNames()))
+	// The paper's 32 evaluation matrices plus the symmetric SPD suite
+	// (lap2d, lap3d, sym-fem); every listed name must resolve.
+	if len(SuiteNames()) != 35 {
+		t.Fatalf("suite names = %d, want 35", len(SuiteNames()))
+	}
+	for _, name := range SuiteNames() {
+		if _, err := SuiteMatrix(name, 0.005); err != nil {
+			t.Fatalf("listed suite name %q does not resolve: %v", name, err)
+		}
 	}
 }
 
