@@ -11,12 +11,15 @@
 //	spmvbench -exp sellcs -scale 0.1    # SELL-C-σ vs CSR vector kernel
 //	spmvbench -exp spmm -scale 0.1      # blocked SpMM vs per-vector loop
 //	spmvbench -exp sym -scale 0.1       # symmetric SSS vs expanded CSR
+//	spmvbench -exp warm -scale 0.1      # plan store: cold tune vs warm start
 //	spmvbench -exp all -scale 0.25      # every modeled experiment
 //
-// The reuse, sellcs, spmm and sym experiments run natively on the
-// host through the persistent worker-pool engine; everything else is
-// modeled, and "all" covers only the modeled set (request the native
-// ones explicitly).
+// The reuse, sellcs, spmm, sym and warm experiments run natively on
+// the host through the persistent worker-pool engine; everything else
+// is modeled, and "all" covers only the modeled set (request the
+// native ones explicitly). The warm experiment asserts its own
+// invariants (zero warm-path measurements, identical plans) and exits
+// nonzero when they fail, so CI can use it as a smoke test.
 //
 // Ablations: ablate-delta, ablate-split, ablate-sched,
 // ablate-prefetch, ablate-partitioned-ml.
@@ -34,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1, fig3, fig7, table4, table5, platforms, features, reuse, sellcs, spmm, sym, ablate-*, all")
+		exp      = flag.String("exp", "all", "experiment: fig1, fig3, fig7, table4, table5, platforms, features, reuse, sellcs, spmm, sym, warm, ablate-*, all")
 		platform = flag.String("platform", "", "fig7 platform: knc, knl, bdw (default: all three)")
 		scale    = flag.Float64("scale", 1.0, "suite size multiplier (1.0 = reproduction size)")
 		corpus   = flag.Int("corpus", 210, "training corpus size")
@@ -97,6 +100,11 @@ func main() {
 		emit(experiments.SpMM(cfg).Table())
 	case "sym":
 		emit(experiments.Sym(cfg).Table())
+	case "warm":
+		var res *experiments.WarmResult
+		if res, err = experiments.Warm(cfg); err == nil {
+			emit(res.Table())
+		}
 	case "ablate-delta":
 		emit(experiments.AblateDelta(cfg).Table())
 	case "ablate-split":

@@ -5,6 +5,12 @@
 //
 //	spmvclassify -mtx matrix.mtx -platform knl
 //	spmvclassify -suite rajat30 -platform knc
+//
+// With -json the tool emits the decision as the Plan IR instead — the
+// same versioned, fingerprint-bound artifact the plan store persists,
+// suitable for shipping to a serving host (docs/guide/plans.md):
+//
+//	spmvclassify -suite rajat30 -platform knl -json > rajat30.plan.json
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"github.com/sparsekit/spmvtuner/internal/machine"
 	"github.com/sparsekit/spmvtuner/internal/matrix"
 	"github.com/sparsekit/spmvtuner/internal/mmio"
+	"github.com/sparsekit/spmvtuner/internal/plan"
 	"github.com/sparsekit/spmvtuner/internal/report"
 	"github.com/sparsekit/spmvtuner/internal/sim"
 	"github.com/sparsekit/spmvtuner/internal/suite"
@@ -30,6 +37,7 @@ func main() {
 		suiteName = flag.String("suite", "", "evaluation-suite matrix name (alternative to -mtx)")
 		platform  = flag.String("platform", "knc", "platform model: knc, knl, bdw, host")
 		scale     = flag.Float64("scale", 1.0, "suite scale when using -suite")
+		asJSON    = flag.Bool("json", false, "emit the decision as the Plan IR (JSON) instead of tables")
 	)
 	flag.Parse()
 
@@ -46,6 +54,15 @@ func main() {
 
 	p := core.New(sim.New(mdl))
 	a := p.Analyze(m)
+	if *asJSON {
+		data, err := plan.Encode(a.Plan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spmvclassify:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		return
+	}
 	printAnalysis(m, mdl, a)
 }
 

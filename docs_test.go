@@ -1,10 +1,12 @@
 // Mirrors the code samples of README.md, docs/guide/platforms.md,
-// docs/guide/formats.md, docs/guide/batching.md and
-// docs/guide/symmetry.md so the documented API cannot drift without
+// docs/guide/formats.md, docs/guide/batching.md, docs/guide/symmetry.md
+// and docs/guide/plans.md so the documented API cannot drift without
 // breaking the build: every call here appears in a published snippet.
 package spmvtuner_test
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"github.com/sparsekit/spmvtuner"
@@ -14,6 +16,7 @@ import (
 	"github.com/sparsekit/spmvtuner/internal/machine"
 	"github.com/sparsekit/spmvtuner/internal/native"
 	"github.com/sparsekit/spmvtuner/internal/opt"
+	"github.com/sparsekit/spmvtuner/internal/plan"
 	"github.com/sparsekit/spmvtuner/internal/sim"
 )
 
@@ -161,6 +164,65 @@ func TestFormatsGuideSamples(t *testing.T) {
 	}
 	if !s.Reassemble().Equal(csr) {
 		t.Fatal("guide round-trip promise broken")
+	}
+}
+
+// TestPlansGuideSamples exercises docs/guide/plans.md: the persistent
+// plan-store facade flow (cold tune, restart, warm start), the
+// Info().Warm / Info().Fingerprint fields, and the internal
+// plan-shipping path (strict decode + PreparePlan validation).
+func TestPlansGuideSamples(t *testing.T) {
+	m, err := spmvtuner.SuiteMatrix("poisson3Db", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "plans")
+
+	// The guide's WithPlanStore flow.
+	tuner := spmvtuner.NewTuner(spmvtuner.WithPlanStore(dir))
+	tuned := tuner.Tune(m)
+	if tuned.Info().Warm {
+		t.Fatal("first ever Tune claims warm")
+	}
+	if tuned.Info().Fingerprint == "" {
+		t.Fatal("no fingerprint on the tuned decision")
+	}
+	if err := tuner.Close(); err != nil { // flushes the store; idempotent
+		t.Fatal(err)
+	}
+
+	// "Shipping is cp": a restarted tuner over the same directory
+	// warm-starts.
+	tuner2 := spmvtuner.NewTuner(spmvtuner.WithPlanStore(dir))
+	defer tuner2.Close()
+	if !tuner2.Tune(m).Info().Warm {
+		t.Fatal("restarted tuner did not warm-start from disk")
+	}
+
+	// The guide's plan-consuming path (internal packages, as it
+	// notes): read an entry file, decode strictly, validate + prepare.
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("store layout: %v %v", ents, err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, ents[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := plan.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := native.New()
+	defer e.Close()
+	csr := gen.Poisson2D(40, 40)
+	if _, err := e.PreparePlan(csr, pl); err == nil {
+		t.Fatal("foreign fingerprint accepted by PreparePlan")
+	}
+	pl2 := pl
+	pl2.Fingerprint = ""
+	if _, err := e.PreparePlan(csr, pl2); err != nil {
+		t.Fatalf("unbound plan rejected: %v", err)
 	}
 }
 

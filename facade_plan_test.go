@@ -1,0 +1,203 @@
+package spmvtuner
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTuneWarmStartsInProcess: the default in-memory plan store must
+// make a second Tune of a fingerprint-identical matrix warm — same
+// decision, no re-classification.
+func TestTuneWarmStartsInProcess(t *testing.T) {
+	tu := NewTuner()
+	defer tu.Close()
+
+	m := buildRandom(3000, 3000, 6, 31)
+	cold := tu.Tune(m)
+	if cold.Info().Warm {
+		t.Fatal("first Tune claims warm")
+	}
+	if cold.Info().Fingerprint == "" {
+		t.Fatal("tuned plan not fingerprint-bound")
+	}
+
+	// Same structure, different values: plans carry over by design.
+	reval := buildRandom(3000, 3000, 6, 31)
+	for i := range reval.csr.Val {
+		reval.csr.Val[i] *= -2
+	}
+	warm := tu.Tune(reval)
+	if !warm.Info().Warm {
+		t.Fatal("second Tune of a fingerprint-identical matrix was cold")
+	}
+	if warm.Optimizations() != cold.Optimizations() || warm.Classes() != cold.Classes() {
+		t.Fatalf("warm decision drifted: %q/%q vs %q/%q",
+			warm.Optimizations(), warm.Classes(), cold.Optimizations(), cold.Classes())
+	}
+
+	// The warm kernel must still compute correctly.
+	x := make([]float64, reval.Cols())
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	want := make([]float64, reval.Rows())
+	reval.MulVec(x, want)
+	got := make([]float64, reval.Rows())
+	warm.MulVec(x, got)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("warm kernel wrong at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTuneWarmStartsAcrossProcesses: WithPlanStore persistence — a
+// fresh Tuner over the same directory (a process restart) warm-starts
+// from disk.
+func TestTuneWarmStartsAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	m := buildRandom(2000, 2000, 5, 33)
+
+	tu1 := NewTuner(WithPlanStore(dir))
+	cold := tu1.Tune(m)
+	if cold.Info().Warm {
+		t.Fatal("first Tune claims warm")
+	}
+	if err := tu1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The store directory holds one JSON entry for the decision.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || !strings.HasSuffix(ents[0].Name(), ".json") {
+		t.Fatalf("unexpected store layout: %v", ents)
+	}
+
+	tu2 := NewTuner(WithPlanStore(dir))
+	defer tu2.Close()
+	warm := tu2.Tune(buildRandom(2000, 2000, 5, 33))
+	if !warm.Info().Warm {
+		t.Fatal("fresh tuner over the same store was cold")
+	}
+	if warm.Optimizations() != cold.Optimizations() {
+		t.Fatalf("persisted decision drifted: %q vs %q", warm.Optimizations(), cold.Optimizations())
+	}
+}
+
+// TestWithPlanStoreBadDir: an unusable store directory must surface
+// at construction, not corrupt tuning later.
+func TestWithPlanStoreBadDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unusable store dir did not panic")
+		}
+	}()
+	NewTuner(WithPlanStore(filepath.Join(file, "sub")))
+}
+
+// TestTunerConcurrentTuneAndMulVec is the facade's concurrency
+// guarantee under -race: goroutines Tune distinct matrices on one
+// shared Tuner while others multiply with already-tuned kernels.
+func TestTunerConcurrentTuneAndMulVec(t *testing.T) {
+	tu := NewTuner()
+	defer tu.Close()
+
+	warmM := buildRandom(2500, 2500, 5, 40)
+	warmK := tu.Tune(warmM)
+	x := make([]float64, warmM.Cols())
+	for i := range x {
+		x[i] = float64(i%9) - 4
+	}
+	want := make([]float64, warmM.Rows())
+	warmM.MulVec(x, want)
+
+	// A matrix whose symmetry is still unresolved, tuned concurrently
+	// by several goroutines: the cached symmetry detection and the
+	// store write must both be serialized by the tuner.
+	shared := buildRandom(1800, 1800, 4, 41)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() { // shared-matrix tuners: same *Matrix, same Tuner
+			defer wg.Done()
+			k := tu.Tune(shared)
+			if k.Info().Fingerprint == "" {
+				t.Error("shared-matrix Tune lost its fingerprint")
+			}
+		}()
+		wg.Add(1)
+		go func(g int) { // tuners: distinct matrices, one shared Tuner
+			defer wg.Done()
+			m := buildRandom(1500+100*g, 1500+100*g, 4, int64(50+g))
+			k := tu.Tune(m)
+			xv := make([]float64, m.Cols())
+			for i := range xv {
+				xv[i] = 1
+			}
+			ref := make([]float64, m.Rows())
+			m.MulVec(xv, ref)
+			y := make([]float64, m.Rows())
+			k.MulVec(xv, y)
+			for i := range ref {
+				if math.Abs(ref[i]-y[i]) > 1e-9*(1+math.Abs(ref[i])) {
+					t.Errorf("tuner %d: y[%d] = %g, want %g", g, i, y[i], ref[i])
+					return
+				}
+			}
+		}(g)
+		wg.Add(1)
+		go func() { // multipliers: the already-tuned kernel serves throughout
+			defer wg.Done()
+			y := make([]float64, warmM.Rows())
+			for it := 0; it < 3; it++ {
+				warmK.MulVec(x, y)
+			}
+			for i := range want {
+				if math.Abs(want[i]-y[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Errorf("mulvec: y[%d] = %g, want %g", i, y[i], want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCloseFlushesPlanStore: Close must leave every tuned decision
+// durable on disk, and double-Close must stay clean.
+func TestCloseFlushesPlanStore(t *testing.T) {
+	dir := t.TempDir()
+	tu := NewTuner(WithPlanStore(dir))
+	tu.Tune(buildRandom(800, 800, 4, 60))
+	tu.Tune(buildRandom(900, 900, 4, 61))
+	if err := tu.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tu.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Fatalf("store holds %d entries, want 2", len(ents))
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}

@@ -1,8 +1,12 @@
 // Package core wires the paper's primary contribution into one
 // pipeline: bottleneck analysis (Section III-B bounds), classification
 // (profile-guided rules of Fig 4 or a trained feature-guided decision
-// tree), and optimization selection (Table II). The public facade and
-// the command-line tools are thin wrappers over this package.
+// tree), and optimization selection (Table II). The pipeline's output
+// is the serializable Plan IR (internal/plan), bound to the matrix's
+// structural fingerprint; with a plan store attached, Prepare
+// warm-starts — a store hit skips the entire classify + sweep and goes
+// straight to kernel compilation. The public facade and the
+// command-line tools are thin wrappers over this package.
 package core
 
 import (
@@ -13,6 +17,8 @@ import (
 	"github.com/sparsekit/spmvtuner/internal/matrix"
 	"github.com/sparsekit/spmvtuner/internal/ml"
 	"github.com/sparsekit/spmvtuner/internal/opt"
+	"github.com/sparsekit/spmvtuner/internal/plan"
+	"github.com/sparsekit/spmvtuner/internal/planstore"
 )
 
 // Mode selects the classifier driving optimization selection.
@@ -28,7 +34,8 @@ const (
 )
 
 // Pipeline is a configured optimizer: an executor (modeled platform or
-// native host) plus the classification machinery.
+// native host) plus the classification machinery. A Pipeline is not
+// safe for concurrent use; the facade serializes access.
 type Pipeline struct {
 	Exec ex.Executor
 	Mode Mode
@@ -37,6 +44,11 @@ type Pipeline struct {
 	TreeFeatures []features.Name
 	// Thresholds for the profile-guided rules (zero value: paper's).
 	Thresholds classify.Thresholds
+	// Store, when non-nil, is the plan store Prepare consults before
+	// tuning and writes every fresh decision back to: the amortization
+	// layer that makes repeat traffic pay the classify + sweep cost
+	// once, ever.
+	Store *planstore.Store
 }
 
 // New builds a profile-guided pipeline over the executor.
@@ -53,9 +65,9 @@ type Analysis struct {
 	Classes classify.Set
 	// Features is the Table I feature set.
 	Features features.Set
-	// Plan is the selected optimization configuration with its
-	// preprocessing cost.
-	Plan opt.Plan
+	// Plan is the selected configuration as the bound Plan IR, with
+	// its preprocessing cost and provenance.
+	Plan plan.Plan
 	// Optimized is the modeled/measured result of the plan.
 	Optimized ex.Result
 }
@@ -85,39 +97,107 @@ func (p *Pipeline) optimizer() opt.Optimizer {
 	return pg
 }
 
+// bind stamps an optimizer's raw decision into a complete Plan IR
+// artifact: schema version, the matrix's structural fingerprint
+// (precomputed by the caller — it is O(NNZ), so each entry point
+// hashes exactly once), the decision platform's codename, and the
+// library identity. This is the only place plans acquire identity, so
+// every plan that leaves the pipeline is store- and wire-ready.
+func (p *Pipeline) bind(fp string, pl plan.Plan) plan.Plan {
+	pl.Version = plan.CurrentVersion
+	pl.Fingerprint = fp
+	pl.Machine = p.Exec.Machine().Codename
+	pl.Library = plan.Library
+	return pl
+}
+
+// storeKey is the (fingerprint, machine, version) identity Prepare
+// caches plans under.
+func (p *Pipeline) storeKey(fp string) planstore.Key {
+	return planstore.Key{
+		Fingerprint: fp,
+		Machine:     p.Exec.Machine().Codename,
+		Version:     plan.CurrentVersion,
+	}
+}
+
 // Analyze diagnoses the matrix: bounds, classes, features, the chosen
-// plan and its modeled result.
+// plan and its modeled result. Analysis always runs live — it is the
+// diagnostic entry point — but the plan it returns is fully bound, so
+// callers can persist or ship it.
 func (p *Pipeline) Analyze(m *matrix.CSR) Analysis {
 	a := Analysis{
 		Bounds:   bounds.Measure(p.Exec, m),
 		Features: features.Extract(m, p.featureParams()),
 	}
-	plan := p.optimizer().Plan(p.Exec, m)
-	a.Plan = plan
-	if plan.HasClasses {
-		a.Classes = plan.Classes
+	pl := p.bind(matrix.Fingerprint(m), p.optimizer().Plan(p.Exec, m))
+	if pl.HasClasses {
+		a.Classes = pl.Classes
 	} else {
 		a.Classes = classify.ProfileGuided{Th: p.Thresholds}.Classify(a.Bounds)
 	}
-	a.Optimized = opt.Evaluate(p.Exec, m, plan)
+	a.Optimized = opt.Evaluate(p.Exec, m, pl)
+	pl.PredictedGflops = a.Optimized.Gflops
+	a.Plan = pl
 	return a
 }
 
 // PlanOnly selects an optimization without measuring bounds twice —
-// the lightweight entry point the facade's Tune uses.
-func (p *Pipeline) PlanOnly(m *matrix.CSR) opt.Plan {
-	return p.optimizer().Plan(p.Exec, m)
+// the lightweight entry point for callers that want the decision
+// without a prepared kernel. The returned plan is bound.
+func (p *Pipeline) PlanOnly(m *matrix.CSR) plan.Plan {
+	return p.bind(matrix.Fingerprint(m), p.optimizer().Plan(p.Exec, m))
 }
 
-// Prepare plans the matrix and, when the pipeline's executor supports
-// persistent kernels, compiles the plan into one. The kernel is nil
-// when the executor is analysis-only (the simulator) — callers then
-// prepare on a native executor themselves.
-func (p *Pipeline) Prepare(m *matrix.CSR) (opt.Plan, ex.PreparedKernel) {
-	plan := p.PlanOnly(m)
-	pe, ok := p.Exec.(ex.PreparedExecutor)
-	if !ok {
-		return plan, nil
+// Prepare turns a matrix into an executable decision: a bound Plan
+// plus, when the pipeline's executor supports persistent kernels, the
+// compiled kernel (nil for analysis-only executors like the simulator
+// — callers then prepare on a native executor themselves).
+//
+// With a Store attached, Prepare warm-starts: a store hit skips
+// classification and the candidate sweep entirely — zero executor Run
+// measurements — and goes straight to kernel compilation; the hit
+// return reports which path ran. A miss tunes, measures the chosen
+// configuration once (recording its rate in the plan), and writes the
+// plan back. Stale store entries (fingerprint mismatch, wrong
+// symmetry) are deleted and re-tuned.
+func (p *Pipeline) Prepare(m *matrix.CSR) (plan.Plan, ex.PreparedKernel, bool) {
+	pe, prepared := p.Exec.(ex.PreparedExecutor)
+	fp := matrix.Fingerprint(m) // hashed once; key, validation and bind share it
+	var key planstore.Key
+	if p.Store != nil {
+		key = p.storeKey(fp)
+		if pl, ok := p.Store.Get(key); ok {
+			if err := pl.ValidateForFingerprint(m, fp); err == nil {
+				var k ex.PreparedKernel
+				if prepared {
+					k = pe.Prepare(m, pl.Opt)
+				}
+				return pl, k, true
+			}
+			p.Store.Delete(key)
+		}
 	}
-	return plan, pe.Prepare(m, plan.Opt)
+
+	pl := p.bind(fp, p.optimizer().Plan(p.Exec, m))
+	if p.Store != nil {
+		// One evaluation of the winner so the stored artifact carries
+		// the rate it was committed at: measured on real executors,
+		// modeled on analytic ones.
+		r := opt.Evaluate(p.Exec, m, pl)
+		if prepared {
+			pl.MeasuredGflops = r.Gflops
+		} else {
+			pl.PredictedGflops = r.Gflops
+		}
+	}
+	var k ex.PreparedKernel
+	if prepared {
+		k = pe.Prepare(m, pl.Opt)
+	}
+	if p.Store != nil {
+		// Best-effort persistence: a full disk must not fail tuning.
+		_ = p.Store.Put(key, pl)
+	}
+	return pl, k, false
 }

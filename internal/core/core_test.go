@@ -1,13 +1,18 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/sparsekit/spmvtuner/internal/classify"
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
 	"github.com/sparsekit/spmvtuner/internal/features"
 	"github.com/sparsekit/spmvtuner/internal/gen"
 	"github.com/sparsekit/spmvtuner/internal/machine"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
 	"github.com/sparsekit/spmvtuner/internal/ml"
+	"github.com/sparsekit/spmvtuner/internal/plan"
+	"github.com/sparsekit/spmvtuner/internal/planstore"
 	"github.com/sparsekit/spmvtuner/internal/sim"
 )
 
@@ -70,5 +75,100 @@ func TestPlanOnlyMatchesAnalyze(t *testing.T) {
 	a := p.Analyze(m)
 	if plan.Opt != a.Plan.Opt {
 		t.Fatalf("PlanOnly %v != Analyze plan %v", plan.Opt, a.Plan.Opt)
+	}
+}
+
+// countingExec counts Run invocations — classification and candidate
+// sweeps both go through Run, so a zero delta proves a warm start did
+// neither.
+type countingExec struct {
+	ex.Executor
+	runs int
+}
+
+func (c *countingExec) Run(cfg ex.Config) ex.Result {
+	c.runs++
+	return c.Executor.Run(cfg)
+}
+
+func TestPrepareWarmStartsFromStore(t *testing.T) {
+	ce := &countingExec{Executor: sim.New(machine.KNL())}
+	p := New(ce)
+	p.Store = planstore.New(8)
+	m := gen.UniformRandom(200000, 8, 5)
+
+	pl1, _, warm1 := p.Prepare(m)
+	if warm1 {
+		t.Fatal("first Prepare claims warm")
+	}
+	coldRuns := ce.runs
+	if coldRuns == 0 {
+		t.Fatal("cold Prepare measured nothing")
+	}
+	if pl1.Fingerprint == "" || pl1.Version != plan.CurrentVersion || pl1.Machine != "knl" {
+		t.Fatalf("plan not bound: %+v", pl1)
+	}
+	if pl1.PredictedGflops <= 0 {
+		t.Fatalf("miss did not record a rate: %+v", pl1)
+	}
+
+	pl2, _, warm2 := p.Prepare(m)
+	if !warm2 {
+		t.Fatal("second Prepare missed the store")
+	}
+	if ce.runs != coldRuns {
+		t.Fatalf("warm Prepare ran %d measurements", ce.runs-coldRuns)
+	}
+	if !reflect.DeepEqual(pl1, pl2) {
+		t.Fatalf("warm plan differs:\n cold %+v\n warm %+v", pl1, pl2)
+	}
+
+	// A structurally identical matrix with different values reuses the
+	// plan; a structurally different one does not.
+	reval := m.Clone()
+	for i := range reval.Val {
+		reval.Val[i] *= 3
+	}
+	reval.Sym = matrix.SymUnknown
+	if _, _, warm := p.Prepare(reval); !warm {
+		t.Fatal("re-valued matrix missed the store")
+	}
+	other := gen.UniformRandom(200001, 8, 5)
+	if _, _, warm := p.Prepare(other); warm {
+		t.Fatal("different structure hit the store")
+	}
+}
+
+func TestPrepareDropsStaleStoreEntry(t *testing.T) {
+	ce := &countingExec{Executor: sim.New(machine.KNL())}
+	p := New(ce)
+	p.Store = planstore.New(8)
+	m := gen.UniformRandom(150000, 7, 9)
+
+	// Poison the store with a symmetric-storage plan for this general
+	// matrix (as if the matrix was re-valued from symmetric to not).
+	key := p.storeKey(matrix.Fingerprint(m))
+	bad := plan.Plan{
+		Version:     plan.CurrentVersion,
+		Fingerprint: key.Fingerprint,
+		Machine:     key.Machine,
+		Opt:         ex.Optim{Symmetric: true},
+		Library:     plan.Library,
+	}
+	if err := p.Store.Put(key, bad); err != nil {
+		t.Fatal(err)
+	}
+
+	pl, _, warm := p.Prepare(m)
+	if warm {
+		t.Fatal("stale symmetric plan served for a general matrix")
+	}
+	if pl.Opt.Symmetric {
+		t.Fatalf("retune kept the stale knob set: %+v", pl)
+	}
+	// The stale entry must be gone: the retuned plan now occupies the
+	// slot.
+	if got, ok := p.Store.Get(key); !ok || got.Opt.Symmetric {
+		t.Fatalf("store not healed: ok=%v got=%+v", ok, got)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"github.com/sparsekit/spmvtuner/internal/matrix"
 	"github.com/sparsekit/spmvtuner/internal/ml"
 	"github.com/sparsekit/spmvtuner/internal/opt"
+	"github.com/sparsekit/spmvtuner/internal/plan"
 	"github.com/sparsekit/spmvtuner/internal/report"
 	"github.com/sparsekit/spmvtuner/internal/sim"
 	"github.com/sparsekit/spmvtuner/internal/suite"
@@ -191,7 +192,7 @@ func meanOfRatios(ratios []float64) float64 {
 }
 
 // gflops runs a plan and returns its rate.
-func gflops(e ex.Executor, m *matrix.CSR, p opt.Plan) float64 {
+func gflops(e ex.Executor, m *matrix.CSR, p plan.Plan) float64 {
 	return opt.Evaluate(e, m, p).Gflops
 }
 

@@ -310,3 +310,35 @@ func TestTrainProducesUsableClassifier(t *testing.T) {
 
 // machineKNC avoids importing machine in every test body.
 func machineKNC() machine.Model { return machine.KNC() }
+
+// TestWarmExperiment: the plan-store experiment is self-asserting
+// (zero warm measurements, identical plans); a nil error IS the
+// assertion. The table must carry one row per requested matrix.
+func TestWarmExperiment(t *testing.T) {
+	res, err := Warm(Config{Scale: 0.02, Matrices: []string{"poisson3Db", "ASIC_680k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.WarmRuns != 0 || row.FreshRuns != 0 {
+			t.Fatalf("warm path measured: %+v", row)
+		}
+		if row.ColdRuns == 0 {
+			t.Fatalf("cold path measured nothing: %+v", row)
+		}
+		if !row.PlanEqual {
+			t.Fatalf("plans diverged: %+v", row)
+		}
+	}
+	if res.Table().String() == "" {
+		t.Fatal("empty table")
+	}
+	// Unknown -matrix names must fail loudly, not pass vacuously with
+	// zero rows (this experiment doubles as the CI smoke).
+	if _, err := Warm(Config{Scale: 0.02, Matrices: []string{"poisson3Db", "not-a-matrix"}}); err == nil {
+		t.Fatal("unknown matrix name accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package matrix
+
+import "fmt"
+
+// fingerprintVersion is bumped whenever the hashed byte serialization
+// changes, so fingerprints computed by different library versions can
+// never silently collide in a shared plan store.
+const fingerprintVersion = 1
+
+// Fingerprint returns a stable structural identity for m: an FNV-1a
+// hash over the dimensions, row pointers, column indices and symmetry
+// kind, rendered with a human-legible shape prefix, e.g.
+// "v1-20000x20000-138000-sym-9f2a6c41d03b58e7". Values are deliberately
+// excluded — a re-valued matrix (new timestep, new edge weights on the
+// same graph) has the same sparsity structure, so every structural
+// tuning decision (format, schedule, block width) carries over and a
+// stored execution plan can be reused as-is.
+//
+// The symmetry kind participates because the SSS storage path is only
+// legal for exactly symmetric matrices: two structurally identical
+// matrices, one symmetric in values and one not, must not share a plan
+// that selected symmetric storage. Fingerprint resolves the kind via
+// SymmetryKind, which caches on the matrix — like SymmetryKind itself
+// it must not race with concurrent use of m; resolve before sharing
+// (the facade does so at Tune time).
+func Fingerprint(m *CSR) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(m.NRows))
+	mix(uint64(m.NCols))
+	mix(uint64(m.SymmetryKind()))
+	for _, p := range m.RowPtr {
+		mix(uint64(p))
+	}
+	for _, c := range m.ColInd {
+		mix(uint64(uint32(c)))
+	}
+	return fmt.Sprintf("v%d-%dx%d-%d-%s-%016x",
+		fingerprintVersion, m.NRows, m.NCols, m.NNZ(), symTag(m.Sym), h)
+}
+
+// symTag is the short filename-safe symmetry tag embedded in
+// fingerprints.
+func symTag(s Symmetry) string {
+	switch s {
+	case SymSymmetric:
+		return "sym"
+	case SymSkew:
+		return "skew"
+	default:
+		return "gen"
+	}
+}

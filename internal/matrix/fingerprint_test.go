@@ -1,0 +1,91 @@
+package matrix
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fpMatrix builds a small CSR directly so tests control structure and
+// values independently.
+func fpMatrix(vals []float64) *CSR {
+	return &CSR{
+		NRows:  3,
+		NCols:  3,
+		RowPtr: []int64{0, 2, 3, 4},
+		ColInd: []int32{0, 2, 1, 0},
+		Val:    vals,
+	}
+}
+
+func TestFingerprintStableAndValueBlind(t *testing.T) {
+	a := fpMatrix([]float64{1, 2, 3, 4})
+	b := fpMatrix([]float64{-9, 0.5, 7, 1e30}) // same structure, new values
+	fa, fb := Fingerprint(a), Fingerprint(b)
+	if fa != fb {
+		t.Fatalf("re-valued matrix changed fingerprint: %s vs %s", fa, fb)
+	}
+	if Fingerprint(a) != fa {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if Fingerprint(a.Clone()) != fa {
+		t.Fatal("clone changed fingerprint")
+	}
+}
+
+func TestFingerprintSeesStructure(t *testing.T) {
+	base := fpMatrix([]float64{1, 2, 3, 4})
+	fp := Fingerprint(base)
+
+	moved := fpMatrix([]float64{1, 2, 3, 4})
+	moved.ColInd[3] = 2 // same counts, different column
+	moved.Sym = SymGeneral
+	if Fingerprint(moved) == fp {
+		t.Fatal("column move not seen")
+	}
+
+	shifted := fpMatrix([]float64{1, 2, 3, 4})
+	shifted.RowPtr = []int64{0, 1, 3, 4} // same colind stream, different row split
+	shifted.Sym = SymGeneral
+	if Fingerprint(shifted) == fp {
+		t.Fatal("row-pointer shift not seen")
+	}
+
+	wide := fpMatrix([]float64{1, 2, 3, 4})
+	wide.NCols = 4
+	wide.Sym = SymGeneral
+	if Fingerprint(wide) == fp {
+		t.Fatal("dimension change not seen")
+	}
+}
+
+func TestFingerprintSeesSymmetryKind(t *testing.T) {
+	// Structurally symmetric pattern; values decide the kind.
+	sym := &CSR{
+		NRows: 2, NCols: 2,
+		RowPtr: []int64{0, 2, 4},
+		ColInd: []int32{0, 1, 0, 1},
+		Val:    []float64{2, -1, -1, 2},
+	}
+	gen := sym.Clone()
+	gen.Val = []float64{2, -1, 5, 2}
+	gen.Sym = SymUnknown
+	fs, fg := Fingerprint(sym), Fingerprint(gen)
+	if fs == fg {
+		t.Fatal("symmetric and general matrices share a fingerprint")
+	}
+	if !strings.Contains(fs, "-sym-") || !strings.Contains(fg, "-gen-") {
+		t.Fatalf("symmetry tags missing: %s / %s", fs, fg)
+	}
+}
+
+// TestFingerprintShape pins the rendered form: filename-safe, with the
+// human-legible shape prefix the plan store's directory listing relies
+// on.
+func TestFingerprintShape(t *testing.T) {
+	fp := Fingerprint(fpMatrix([]float64{1, 2, 3, 4}))
+	want := regexp.MustCompile(`^v1-3x3-4-(gen|sym|skew)-[0-9a-f]{16}$`)
+	if !want.MatchString(fp) {
+		t.Fatalf("fingerprint %q does not match %v", fp, want)
+	}
+}

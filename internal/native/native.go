@@ -17,6 +17,7 @@ import (
 	"github.com/sparsekit/spmvtuner/internal/formats"
 	"github.com/sparsekit/spmvtuner/internal/machine"
 	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/plan"
 )
 
 // Executor runs configurations natively.
@@ -301,6 +302,21 @@ func (e *Executor) Prepare(m *matrix.CSR, o ex.Optim) ex.PreparedKernel {
 		panic("native: bound kernels do not compute SpMV")
 	}
 	return e.preparedFor(m, o)
+}
+
+// PreparePlan compiles a Plan IR artifact — typically loaded from a
+// plan store or shipped in from another host — into a persistent
+// kernel, after verifying the plan may execute m at all: schema
+// version, fingerprint binding, and symmetry capability. This is the
+// plan-consuming twin of Prepare: where Prepare trusts the caller's
+// raw knob set, PreparePlan treats the plan as untrusted input, so a
+// stale or foreign artifact fails loudly instead of selecting a
+// kernel that computes garbage.
+func (e *Executor) PreparePlan(m *matrix.CSR, p plan.Plan) (ex.PreparedKernel, error) {
+	if err := p.ValidateFor(m); err != nil {
+		return nil, err
+	}
+	return e.Prepare(m, p.Opt), nil
 }
 
 // maxPreparedKernels bounds the executor's kernel cache so a stream of

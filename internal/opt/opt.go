@@ -14,6 +14,7 @@ import (
 	"github.com/sparsekit/spmvtuner/internal/machine"
 	"github.com/sparsekit/spmvtuner/internal/matrix"
 	"github.com/sparsekit/spmvtuner/internal/ml"
+	"github.com/sparsekit/spmvtuner/internal/plan"
 	"github.com/sparsekit/spmvtuner/internal/sched"
 )
 
@@ -166,26 +167,15 @@ func OptimFor(set classify.Set, fs features.Set) ex.Optim {
 	return o
 }
 
-// Plan is an optimizer's decision for one matrix: the configuration to
-// run and the preprocessing cost of reaching that decision (including
-// format conversions of the selected optimizations and runtime code
-// generation).
-type Plan struct {
-	Optimizer string
-	Classes   classify.Set
-	// HasClasses distinguishes "classified as empty" from optimizers
-	// that never classify (oracle, trivial).
-	HasClasses bool
-	Opt        ex.Optim
-	// PreprocessSeconds is t_pre of Section IV-D.
-	PreprocessSeconds float64
-}
-
 // Optimizer is anything that can plan an optimized SpMV for a matrix
-// on a platform.
+// on a platform. The decision is returned as the serializable Plan IR
+// (internal/plan); optimizers fill the decision fields (optimizer
+// name, classes, knobs, preprocessing cost) and leave identity binding
+// — fingerprint, machine, schema version — to the pipeline layer that
+// owns the matrix (core.Pipeline).
 type Optimizer interface {
 	Name() string
-	Plan(e ex.Executor, m *matrix.CSR) Plan
+	Plan(e ex.Executor, m *matrix.CSR) plan.Plan
 }
 
 // CostParams models the preprocessing-time constants of Section IV-D.
@@ -283,8 +273,8 @@ type Baseline struct{}
 func (Baseline) Name() string { return "baseline" }
 
 // Plan implements Optimizer.
-func (Baseline) Plan(ex.Executor, *matrix.CSR) Plan {
-	return Plan{Optimizer: "baseline"}
+func (Baseline) Plan(ex.Executor, *matrix.CSR) plan.Plan {
+	return plan.Plan{Optimizer: "baseline"}
 }
 
 // ProfileGuided runs the micro-benchmark bounds, classifies with the
@@ -305,7 +295,7 @@ func NewProfileGuided(fp features.Params) *ProfileGuided {
 func (*ProfileGuided) Name() string { return "profile-guided" }
 
 // Plan implements Optimizer.
-func (p *ProfileGuided) Plan(e ex.Executor, m *matrix.CSR) Plan {
+func (p *ProfileGuided) Plan(e ex.Executor, m *matrix.CSR) plan.Plan {
 	b := bounds.Measure(e, m)
 	set := classify.ProfileGuided{Th: p.Th}.Classify(b)
 	fs := features.Extract(m, p.FeatPr)
@@ -326,7 +316,7 @@ func (p *ProfileGuided) Plan(e ex.Executor, m *matrix.CSR) Plan {
 		rowSweepSeconds(m, mdl) +
 		ConversionSeconds(m, mdl, o) +
 		p.Costs.JITSeconds
-	return Plan{Optimizer: p.Name(), Classes: set, HasClasses: true, Opt: o, PreprocessSeconds: pre}
+	return plan.Plan{Optimizer: p.Name(), Classes: set, HasClasses: true, Opt: o, PreprocessSeconds: pre}
 }
 
 // FeatureGuided applies a pre-trained decision tree to cheaply
@@ -349,7 +339,7 @@ func NewFeatureGuided(tree *ml.Tree, names []features.Name, fp features.Params) 
 func (*FeatureGuided) Name() string { return "feature-guided" }
 
 // Plan implements Optimizer.
-func (f *FeatureGuided) Plan(e ex.Executor, m *matrix.CSR) Plan {
+func (f *FeatureGuided) Plan(e ex.Executor, m *matrix.CSR) plan.Plan {
 	fs := features.Extract(m, f.FeatPr)
 	set := classify.SetFromLabels(f.Tree.Predict(fs.Vector(f.Names)))
 	o := OptimFor(set, fs)
@@ -357,7 +347,7 @@ func (f *FeatureGuided) Plan(e ex.Executor, m *matrix.CSR) Plan {
 	pre := FeatureExtractionSeconds(m, mdl, f.Names) +
 		ConversionSeconds(m, mdl, o) +
 		f.Costs.JITSeconds
-	return Plan{Optimizer: f.Name(), Classes: set, HasClasses: true, Opt: o, PreprocessSeconds: pre}
+	return plan.Plan{Optimizer: f.Name(), Classes: set, HasClasses: true, Opt: o, PreprocessSeconds: pre}
 }
 
 // candidateOptims returns the single-member candidates and, when pairs
@@ -509,7 +499,7 @@ type Oracle struct {
 func NewOracle() *Oracle { return &Oracle{Costs: DefaultCostParams()} }
 
 // Plan implements Optimizer.
-func (o *Oracle) Plan(e ex.Executor, m *matrix.CSR) Plan {
+func (o *Oracle) Plan(e ex.Executor, m *matrix.CSR) plan.Plan {
 	best, bestSecs, pre := sweep(e, m, o.Costs, true, true, true)
 	if o.Batch > 1 {
 		// The sweep already timed the winner at width 1; only the
@@ -521,7 +511,7 @@ func (o *Oracle) Plan(e ex.Executor, m *matrix.CSR) Plan {
 		best.BlockWidth = w
 		pre += float64(len(BlockWidths())-1) * float64(o.Costs.MeasureIters) * bestSecs
 	}
-	return Plan{Optimizer: o.Name(), Opt: best, PreprocessSeconds: pre}
+	return plan.Plan{Optimizer: o.Name(), Opt: best, PreprocessSeconds: pre}
 }
 
 // Name implements Optimizer.
@@ -540,9 +530,9 @@ func NewTrivialSingle() *TrivialSingle { return &TrivialSingle{Costs: DefaultCos
 func (*TrivialSingle) Name() string { return "trivial-single" }
 
 // Plan implements Optimizer.
-func (t *TrivialSingle) Plan(e ex.Executor, m *matrix.CSR) Plan {
+func (t *TrivialSingle) Plan(e ex.Executor, m *matrix.CSR) plan.Plan {
 	best, _, pre := sweep(e, m, t.Costs, false, false, false)
-	return Plan{Optimizer: t.Name(), Opt: best, PreprocessSeconds: pre}
+	return plan.Plan{Optimizer: t.Name(), Opt: best, PreprocessSeconds: pre}
 }
 
 // TrivialCombined additionally tries all 2-combinations (Table V's
@@ -558,12 +548,12 @@ func NewTrivialCombined() *TrivialCombined { return &TrivialCombined{Costs: Defa
 func (*TrivialCombined) Name() string { return "trivial-combined" }
 
 // Plan implements Optimizer.
-func (t *TrivialCombined) Plan(e ex.Executor, m *matrix.CSR) Plan {
+func (t *TrivialCombined) Plan(e ex.Executor, m *matrix.CSR) plan.Plan {
 	best, _, pre := sweep(e, m, t.Costs, true, false, false)
-	return Plan{Optimizer: t.Name(), Opt: best, PreprocessSeconds: pre}
+	return plan.Plan{Optimizer: t.Name(), Opt: best, PreprocessSeconds: pre}
 }
 
 // Evaluate runs a plan and returns its result.
-func Evaluate(e ex.Executor, m *matrix.CSR, p Plan) ex.Result {
+func Evaluate(e ex.Executor, m *matrix.CSR, p plan.Plan) ex.Result {
 	return e.Run(ex.Config{Matrix: m, Opt: p.Opt})
 }

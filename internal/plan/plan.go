@@ -1,0 +1,297 @@
+// Package plan defines the tuner's execution Plan IR: the tuning
+// decision for one matrix on one platform, promoted from an ephemeral
+// in-process knob set to a first-class, versioned, JSON-serializable
+// artifact. A Plan carries everything needed to skip re-tuning — the
+// storage format, the full optimization knob set, the schedule policy
+// and SpMM block width — plus the provenance an audit needs: which
+// optimizer decided, on which platform model, against which matrix
+// structure (fingerprint), at what predicted/measured rate, produced
+// by which library version.
+//
+// Plans are the single currency between analysis and execution: the
+// optimizers in internal/opt produce them, internal/core binds them to
+// a matrix fingerprint, internal/planstore persists them, and
+// internal/native compiles them into prepared kernels (PreparePlan).
+// Decoding is strict — unknown fields, version mismatches and
+// internally inconsistent knob sets are rejected at the boundary, so a
+// stale or hand-edited plan file can never silently select the wrong
+// kernel.
+package plan
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"github.com/sparsekit/spmvtuner/internal/classify"
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/sched"
+)
+
+// CurrentVersion is the Plan IR schema version. Decoding gates on it
+// exactly: a plan produced by a different schema is re-tuned, never
+// reinterpreted.
+const CurrentVersion = 1
+
+// Library identifies the producing library in a plan's provenance.
+const Library = "spmvtuner"
+
+// Plan is one serializable tuning decision.
+type Plan struct {
+	// Version is the IR schema version (CurrentVersion when produced
+	// by this library build).
+	Version int
+	// Fingerprint is the structural identity of the matrix the
+	// decision was made for (matrix.Fingerprint); empty means the plan
+	// is unbound (an optimizer's raw decision before the pipeline
+	// binds it).
+	Fingerprint string
+	// Machine is the platform codename the decision was made on
+	// ("knc", "knl", "bdw", "host").
+	Machine string
+	// Optimizer names the decision procedure: "profile-guided",
+	// "feature-guided", "oracle", "trivial-single", ...
+	Optimizer string
+	// Classes is the detected bottleneck set; meaningful only when
+	// HasClasses is true (the oracle and trivial optimizers never
+	// classify).
+	Classes    classify.Set
+	HasClasses bool
+	// Opt is the full optimization knob set the plan executes:
+	// format-selecting knobs, kernel knobs, schedule policy and SpMM
+	// block width. Bound-kernel probes are not plans and are rejected
+	// by Valid.
+	Opt ex.Optim
+	// PreprocessSeconds is t_pre of Section IV-D: what the decision
+	// cost when it was made — exactly the cost a store hit skips.
+	PreprocessSeconds float64
+	// PredictedGflops is the modeled rate of the chosen configuration
+	// at decision time (0 when the decision was never evaluated).
+	PredictedGflops float64
+	// MeasuredGflops is the rate measured on real hardware at tune
+	// time (0 when the plan only ever ran through the cost model).
+	MeasuredGflops float64
+	// Library is the producing library's identity.
+	Library string
+}
+
+// planJSON is the wire form: every knob spelled out by name, the
+// schedule and format as strings, classes as a name list. It exists so
+// the Go-side Plan can keep typed fields (classify.Set, ex.Optim)
+// while the serialized form stays self-describing and diffable.
+type planJSON struct {
+	Version           int      `json:"version"`
+	Fingerprint       string   `json:"fingerprint,omitempty"`
+	Machine           string   `json:"machine,omitempty"`
+	Optimizer         string   `json:"optimizer,omitempty"`
+	Classes           []string `json:"classes"`
+	HasClasses        bool     `json:"hasClasses,omitempty"`
+	Format            string   `json:"format"`
+	Schedule          string   `json:"schedule"`
+	BlockWidth        int      `json:"blockWidth,omitempty"`
+	Vectorize         bool     `json:"vectorize,omitempty"`
+	Prefetch          bool     `json:"prefetch,omitempty"`
+	Unroll            bool     `json:"unroll,omitempty"`
+	Compress          bool     `json:"compress,omitempty"`
+	Split             bool     `json:"split,omitempty"`
+	SellCS            bool     `json:"sellcs,omitempty"`
+	Symmetric         bool     `json:"symmetric,omitempty"`
+	PreprocessSeconds float64  `json:"preprocessSeconds,omitempty"`
+	PredictedGflops   float64  `json:"predictedGflops,omitempty"`
+	MeasuredGflops    float64  `json:"measuredGflops,omitempty"`
+	Library           string   `json:"library,omitempty"`
+}
+
+// FormatName renders a storage format for the wire form.
+func FormatName(f ex.Format) string {
+	switch f {
+	case ex.FormatDelta:
+		return "delta-csr"
+	case ex.FormatSplit:
+		return "split-csr"
+	case ex.FormatSellCS:
+		return "sell-c-sigma"
+	case ex.FormatSSS:
+		return "sss"
+	default:
+		return "csr"
+	}
+}
+
+// Valid checks the plan's internal invariants: the schema version,
+// that the knob set is a real optimization (bound-kernel probes do not
+// compute SpMV and must never be stored), a sane block width, and a
+// schedule policy String can render (so the wire form round-trips).
+func (p Plan) Valid() error {
+	if p.Version != CurrentVersion {
+		return fmt.Errorf("plan: version %d, this library speaks %d", p.Version, CurrentVersion)
+	}
+	if p.Opt.IsBoundKernel() {
+		return fmt.Errorf("plan: bound-kernel probe %s is not an executable plan", p.Opt)
+	}
+	if p.Opt.BlockWidth < 0 {
+		return fmt.Errorf("plan: negative block width %d", p.Opt.BlockWidth)
+	}
+	if _, err := sched.ParsePolicy(p.Opt.Schedule.String()); err != nil {
+		return fmt.Errorf("plan: unserializable schedule policy %d", int(p.Opt.Schedule))
+	}
+	if !p.HasClasses && !p.Classes.Empty() {
+		return fmt.Errorf("plan: classes %s without HasClasses", p.Classes)
+	}
+	return nil
+}
+
+// ValidateFor checks that the plan may execute matrix m: the
+// fingerprint must match (when the plan is bound) and a symmetric-
+// storage plan requires an exactly symmetric matrix — the SSS kernel
+// reconstructs the upper triangle by mirroring, which computes garbage
+// on anything else. Like Fingerprint, this resolves m's symmetry kind
+// and must not race with concurrent use of m.
+func (p Plan) ValidateFor(m *matrix.CSR) error {
+	fp := ""
+	if p.Fingerprint != "" {
+		fp = matrix.Fingerprint(m)
+	}
+	return p.ValidateForFingerprint(m, fp)
+}
+
+// ValidateForFingerprint is ValidateFor with m's fingerprint already
+// in hand — warm-start paths that just keyed a store lookup on it
+// skip the O(NNZ) re-hash.
+func (p Plan) ValidateForFingerprint(m *matrix.CSR, fp string) error {
+	if err := p.Valid(); err != nil {
+		return err
+	}
+	if p.Fingerprint != "" && fp != p.Fingerprint {
+		return fmt.Errorf("plan: fingerprint %s does not match matrix %s", p.Fingerprint, fp)
+	}
+	if p.Opt.Symmetric && m.SymmetryKind() != matrix.SymSymmetric {
+		return fmt.Errorf("plan: symmetric-storage plan for %s matrix", m.SymmetryKind())
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler in the strict wire form.
+// Invalid plans do not serialize.
+func (p Plan) MarshalJSON() ([]byte, error) {
+	if err := p.Valid(); err != nil {
+		return nil, err
+	}
+	w := planJSON{
+		Version:           p.Version,
+		Fingerprint:       p.Fingerprint,
+		Machine:           p.Machine,
+		Optimizer:         p.Optimizer,
+		HasClasses:        p.HasClasses,
+		Format:            FormatName(p.Opt.EffectiveFormat()),
+		Schedule:          p.Opt.Schedule.String(),
+		BlockWidth:        p.Opt.BlockWidth,
+		Vectorize:         p.Opt.Vectorize,
+		Prefetch:          p.Opt.Prefetch,
+		Unroll:            p.Opt.Unroll,
+		Compress:          p.Opt.Compress,
+		Split:             p.Opt.Split,
+		SellCS:            p.Opt.SellCS,
+		Symmetric:         p.Opt.Symmetric,
+		PreprocessSeconds: p.PreprocessSeconds,
+		PredictedGflops:   p.PredictedGflops,
+		MeasuredGflops:    p.MeasuredGflops,
+		Library:           p.Library,
+	}
+	w.Classes = make([]string, 0, 4)
+	for _, c := range p.Classes.Classes() {
+		w.Classes = append(w.Classes, c.String())
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler with full strictness:
+// unknown fields are errors (a future schema's fields must not be
+// silently dropped), the version gates exactly, the schedule and
+// class names must parse, and the declared format must agree with the
+// knob set — a plan whose "format" says one thing while its knobs
+// select another was corrupted or hand-edited and is rejected.
+func (p *Plan) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var w planJSON
+	if err := dec.Decode(&w); err != nil {
+		return fmt.Errorf("plan: decode: %w", err)
+	}
+	if w.Version != CurrentVersion {
+		return fmt.Errorf("plan: version %d, this library speaks %d (re-tune to upgrade)", w.Version, CurrentVersion)
+	}
+	policy, err := sched.ParsePolicy(w.Schedule)
+	if err != nil {
+		return fmt.Errorf("plan: %w", err)
+	}
+	var set classify.Set
+	for _, name := range w.Classes {
+		c, ok := parseClass(name)
+		if !ok {
+			return fmt.Errorf("plan: unknown bottleneck class %q", name)
+		}
+		set = set.Add(c)
+	}
+	out := Plan{
+		Version:     w.Version,
+		Fingerprint: w.Fingerprint,
+		Machine:     w.Machine,
+		Optimizer:   w.Optimizer,
+		Classes:     set,
+		HasClasses:  w.HasClasses,
+		Opt: ex.Optim{
+			Vectorize:  w.Vectorize,
+			Prefetch:   w.Prefetch,
+			Unroll:     w.Unroll,
+			Compress:   w.Compress,
+			Split:      w.Split,
+			SellCS:     w.SellCS,
+			Symmetric:  w.Symmetric,
+			Schedule:   policy,
+			BlockWidth: w.BlockWidth,
+		},
+		PreprocessSeconds: w.PreprocessSeconds,
+		PredictedGflops:   w.PredictedGflops,
+		MeasuredGflops:    w.MeasuredGflops,
+		Library:           w.Library,
+	}
+	if err := out.Valid(); err != nil { // includes the classes/HasClasses consistency gate
+		return err
+	}
+	if got := FormatName(out.Opt.EffectiveFormat()); got != w.Format {
+		return fmt.Errorf("plan: declared format %q but knobs execute %q", w.Format, got)
+	}
+	*p = out
+	return nil
+}
+
+// parseClass inverts classify.Class.String.
+func parseClass(name string) (classify.Class, bool) {
+	for _, c := range classify.AllClasses() {
+		if c.String() == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// Encode renders the plan as indented JSON, the form plan files and
+// spmvclassify -json emit.
+func Encode(p Plan) ([]byte, error) {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses one plan from JSON, strictly.
+func Decode(data []byte) (Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,221 @@
+package plan
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/sparsekit/spmvtuner/internal/classify"
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/sched"
+)
+
+// randomPlan draws a valid plan with randomized knob combinations —
+// the property-test generator. Schedules and block widths range over
+// everything the engine accepts.
+func randomPlan(rng *rand.Rand) Plan {
+	o := ex.Optim{
+		Vectorize:  rng.Intn(2) == 0,
+		Prefetch:   rng.Intn(2) == 0,
+		Unroll:     rng.Intn(2) == 0,
+		Compress:   rng.Intn(2) == 0,
+		Split:      rng.Intn(2) == 0,
+		SellCS:     rng.Intn(2) == 0,
+		Symmetric:  rng.Intn(2) == 0,
+		Schedule:   sched.Policy(rng.Intn(5)),
+		BlockWidth: []int{0, 1, 2, 4, 8}[rng.Intn(5)],
+	}
+	var set classify.Set
+	has := rng.Intn(2) == 0
+	if has {
+		for _, c := range classify.AllClasses() {
+			if rng.Intn(2) == 0 {
+				set = set.Add(c)
+			}
+		}
+	}
+	return Plan{
+		Version:           CurrentVersion,
+		Fingerprint:       "v1-100x100-500-gen-0123456789abcdef",
+		Machine:           []string{"knc", "knl", "bdw", "host"}[rng.Intn(4)],
+		Optimizer:         []string{"profile-guided", "feature-guided", "oracle"}[rng.Intn(3)],
+		Classes:           set,
+		HasClasses:        has,
+		Opt:               o,
+		PreprocessSeconds: rng.Float64() * 10,
+		PredictedGflops:   rng.Float64() * 50,
+		MeasuredGflops:    rng.Float64() * 50,
+		Library:           Library,
+	}
+}
+
+// TestJSONRoundTripProperty: decode(encode(p)) must be a fixed point
+// for every valid plan — randomized over the full knob space.
+func TestJSONRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		p := randomPlan(rng)
+		data, err := Encode(p)
+		if err != nil {
+			t.Fatalf("iter %d: encode %+v: %v", i, p, err)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("iter %d: decode %s: %v", i, data, err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("iter %d: round trip drifted:\n in  %+v\n out %+v\n json %s", i, p, back, data)
+		}
+		// Second trip must be byte-identical (canonical form).
+		data2, err := Encode(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(data2) {
+			t.Fatalf("iter %d: encode not canonical:\n%s\nvs\n%s", i, data, data2)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	p := randomPlan(rand.New(rand.NewSource(1)))
+	data, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"version"`, `"turboMode": true, "version"`, 1)
+	if _, err := Decode([]byte(tampered)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestDecodeRejectsVersionBump(t *testing.T) {
+	p := randomPlan(rand.New(rand.NewSource(2)))
+	data, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["version"] = CurrentVersion + 1
+	bumped, _ := json.Marshal(raw)
+	if _, err := Decode(bumped); err == nil {
+		t.Fatal("future version accepted")
+	}
+	raw["version"] = 0
+	zeroed, _ := json.Marshal(raw)
+	if _, err := Decode(zeroed); err == nil {
+		t.Fatal("versionless plan accepted")
+	}
+}
+
+func TestDecodeRejectsFormatKnobMismatch(t *testing.T) {
+	p := Plan{Version: CurrentVersion, Opt: ex.Optim{Compress: true}}
+	data, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim CSR while the knobs execute DeltaCSR.
+	tampered := strings.Replace(string(data), `"format": "delta-csr"`, `"format": "csr"`, 1)
+	if tampered == string(data) {
+		t.Fatalf("fixture drifted: %s", data)
+	}
+	if _, err := Decode([]byte(tampered)); err == nil {
+		t.Fatal("format/knob mismatch accepted")
+	}
+}
+
+func TestDecodeRejectsBadScheduleAndClasses(t *testing.T) {
+	p := Plan{Version: CurrentVersion}
+	data, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(data), `"schedule": "static-nnz"`, `"schedule": "simd-magic"`, 1)
+	if _, err := Decode([]byte(bad)); err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+	bad = strings.Replace(string(data), `"classes": []`, `"classes": ["GPU"]`, 1)
+	if _, err := Decode([]byte(bad)); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	bad = strings.Replace(string(data), `"classes": []`, `"classes": ["MB"]`, 1)
+	if _, err := Decode([]byte(bad)); err == nil {
+		t.Fatal("classes without hasClasses accepted")
+	}
+}
+
+func TestValidRejectsBoundKernelsAndBadWidths(t *testing.T) {
+	if err := (Plan{Version: CurrentVersion, Opt: ex.Optim{RegularizeX: true}}).Valid(); err == nil {
+		t.Fatal("bound kernel plan accepted")
+	}
+	if err := (Plan{Version: CurrentVersion, Opt: ex.Optim{UnitStride: true}}).Valid(); err == nil {
+		t.Fatal("unit-stride probe accepted")
+	}
+	if err := (Plan{Version: CurrentVersion, Opt: ex.Optim{BlockWidth: -2}}).Valid(); err == nil {
+		t.Fatal("negative block width accepted")
+	}
+	if _, err := (Plan{Version: CurrentVersion, Opt: ex.Optim{RegularizeX: true}}).MarshalJSON(); err == nil {
+		t.Fatal("bound kernel plan serialized")
+	}
+	// Classes without HasClasses must fail at Valid/Marshal time, not
+	// only at decode — otherwise a store could persist an entry it can
+	// never read back.
+	if err := (Plan{Version: CurrentVersion, Classes: classify.NewSet(classify.MB)}).Valid(); err == nil {
+		t.Fatal("classes without HasClasses accepted")
+	}
+}
+
+// TestValidateForStalePlans covers the three staleness axes: a
+// fingerprint from a different structure, a schema version bump, and
+// a symmetric-storage plan aimed at a general matrix.
+func TestValidateForStalePlans(t *testing.T) {
+	m := gen.Banded(200, 2, 1, 1)
+	bound := Plan{Version: CurrentVersion, Fingerprint: matrix.Fingerprint(m)}
+	if err := bound.ValidateFor(m); err != nil {
+		t.Fatalf("matching plan rejected: %v", err)
+	}
+
+	other := gen.Banded(201, 2, 1, 1)
+	if err := bound.ValidateFor(other); err == nil {
+		t.Fatal("fingerprint mismatch accepted")
+	}
+
+	bumped := bound
+	bumped.Version = CurrentVersion + 1
+	if err := bumped.ValidateFor(m); err == nil {
+		t.Fatal("version bump accepted")
+	}
+
+	sym := gen.Poisson2D(12, 12)
+	symPlan := Plan{Version: CurrentVersion, Opt: ex.Optim{Symmetric: true}}
+	if err := symPlan.ValidateFor(sym); err != nil {
+		t.Fatalf("symmetric plan rejected for symmetric matrix: %v", err)
+	}
+	general := gen.UniformRandom(200, 4, 3)
+	if err := symPlan.ValidateFor(general); err == nil {
+		t.Fatal("symmetric plan accepted for general matrix")
+	}
+
+	unbound := Plan{Version: CurrentVersion}
+	if err := unbound.ValidateFor(general); err != nil {
+		t.Fatalf("unbound plan rejected: %v", err)
+	}
+}
+
+func TestFormatNameCoversEveryFormat(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range []ex.Format{ex.FormatCSR, ex.FormatDelta, ex.FormatSplit, ex.FormatSellCS, ex.FormatSSS} {
+		n := FormatName(f)
+		if n == "" || seen[n] {
+			t.Fatalf("format %d renders %q (dup=%v)", f, n, seen[n])
+		}
+		seen[n] = true
+	}
+}

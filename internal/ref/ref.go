@@ -11,6 +11,7 @@ import (
 	ex "github.com/sparsekit/spmvtuner/internal/exec"
 	"github.com/sparsekit/spmvtuner/internal/matrix"
 	"github.com/sparsekit/spmvtuner/internal/opt"
+	"github.com/sparsekit/spmvtuner/internal/plan"
 	"github.com/sparsekit/spmvtuner/internal/sched"
 )
 
@@ -23,8 +24,8 @@ type MKL struct{}
 func (MKL) Name() string { return "mkl" }
 
 // Plan implements opt.Optimizer.
-func (MKL) Plan(_ ex.Executor, _ *matrix.CSR) opt.Plan {
-	return opt.Plan{
+func (MKL) Plan(_ ex.Executor, _ *matrix.CSR) plan.Plan {
+	return plan.Plan{
 		Optimizer: "mkl",
 		Opt:       ex.Optim{Vectorize: true, Schedule: sched.StaticRows},
 	}
@@ -48,14 +49,14 @@ func NewInspectorExecutor() *InspectorExecutor {
 func (*InspectorExecutor) Name() string { return "mkl-inspector" }
 
 // Plan implements opt.Optimizer.
-func (ie *InspectorExecutor) Plan(e ex.Executor, m *matrix.CSR) opt.Plan {
+func (ie *InspectorExecutor) Plan(e ex.Executor, m *matrix.CSR) plan.Plan {
 	mdl := e.Machine()
 	// Inspection sweeps the matrix InspectorPasses times and builds
 	// the internal representation (one more pass), plus a fixed
 	// autotuning stage.
 	sweep := float64(m.Bytes()) / (mdl.StreamMainGBs * 1e9)
 	pre := float64(ie.Costs.InspectorPasses+1)*sweep + 4*ie.Costs.JITSeconds
-	return opt.Plan{
+	return plan.Plan{
 		Optimizer:         ie.Name(),
 		Opt:               ex.Optim{Vectorize: true, Unroll: true, Schedule: sched.StaticNNZ},
 		PreprocessSeconds: pre,

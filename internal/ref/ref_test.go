@@ -7,6 +7,7 @@ import (
 	"github.com/sparsekit/spmvtuner/internal/gen"
 	"github.com/sparsekit/spmvtuner/internal/machine"
 	"github.com/sparsekit/spmvtuner/internal/opt"
+	"github.com/sparsekit/spmvtuner/internal/plan"
 	"github.com/sparsekit/spmvtuner/internal/sched"
 	"github.com/sparsekit/spmvtuner/internal/sim"
 )
@@ -67,7 +68,7 @@ func TestOptimizersImplementInterface(t *testing.T) {
 func TestMKLBoundKernelNeverPlanned(t *testing.T) {
 	e := sim.New(machine.Broadwell())
 	m := gen.UniformRandom(5000, 5, 9)
-	for _, p := range []opt.Plan{MKL{}.Plan(e, m), NewInspectorExecutor().Plan(e, m)} {
+	for _, p := range []plan.Plan{MKL{}.Plan(e, m), NewInspectorExecutor().Plan(e, m)} {
 		if p.Opt.IsBoundKernel() {
 			t.Fatal("reference kernels must be real SpMV")
 		}

@@ -52,6 +52,18 @@ func (p Policy) String() string {
 	}
 }
 
+// ParsePolicy inverts String: it resolves a serialized policy name
+// (as stored in execution plans) back to the Policy value, rejecting
+// anything String would not have produced.
+func ParsePolicy(name string) (Policy, error) {
+	for p := StaticNNZ; p <= Auto; p++ {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return StaticNNZ, fmt.Errorf("sched: unknown policy %q", name)
+}
+
 // Range is a half-open row interval [Lo, Hi) assigned to one thread or
 // one chunk.
 type Range struct{ Lo, Hi int }

@@ -268,3 +268,18 @@ func TestPrepareMaterializesPartitions(t *testing.T) {
 		}
 	}
 }
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for p := StaticNNZ; p <= Auto; p++ {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("simd-magic"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := ParsePolicy("policy(7)"); err == nil {
+		t.Fatal("out-of-range render accepted")
+	}
+}

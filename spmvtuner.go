@@ -27,6 +27,7 @@ package spmvtuner
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/sparsekit/spmvtuner/internal/classify"
 	"github.com/sparsekit/spmvtuner/internal/core"
@@ -35,6 +36,7 @@ import (
 	"github.com/sparsekit/spmvtuner/internal/matrix"
 	"github.com/sparsekit/spmvtuner/internal/mmio"
 	"github.com/sparsekit/spmvtuner/internal/native"
+	"github.com/sparsekit/spmvtuner/internal/planstore"
 	"github.com/sparsekit/spmvtuner/internal/sim"
 	"github.com/sparsekit/spmvtuner/internal/suite"
 )
@@ -109,11 +111,27 @@ func SuiteMatrix(name string, scale float64) (*Matrix, error) {
 func SuiteNames() []string { return suite.Names() }
 
 // Tuner plans optimized SpMV executions.
+//
+// A Tuner is safe for concurrent use: Tune, Analyze and Close may be
+// called from multiple goroutines (the tuner serializes the analysis
+// pipeline and the shared native executor internally), and the Tuned
+// kernels it returns are independently safe for concurrent multiplies.
+//
+// Every Tuner carries a plan store: tuning decisions are keyed by the
+// matrix's structural fingerprint, so a second Tune of a structurally
+// identical matrix — same sparsity, values may differ — skips
+// classification and the candidate sweep entirely and reuses the
+// stored plan. The default store is in-memory; WithPlanStore persists
+// it to disk so warm starts survive process restarts and plans can be
+// shipped between hosts (see docs/guide/plans.md).
 type Tuner struct {
+	mu       sync.Mutex // guards pipeline, store and the shared prepare path
 	pipeline *core.Pipeline
 	nat      *native.Executor
+	store    *planstore.Store
 	platform machine.Model
 	modeled  bool
+	closed   bool
 }
 
 // Option configures a Tuner.
@@ -130,6 +148,33 @@ func OnPlatform(code string) Option {
 		}
 		t.platform = mdl
 		t.modeled = true
+		return nil
+	}
+}
+
+// WithPlanStore persists tuning decisions under dir (created if
+// missing): every cold Tune writes its plan there, and later Tunes —
+// in this process or any future one, on this host or another — of a
+// fingerprint-identical matrix warm-start from the stored plan
+// instead of re-classifying and re-sweeping. The directory holds one
+// human-readable JSON file per (matrix fingerprint, platform, plan
+// version); see docs/guide/plans.md for the layout and shipping
+// guidance.
+//
+// An unusable directory (permissions, read-only filesystem) fails
+// Tuner construction — NewTuner panics, as with every invalid option.
+// That is deliberate fail-fast behavior: a serving process whose
+// configured plan store cannot be opened should stop at startup, not
+// silently re-tune cold on every restart. Callers that prefer to
+// degrade to the in-memory store should probe the directory
+// themselves and drop the option.
+func WithPlanStore(dir string) Option {
+	return func(t *Tuner) error {
+		s, err := planstore.Open(dir, planstore.DefaultCapacity)
+		if err != nil {
+			return err
+		}
+		t.store = s
 		return nil
 	}
 }
@@ -164,6 +209,10 @@ func NewTuner(opts ...Option) *Tuner {
 	if t.modeled {
 		t.pipeline.Exec = sim.New(t.platform)
 	}
+	if t.store == nil {
+		t.store = planstore.New(planstore.DefaultCapacity)
+	}
+	t.pipeline.Store = t.store
 	return t
 }
 
@@ -180,11 +229,24 @@ type Analysis struct {
 	OptimizedGflops float64
 	// PreprocessSeconds is the modeled cost of deciding + converting.
 	PreprocessSeconds float64
+	// Fingerprint is the matrix's structural identity — the key
+	// tuning decisions are stored and shipped under.
+	Fingerprint string
+	// Warm reports that the decision came from the plan store: no
+	// classification and no candidate sweep ran (Tune only; Analyze
+	// always diagnoses live).
+	Warm bool
 }
 
-// Analyze diagnoses the matrix without committing to execution.
+// Analyze diagnoses the matrix without committing to execution. Safe
+// for concurrent use with Tune and other Analyze calls.
 func (t *Tuner) Analyze(m *Matrix) Analysis {
-	m.csr.SymmetryKind() // resolve once so the planner can exploit symmetry
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Resolve symmetry under the tuner lock: SymmetryKind caches on the
+	// matrix, so two concurrent Analyze/Tune calls on the SAME matrix
+	// must not both run the detection.
+	m.csr.SymmetryKind()
 	a := t.pipeline.Analyze(m.csr)
 	return Analysis{
 		Classes:           a.Classes.String(),
@@ -192,6 +254,7 @@ func (t *Tuner) Analyze(m *Matrix) Analysis {
 		BaselineGflops:    a.Bounds.PCSR,
 		OptimizedGflops:   a.Optimized.Gflops,
 		PreprocessSeconds: a.Plan.PreprocessSeconds,
+		Fingerprint:       a.Plan.Fingerprint,
 	}
 }
 
@@ -213,27 +276,56 @@ type Tuned struct {
 // on the matrix), so a symmetric matrix transparently gets the SSS
 // storage path whenever the planner classifies it bandwidth bound —
 // no caller annotation needed.
+//
+// Tune consults the tuner's plan store first: a hit on the matrix's
+// structural fingerprint skips classification and the candidate sweep
+// entirely (Info().Warm reports which path ran); a miss tunes,
+// measures the chosen configuration, and stores the decision for
+// every later Tune. Safe for concurrent use.
 func (t *Tuner) Tune(m *Matrix) *Tuned {
-	m.csr.SymmetryKind()
-	plan, prep := t.pipeline.Prepare(m.csr)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m.csr.SymmetryKind() // under t.mu: the detection caches onto the matrix
+	pl, prep, warm := t.pipeline.Prepare(m.csr)
 	if prep == nil {
 		// Modeled analysis: the plan came from the simulator, but
 		// execution is always native.
-		prep = t.nat.Prepare(m.csr, plan.Opt)
+		prep = t.nat.Prepare(m.csr, pl.Opt)
 	}
 	info := Analysis{
-		Classes:           plan.Classes.String(),
-		Optimizations:     plan.Opt.String(),
-		PreprocessSeconds: plan.PreprocessSeconds,
+		Classes:           pl.Classes.String(),
+		Optimizations:     pl.Opt.String(),
+		PreprocessSeconds: pl.PreprocessSeconds,
+		Fingerprint:       pl.Fingerprint,
+		Warm:              warm,
 	}
-	return &Tuned{m: m, opt: plan.Opt, nat: t.nat, prep: prep, info: info}
+	if pl.MeasuredGflops > 0 {
+		info.OptimizedGflops = pl.MeasuredGflops
+	} else {
+		info.OptimizedGflops = pl.PredictedGflops
+	}
+	return &Tuned{m: m, opt: pl.Opt, nat: t.nat, prep: prep, info: info}
 }
 
-// Close releases the tuner's persistent worker pool. It is idempotent
-// and optional — a dropped Tuner is reclaimed by a finalizer — and
-// kernels tuned from it remain usable afterwards via a transient
-// fallback path.
-func (t *Tuner) Close() error { return t.nat.Close() }
+// Close flushes the plan store and releases the tuner's persistent
+// worker pool. It is idempotent and optional — a dropped Tuner is
+// reclaimed by a finalizer — and kernels tuned from it remain usable
+// afterwards via a transient fallback path. The first error from
+// either step is returned; both always run.
+func (t *Tuner) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	serr := t.store.Close()
+	nerr := t.nat.Close()
+	if serr != nil {
+		return serr
+	}
+	return nerr
+}
 
 // MulVec computes y = A*x with the tuned parallel kernel. Steady-state
 // calls are allocation-free and safe from concurrent goroutines. x and
