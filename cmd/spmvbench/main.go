@@ -12,20 +12,25 @@
 //	spmvbench -exp spmm -scale 0.1      # blocked SpMM vs per-vector loop
 //	spmvbench -exp sym -scale 0.1       # symmetric SSS vs expanded CSR
 //	spmvbench -exp warm -scale 0.1      # plan store: cold tune vs warm start
+//	spmvbench -exp serve -scale 0.1     # serving: coalesced vs sequential
 //	spmvbench -exp all -scale 0.25      # every modeled experiment
 //
-// The reuse, sellcs, spmm, sym and warm experiments run natively on
-// the host through the persistent worker-pool engine; everything else
-// is modeled, and "all" covers only the modeled set (request the
-// native ones explicitly). The warm experiment asserts its own
-// invariants (zero warm-path measurements, identical plans) and exits
-// nonzero when they fail, so CI can use it as a smoke test.
+// The reuse, sellcs, spmm, sym, warm and serve experiments run
+// natively on the host through the persistent worker-pool engine;
+// everything else is modeled, and "all" covers only the modeled set
+// (request the native ones explicitly). The warm and serve
+// experiments assert their own invariants (zero warm-path
+// measurements and identical plans; coalesced throughput at least
+// sequential and reference-exact answers) and exit nonzero when they
+// fail, so CI can use them as smoke tests. -json writes the serve
+// result as JSON beside the table.
 //
 // Ablations: ablate-delta, ablate-split, ablate-sched,
 // ablate-prefetch, ablate-partitioned-ml.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,12 +42,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1, fig3, fig7, table4, table5, platforms, features, reuse, sellcs, spmm, sym, warm, ablate-*, all")
+		exp      = flag.String("exp", "all", "experiment: fig1, fig3, fig7, table4, table5, platforms, features, reuse, sellcs, spmm, sym, warm, serve, ablate-*, all")
 		platform = flag.String("platform", "", "fig7 platform: knc, knl, bdw (default: all three)")
 		scale    = flag.Float64("scale", 1.0, "suite size multiplier (1.0 = reproduction size)")
 		corpus   = flag.Int("corpus", 210, "training corpus size")
 		matrices = flag.String("matrix", "", "comma-separated suite subset")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonPath = flag.String("json", "", "also write the result as JSON to this path (serve)")
 	)
 	flag.Parse()
 
@@ -104,6 +110,17 @@ func main() {
 		var res *experiments.WarmResult
 		if res, err = experiments.Warm(cfg); err == nil {
 			emit(res.Table())
+		}
+	case "serve":
+		var res *experiments.ServeResult
+		if res, err = experiments.Serve(cfg); err == nil {
+			emit(res.Table())
+			if *jsonPath != "" {
+				var buf []byte
+				if buf, err = json.MarshalIndent(res, "", "  "); err == nil {
+					err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+				}
+			}
 		}
 	case "ablate-delta":
 		emit(experiments.AblateDelta(cfg).Table())

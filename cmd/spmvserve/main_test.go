@@ -1,0 +1,228 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	spmv "github.com/sparsekit/spmvtuner"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *spmv.Server) {
+	t.Helper()
+	tuner := spmv.NewTuner()
+	srv := spmv.NewServer(tuner, spmv.ServerConfig{})
+	ts := httptest.NewServer(newHandler(srv))
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		tuner.Close()
+	})
+	return ts, srv
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && resp.StatusCode < 300 {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// Register a suite matrix, warmed.
+	var reg spmv.ServerStats
+	code := doJSON(t, "POST", ts.URL+"/v1/matrices/p", registerBody{Suite: "poisson3Db", Scale: 0.01, Warm: true}, &reg)
+	if code != http.StatusCreated {
+		t.Fatalf("register: %d", code)
+	}
+	if reg.Name != "p" || reg.Tunes != 1 || reg.Plan == "" {
+		t.Fatalf("register stats: %+v", reg)
+	}
+
+	var names struct {
+		Matrices []string `json:"matrices"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/matrices", nil, &names); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if len(names.Matrices) != 1 || names.Matrices[0] != "p" {
+		t.Fatalf("names: %v", names.Matrices)
+	}
+
+	// Multiply and check against the suite matrix served directly.
+	m, err := spmv.SuiteMatrix("poisson3Db", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, cols := m.Rows(), m.Cols()
+	x := make([]float64, cols)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	var mul struct {
+		Y []float64 `json:"y"`
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/mul/p", map[string]any{"x": x}, &mul); code != http.StatusOK {
+		t.Fatalf("mul: %d", code)
+	}
+	if len(mul.Y) != rows {
+		t.Fatalf("y has %d rows, want %d", len(mul.Y), rows)
+	}
+	ref := make([]float64, rows)
+	m.MulVec(x, ref)
+	for i := range ref {
+		if d := math.Abs(mul.Y[i] - ref[i]); d > 1e-12*math.Max(1, math.Abs(ref[i])) {
+			t.Fatalf("y[%d] = %g, want %g", i, mul.Y[i], ref[i])
+		}
+	}
+
+	var stats struct {
+		Matrices []spmv.ServerStats `json:"matrices"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if len(stats.Matrices) != 1 || stats.Matrices[0].Requests != 1 {
+		t.Fatalf("stats: %+v", stats.Matrices)
+	}
+
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/matrices/p", nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: %d", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/mul/p", map[string]any{"x": x}, nil); code != http.StatusNotFound {
+		t.Fatalf("mul after delete: %d, want 404", code)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	ts, srv := newTestServer(t)
+
+	if code := doJSON(t, "POST", ts.URL+"/v1/mul/ghost", map[string]any{"x": []float64{1}}, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown matrix: %d, want 404", code)
+	}
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/matrices/ghost", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("delete unknown: %d, want 404", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/matrices/x", registerBody{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty register body: %d, want 400", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/matrices/x", registerBody{Suite: "lap2d", Mtx: "/a.mtx"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("ambiguous register body: %d, want 400", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/matrices/x", registerBody{Suite: "no-such"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown suite matrix: %d, want 400", code)
+	}
+
+	if code := doJSON(t, "POST", ts.URL+"/v1/matrices/p", registerBody{Suite: "poisson3Db", Scale: 0.01}, nil); code != http.StatusCreated {
+		t.Fatalf("register: %d", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/matrices/p", registerBody{Suite: "poisson3Db", Scale: 0.01}, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate register: %d, want 409", code)
+	}
+	// Wrong dimension is the caller's fault.
+	if code := doJSON(t, "POST", ts.URL+"/v1/mul/p", map[string]any{"x": []float64{1, 2, 3}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("short x: %d, want 400", code)
+	}
+
+	// A closed server sheds load with 503.
+	srv.Close()
+	if code := doJSON(t, "POST", ts.URL+"/v1/mul/p", map[string]any{"x": []float64{1}}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("mul on closed server: %d, want 503", code)
+	}
+}
+
+// TestHTTPConcurrentClients exercises the full stack — HTTP handler,
+// facade, coalescing dispatcher, native kernels — under concurrent
+// load, verifying every response.
+func TestHTTPConcurrentClients(t *testing.T) {
+	ts, _ := newTestServer(t)
+	if code := doJSON(t, "POST", ts.URL+"/v1/matrices/m", registerBody{Suite: "FEM_3D_thermal2", Scale: 0.01, Warm: true}, nil); code != http.StatusCreated {
+		t.Fatalf("register: %d", code)
+	}
+	m, err := spmv.SuiteMatrix("FEM_3D_thermal2", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, cols := m.Rows(), m.Cols()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			x := make([]float64, cols)
+			for i := range x {
+				x[i] = float64((i+c)%5) - 2
+			}
+			ref := make([]float64, rows)
+			m.MulVec(x, ref)
+			for it := 0; it < 5; it++ {
+				var mul struct {
+					Y []float64 `json:"y"`
+				}
+				var buf bytes.Buffer
+				if err := json.NewEncoder(&buf).Encode(map[string]any{"x": x}); err != nil {
+					errc <- err
+					return
+				}
+				resp, err := http.Post(ts.URL+"/v1/mul/m", "application/json", &buf)
+				if err != nil {
+					errc <- err
+					return
+				}
+				err = json.NewDecoder(resp.Body).Decode(&mul)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("client %d: code %d err %v", c, resp.StatusCode, err)
+					return
+				}
+				for i := range ref {
+					if d := math.Abs(mul.Y[i] - ref[i]); d > 1e-12*math.Max(1, math.Abs(ref[i])) {
+						errc <- fmt.Errorf("client %d: y[%d] off by %g", c, i, d)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -1,13 +1,17 @@
 // Mirrors the code samples of README.md, docs/guide/platforms.md,
-// docs/guide/formats.md, docs/guide/batching.md, docs/guide/symmetry.md
-// and docs/guide/plans.md so the documented API cannot drift without
-// breaking the build: every call here appears in a published snippet.
+// docs/guide/formats.md, docs/guide/batching.md, docs/guide/symmetry.md,
+// docs/guide/plans.md and docs/guide/serving.md so the documented API
+// cannot drift without breaking the build: every call here appears in
+// a published snippet.
 package spmvtuner_test
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/sparsekit/spmvtuner"
 	ex "github.com/sparsekit/spmvtuner/internal/exec"
@@ -268,5 +272,72 @@ func TestSymmetryGuideSamples(t *testing.T) {
 	}
 	if s.Bytes() >= csr.Bytes() {
 		t.Fatalf("SSS bytes %d not below CSR bytes %d", s.Bytes(), csr.Bytes())
+	}
+}
+
+// TestServingGuideSamples exercises the docs/guide/serving.md flow:
+// server over a tuner, lazy tune + warm, coalesced concurrent
+// multiplies, the stats sample, and the sentinel errors the guide
+// documents.
+func TestServingGuideSamples(t *testing.T) {
+	m, err := spmvtuner.SuiteMatrix("FEM_3D_thermal2", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	tuner := spmvtuner.NewTuner(spmvtuner.WithPlanStore(dir))
+	defer tuner.Close()
+
+	srv := spmvtuner.NewServer(tuner, spmvtuner.ServerConfig{
+		MaxBatch:     8,
+		Window:       100 * time.Microsecond,
+		MemoryBudget: 1 << 30,
+	})
+	defer srv.Close()
+
+	if err := srv.Register("thermal", m); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Warm("thermal"); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			x := make([]float64, m.Cols())
+			for i := range x {
+				x[i] = float64((i + c) % 3)
+			}
+			y := make([]float64, m.Rows())
+			if err := srv.MulVec("thermal", x, y); err != nil {
+				t.Error(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st, ok := srv.StatsFor("thermal")
+	if !ok || st.Requests != 4 || st.MeanBatchWidth < 1 {
+		t.Fatalf("stats sample: ok=%v %+v", ok, st)
+	}
+	if st.Tunes != 1 || st.P99LatencyMicros <= 0 || st.AchievedGflops <= 0 {
+		t.Fatalf("stats fields: %+v", st)
+	}
+
+	// The guide's sentinel errors.
+	y := make([]float64, m.Rows())
+	if err := srv.MulVec("ghost", nil, y); !errors.Is(err, spmvtuner.ErrNotRegistered) {
+		t.Fatalf("unknown name: %v", err)
+	}
+	if err := srv.Deregister("thermal"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if err := srv.MulVec("thermal", nil, y); !errors.Is(err, spmvtuner.ErrServerClosed) {
+		t.Fatalf("closed server: %v", err)
 	}
 }

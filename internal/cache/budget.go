@@ -1,0 +1,108 @@
+package cache
+
+import "container/list"
+
+// Budget tracks the resident bytes of named items in LRU order and
+// decides which residents must be evicted to keep the total under a
+// byte capacity. It is the eviction bookkeeping of the serving layer's
+// prepared-kernel cache: kernels are inserted when prepared, touched on
+// every batch they serve, and the victims Insert returns are the
+// least-recently-used entries whose release brings the cache back
+// under budget.
+//
+// Policy: the inserted item itself is never a victim — a kernel that
+// was just prepared to serve a live request must stay resident even if
+// it alone exceeds the budget (the alternative is thrashing on every
+// request). A Budget is not safe for concurrent use; callers hold
+// their own lock.
+type Budget struct {
+	capBytes int64
+	resident int64
+	order    *list.List               // MRU at front; values are *budgetItem
+	items    map[string]*list.Element // key -> element in order
+}
+
+type budgetItem struct {
+	key   string
+	bytes int64
+}
+
+// NewBudget builds a tracker with the given capacity in bytes; zero or
+// negative means unlimited (Insert never names victims).
+func NewBudget(capBytes int64) *Budget {
+	return &Budget{
+		capBytes: capBytes,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Insert registers key as resident with the given size (replacing any
+// previous registration and marking it most recently used) and returns
+// the keys that must be evicted, least recently used first, to fit the
+// total under capacity. Victims are removed from the tracker; the
+// caller performs the actual release. key itself is never returned.
+func (b *Budget) Insert(key string, bytes int64) []string {
+	if bytes < 0 {
+		bytes = 0
+	}
+	if el, ok := b.items[key]; ok {
+		b.resident += bytes - el.Value.(*budgetItem).bytes
+		el.Value.(*budgetItem).bytes = bytes
+		b.order.MoveToFront(el)
+	} else {
+		b.items[key] = b.order.PushFront(&budgetItem{key: key, bytes: bytes})
+		b.resident += bytes
+	}
+	if b.capBytes <= 0 {
+		return nil
+	}
+	var victims []string
+	for b.resident > b.capBytes && b.order.Len() > 1 {
+		back := b.order.Back()
+		it := back.Value.(*budgetItem)
+		if it.key == key {
+			break // never evict the item being admitted
+		}
+		b.order.Remove(back)
+		delete(b.items, it.key)
+		b.resident -= it.bytes
+		victims = append(victims, it.key)
+	}
+	return victims
+}
+
+// Touch marks key most recently used, reporting whether it is
+// resident.
+func (b *Budget) Touch(key string) bool {
+	el, ok := b.items[key]
+	if ok {
+		b.order.MoveToFront(el)
+	}
+	return ok
+}
+
+// Remove deletes key from the tracker (an explicit release or
+// deregistration), reporting whether it was resident.
+func (b *Budget) Remove(key string) bool {
+	el, ok := b.items[key]
+	if !ok {
+		return false
+	}
+	b.resident -= el.Value.(*budgetItem).bytes
+	b.order.Remove(el)
+	delete(b.items, key)
+	return true
+}
+
+// Resident reports whether key is tracked.
+func (b *Budget) Resident(key string) bool {
+	_, ok := b.items[key]
+	return ok
+}
+
+// ResidentBytes returns the tracked total.
+func (b *Budget) ResidentBytes() int64 { return b.resident }
+
+// Len returns the number of tracked items.
+func (b *Budget) Len() int { return len(b.items) }

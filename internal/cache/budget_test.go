@@ -1,0 +1,129 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBudgetInsertWithinCapacity(t *testing.T) {
+	b := NewBudget(100)
+	if v := b.Insert("a", 40); v != nil {
+		t.Fatalf("victims on first insert: %v", v)
+	}
+	if v := b.Insert("b", 40); v != nil {
+		t.Fatalf("victims under capacity: %v", v)
+	}
+	if got := b.ResidentBytes(); got != 80 {
+		t.Fatalf("resident = %d, want 80", got)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("len = %d, want 2", b.Len())
+	}
+}
+
+func TestBudgetEvictsLRUFirst(t *testing.T) {
+	b := NewBudget(100)
+	b.Insert("a", 40)
+	b.Insert("b", 40)
+	// c pushes the total to 120: a is the LRU and must go.
+	if v := b.Insert("c", 40); !reflect.DeepEqual(v, []string{"a"}) {
+		t.Fatalf("victims = %v, want [a]", v)
+	}
+	if b.Resident("a") || !b.Resident("b") || !b.Resident("c") {
+		t.Fatalf("unexpected residency after eviction")
+	}
+	if got := b.ResidentBytes(); got != 80 {
+		t.Fatalf("resident = %d, want 80", got)
+	}
+}
+
+func TestBudgetTouchReordersLRU(t *testing.T) {
+	b := NewBudget(100)
+	b.Insert("a", 40)
+	b.Insert("b", 40)
+	if !b.Touch("a") {
+		t.Fatalf("touch of resident key reported absent")
+	}
+	// b is now the LRU.
+	if v := b.Insert("c", 40); !reflect.DeepEqual(v, []string{"b"}) {
+		t.Fatalf("victims = %v, want [b]", v)
+	}
+	if b.Touch("zzz") {
+		t.Fatalf("touch of unknown key reported resident")
+	}
+}
+
+func TestBudgetEvictsMultipleVictims(t *testing.T) {
+	b := NewBudget(100)
+	b.Insert("a", 30)
+	b.Insert("b", 30)
+	b.Insert("c", 30)
+	if v := b.Insert("d", 90); !reflect.DeepEqual(v, []string{"a", "b", "c"}) {
+		t.Fatalf("victims = %v, want [a b c]", v)
+	}
+	if got := b.ResidentBytes(); got != 90 {
+		t.Fatalf("resident = %d, want 90", got)
+	}
+}
+
+func TestBudgetNewestNeverEvicted(t *testing.T) {
+	// An item larger than the whole budget stays resident alone: the
+	// serving layer must not thrash the kernel it just prepared.
+	b := NewBudget(10)
+	b.Insert("a", 5)
+	if v := b.Insert("huge", 1000); !reflect.DeepEqual(v, []string{"a"}) {
+		t.Fatalf("victims = %v, want [a]", v)
+	}
+	if !b.Resident("huge") || b.ResidentBytes() != 1000 {
+		t.Fatalf("oversized newest item evicted: resident=%d", b.ResidentBytes())
+	}
+}
+
+func TestBudgetReinsertUpdatesBytes(t *testing.T) {
+	b := NewBudget(0) // unlimited
+	b.Insert("a", 40)
+	if v := b.Insert("a", 70); v != nil {
+		t.Fatalf("victims on reinsert: %v", v)
+	}
+	if b.Len() != 1 || b.ResidentBytes() != 70 {
+		t.Fatalf("reinsert: len=%d resident=%d, want 1/70", b.Len(), b.ResidentBytes())
+	}
+}
+
+func TestBudgetUnlimitedNeverEvicts(t *testing.T) {
+	b := NewBudget(0)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		if v := b.Insert(k, 1<<40); v != nil {
+			t.Fatalf("unlimited budget produced victims: %v", v)
+		}
+	}
+	if b.Len() != 4 {
+		t.Fatalf("len = %d, want 4", b.Len())
+	}
+}
+
+func TestBudgetRemove(t *testing.T) {
+	b := NewBudget(100)
+	b.Insert("a", 60)
+	if !b.Remove("a") {
+		t.Fatalf("remove of resident key reported absent")
+	}
+	if b.Remove("a") {
+		t.Fatalf("second remove reported resident")
+	}
+	if b.ResidentBytes() != 0 || b.Len() != 0 {
+		t.Fatalf("tracker not empty after remove")
+	}
+	// Freed space admits new entries without victims.
+	if v := b.Insert("b", 100); v != nil {
+		t.Fatalf("victims after remove freed space: %v", v)
+	}
+}
+
+func TestBudgetNegativeBytesClamped(t *testing.T) {
+	b := NewBudget(100)
+	b.Insert("a", -5)
+	if b.ResidentBytes() != 0 {
+		t.Fatalf("negative size not clamped: %d", b.ResidentBytes())
+	}
+}

@@ -252,6 +252,19 @@ type PreparedKernel interface {
 	Threads() int
 }
 
+// Releaser is implemented by executors that can free the cached
+// resources of ONE matrix — converted formats and memoized prepared
+// kernels — without tearing the executor down. The serving layer's
+// kernel-cache eviction needs exactly this granularity: Close releases
+// everything, Release only what the evicted matrix pinned. Kernels
+// already handed out for the matrix stay usable (their holders keep
+// the references alive); a later Prepare of the same matrix rebuilds
+// from scratch — or, through a plan store, warm-starts from the stored
+// decision with zero new tuning measurements.
+type Releaser interface {
+	Release(m *matrix.CSR)
+}
+
 // PreparedExecutor is an Executor that can compile configurations into
 // persistent kernels. internal/native implements it; the analytic
 // simulator does not (there is nothing to execute), so callers fall

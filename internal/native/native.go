@@ -93,6 +93,28 @@ func (e *Executor) Close() error {
 // Machine implements exec.Executor.
 func (e *Executor) Machine() machine.Model { return e.model }
 
+// Release implements exec.Releaser: it drops every cached resource the
+// executor holds for m — the memoized format conversions (DeltaCSR,
+// SplitCSR, SELL-C-σ, SSS) and all prepared kernels compiled for m —
+// so the memory is reclaimable once the caller drops its own
+// references. Kernels already handed out keep working (they own their
+// structures); the next Prepare of m rebuilds. This is the per-entry
+// eviction hook the serving layer's LRU uses; Close remains the
+// whole-executor teardown.
+func (e *Executor) Release(m *matrix.CSR) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.deltas, m)
+	delete(e.splits, m)
+	delete(e.sells, m)
+	delete(e.ssses, m)
+	for k := range e.prepared {
+		if k.m == m {
+			delete(e.prepared, k)
+		}
+	}
+}
+
 // usableThreads probes, once, whether running all advertised CPUs in
 // parallel actually improves streaming throughput. Containers and
 // shared machines often advertise cores they do not deliver

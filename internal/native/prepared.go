@@ -72,6 +72,14 @@ type Prepared struct {
 // for.
 func (p *Prepared) Opt() ex.Optim { return p.opt }
 
+// MemBytes reports the kernel's resident matrix-stream footprint: the
+// converted format's storage when one was built, the CSR arrays
+// otherwise. It is the figure a memory-budgeted kernel cache accounts
+// per entry — the dominant allocation eviction recovers (schedule
+// partitions, reduction buffers and pack scratch are O(rows) and
+// O(threads), negligible next to the element arrays).
+func (p *Prepared) MemBytes() int64 { return p.matrixBytes }
+
 // Threads returns the execution width chosen at preparation time.
 func (p *Prepared) Threads() int { return p.nt }
 

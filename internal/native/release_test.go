@@ -1,0 +1,114 @@
+package native
+
+import (
+	"testing"
+
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// countCached reports how many cached resources the executor holds for
+// m across the format memos and the prepared-kernel cache.
+func countCached(e *Executor, m *matrix.CSR) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	if _, ok := e.deltas[m]; ok {
+		n++
+	}
+	if _, ok := e.splits[m]; ok {
+		n++
+	}
+	if _, ok := e.sells[m]; ok {
+		n++
+	}
+	if _, ok := e.ssses[m]; ok {
+		n++
+	}
+	for k := range e.prepared {
+		if k.m == m {
+			n++
+		}
+	}
+	return n
+}
+
+// TestExecutorRelease checks the per-matrix eviction hook: releasing
+// one matrix drops its format conversions and prepared kernels, leaves
+// every other matrix's cache intact, and already-issued kernels keep
+// computing correct results.
+func TestExecutorRelease(t *testing.T) {
+	e := New()
+	defer e.Close()
+
+	m1 := gen.Banded(3000, 4, 0.9, 1)
+	m2 := gen.UniformRandom(2500, 6, 2)
+
+	// Populate kernel + format caches for both matrices, including a
+	// converted format for m1.
+	k1 := e.Prepare(m1, ex.Optim{Compress: true})
+	k2 := e.Prepare(m2, ex.Optim{})
+	e.Prepare(m1, ex.Optim{Unroll: true}) // second kernel under the same matrix
+
+	if n := countCached(e, m1); n < 3 {
+		t.Fatalf("m1 cached resources = %d, want >= 3 (delta + 2 kernels)", n)
+	}
+	if n := countCached(e, m2); n < 1 {
+		t.Fatalf("m2 cached resources = %d, want >= 1", n)
+	}
+
+	e.Release(m1)
+	if n := countCached(e, m1); n != 0 {
+		t.Fatalf("m1 cached resources after Release = %d, want 0", n)
+	}
+	if n := countCached(e, m2); n < 1 {
+		t.Fatalf("Release(m1) disturbed m2's cache (now %d entries)", n)
+	}
+
+	// The released kernel still works for its holder.
+	x := make([]float64, m1.NCols)
+	for i := range x {
+		x[i] = 1 + float64(i%7)*0.5
+	}
+	y := make([]float64, m1.NRows)
+	ref := make([]float64, m1.NRows)
+	k1.MulVec(x, y)
+	m1.MulVec(x, ref)
+	for i := range y {
+		if d := y[i] - ref[i]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("released kernel wrong at %d: %g vs %g", i, y[i], ref[i])
+		}
+	}
+
+	// A fresh Prepare after release rebuilds and re-memoizes.
+	k1b := e.Prepare(m1, ex.Optim{Compress: true})
+	if k1b == k1 {
+		t.Fatalf("Prepare after Release returned the evicted kernel")
+	}
+	if n := countCached(e, m1); n < 2 {
+		t.Fatalf("re-Prepare did not repopulate caches: %d entries", n)
+	}
+	_ = k2
+
+	// Releasing an unknown matrix is a no-op.
+	e.Release(gen.Diagonal(64, 9))
+}
+
+// TestExecutorReleaseMemBytes checks the footprint a budgeted cache
+// accounts: converted formats report their own storage, CSR kernels the
+// source arrays.
+func TestExecutorReleaseMemBytes(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := gen.Banded(2000, 5, 0.9, 3)
+
+	p := e.Prepare(m, ex.Optim{}).(*Prepared)
+	if p.MemBytes() != m.Bytes() {
+		t.Fatalf("CSR kernel MemBytes = %d, want %d", p.MemBytes(), m.Bytes())
+	}
+	d := e.Prepare(m, ex.Optim{Compress: true}).(*Prepared)
+	if d.MemBytes() <= 0 || d.MemBytes() == m.Bytes() {
+		t.Fatalf("delta kernel MemBytes = %d, want converted footprint != CSR %d", d.MemBytes(), m.Bytes())
+	}
+}

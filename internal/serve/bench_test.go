@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/sparsekit/spmvtuner/internal/suite"
+)
+
+// benchServe drives closed-loop parallel clients through a server over
+// the native engine on the bandwidth-bound banded reference matrix.
+// The coalesced/sequential pair isolates what request coalescing buys:
+// MaxBatch 8 lets concurrent requests share one matrix stream through
+// the register-blocked SpMM kernel, MaxBatch 1 serves them one
+// single-vector call at a time.
+func benchServe(b *testing.B, maxBatch int) {
+	eng, _ := newNativeEngine(b)
+	m := suite.ByName("FEM_3D_thermal2", 0.25)
+	srv := New(eng, Config{MaxBatch: maxBatch})
+	defer srv.Close()
+	if err := srv.Register("m", m); err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Warm("m"); err != nil {
+		b.Fatal(err)
+	}
+
+	b.SetParallelism(16) // 16 closed-loop clients per GOMAXPROCS
+	b.SetBytes(m.Bytes())
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		x := make([]float64, m.NCols)
+		for i := range x {
+			x[i] = float64(i%7) - 3
+		}
+		y := make([]float64, m.NRows)
+		for pb.Next() {
+			if err := srv.MulVec("m", x, y); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+
+	st, ok := srv.StatsFor("m")
+	if !ok || st.Requests == 0 {
+		b.Fatalf("no traffic recorded: %+v", st)
+	}
+	b.ReportMetric(float64(st.Batches)/b.Elapsed().Seconds(), "batches/s")
+	b.ReportMetric(st.MeanBatchWidth, "width/batch")
+	b.ReportMetric(st.AchievedGflops, "Gflops")
+}
+
+func BenchmarkServeCoalesced(b *testing.B)  { benchServe(b, 8) }
+func BenchmarkServeSequential(b *testing.B) { benchServe(b, 1) }

@@ -1,0 +1,203 @@
+package spmvtuner
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/serve"
+)
+
+// Serving errors, re-exported so callers can match them with
+// errors.Is.
+var (
+	// ErrServerClosed reports an operation on a closed Server.
+	ErrServerClosed = serve.ErrClosed
+	// ErrNotRegistered reports a request against an unknown (or
+	// deregistered) matrix name.
+	ErrNotRegistered = serve.ErrNotFound
+	// ErrServerBusy reports a full per-matrix request queue —
+	// backpressure, not failure; retry or shed load.
+	ErrServerBusy = serve.ErrBusy
+)
+
+// ServerConfig tunes a Server. The zero value coalesces up to 8
+// requests per batch with a 100µs window, a 256-deep per-matrix queue,
+// and no memory budget.
+type ServerConfig struct {
+	// MaxBatch caps how many concurrent MulVec requests one dispatch
+	// coalesces into a blocked SpMM call (default 8, the widest
+	// register-blocked kernel; 1 disables coalescing).
+	MaxBatch int
+	// Window is how long an under-filled batch waits for more arrivals
+	// before dispatching; already-queued requests never wait. Sparse
+	// traffic therefore falls through to single-vector execution at
+	// most Window late (default 100µs; negative disables the wait).
+	Window time.Duration
+	// MemoryBudget bounds the resident bytes of prepared kernels;
+	// least-recently-used kernels are evicted to stay under it and
+	// re-prepare from their stored plan — never re-tune — on the next
+	// request. Zero means unlimited.
+	MemoryBudget int64
+	// QueueDepth bounds each matrix's pending requests; submissions
+	// beyond it fail fast with ErrServerBusy (default 256).
+	QueueDepth int
+}
+
+// ServerStats is one matrix's serving counters: traffic, coalescing
+// effectiveness, latency percentiles, achieved throughput, and the
+// kernel cache's behavior. See docs/guide/serving.md for how to read
+// them.
+type ServerStats struct {
+	Name string
+	Rows int
+	Cols int
+	NNZ  int
+
+	Requests       uint64
+	Batches        uint64
+	MeanBatchWidth float64
+
+	P50LatencyMicros float64
+	P99LatencyMicros float64
+	AchievedGflops   float64
+
+	Tunes        uint64
+	WarmPrepares uint64
+	Evictions    uint64
+	Errors       uint64
+
+	Resident      bool
+	ResidentBytes int64
+	Plan          string
+	Gflops        float64
+}
+
+// Server is a multi-tenant SpMV service over one Tuner: many
+// registered matrices, many concurrent callers. Concurrent MulVec
+// requests against the same matrix are coalesced into register-blocked
+// SpMM batches (the matrix streams once per batch, so per-vector
+// memory traffic — the bandwidth-bound regime's cost — drops by up to
+// the batch width), and prepared kernels live in an LRU cache under
+// the configured memory budget, re-preparing from the tuner's plan
+// store after eviction. All methods are safe for concurrent use.
+type Server struct {
+	inner *serve.Server
+	t     *Tuner
+}
+
+// NewServer builds a server over the tuner, which supplies tuning, the
+// plan store, and the worker pool. Close the server before closing the
+// tuner.
+func NewServer(t *Tuner, cfg ServerConfig) *Server {
+	if t == nil {
+		panic("spmvtuner: NewServer requires a Tuner")
+	}
+	return &Server{
+		inner: serve.New(tunerEngine{t}, serve.Config{
+			MaxBatch:     cfg.MaxBatch,
+			Window:       cfg.Window,
+			MemoryBudget: cfg.MemoryBudget,
+			QueueDepth:   cfg.QueueDepth,
+		}),
+		t: t,
+	}
+}
+
+// Register adds a named matrix. Tuning is lazy: the first request (or
+// an explicit Warm) prepares the kernel.
+func (s *Server) Register(name string, m *Matrix) error {
+	if m == nil {
+		return fmt.Errorf("spmvtuner: Register %q: nil matrix", name)
+	}
+	return s.inner.Register(name, m.csr)
+}
+
+// Deregister removes a matrix, failing its pending requests and
+// releasing its prepared resources. In-flight batches complete.
+func (s *Server) Deregister(name string) error { return s.inner.Deregister(name) }
+
+// Names lists the registered matrices, sorted.
+func (s *Server) Names() []string { return s.inner.Names() }
+
+// MulVec computes y = A*x against the named matrix, coalescing with
+// concurrent requests for the same matrix; it blocks until y is
+// written (or an error). x and y must not alias, nor overlap any other
+// in-flight request's buffers.
+func (s *Server) MulVec(name string, x, y []float64) error {
+	return s.inner.MulVec(name, x, y)
+}
+
+// Warm tunes and compiles the named matrix's kernel now, so the first
+// request does not pay for it.
+func (s *Server) Warm(name string) error { return s.inner.Warm(name) }
+
+// Stats snapshots every registered matrix's counters, sorted by name.
+func (s *Server) Stats() []ServerStats {
+	in := s.inner.Stats()
+	out := make([]ServerStats, len(in))
+	for i, st := range in {
+		out[i] = serverStats(st)
+	}
+	return out
+}
+
+// StatsFor snapshots one matrix's counters.
+func (s *Server) StatsFor(name string) (ServerStats, bool) {
+	st, ok := s.inner.StatsFor(name)
+	return serverStats(st), ok
+}
+
+// Close stops every dispatcher, fails pending requests, and releases
+// resident kernels. The tuner stays open. Idempotent.
+func (s *Server) Close() error { return s.inner.Close() }
+
+func serverStats(st serve.MatrixStats) ServerStats {
+	return ServerStats{
+		Name:             st.Name,
+		Rows:             st.Rows,
+		Cols:             st.Cols,
+		NNZ:              st.NNZ,
+		Requests:         st.Requests,
+		Batches:          st.Batches,
+		MeanBatchWidth:   st.MeanBatchWidth,
+		P50LatencyMicros: st.P50LatencyMicros,
+		P99LatencyMicros: st.P99LatencyMicros,
+		AchievedGflops:   st.AchievedGflops,
+		Tunes:            st.Tunes,
+		WarmPrepares:     st.WarmPrepares,
+		Evictions:        st.Evictions,
+		Errors:           st.Errors,
+		Resident:         st.Resident,
+		ResidentBytes:    st.ResidentBytes,
+		Plan:             st.Plan,
+		Gflops:           st.Gflops,
+	}
+}
+
+// tunerEngine adapts the facade Tuner to the serving layer's Engine:
+// Prepare is a Tune (warm-starting from the tuner's plan store),
+// Release the tuner's per-matrix release path.
+type tunerEngine struct{ t *Tuner }
+
+func (e tunerEngine) Prepare(cm *matrix.CSR) (k serve.Kernel, info serve.PrepInfo, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("tune failed: %v", p)
+		}
+	}()
+	tuned := e.t.Tune(&Matrix{csr: cm})
+	info = serve.PrepInfo{
+		Warm:   tuned.info.Warm,
+		Plan:   tuned.info.Optimizations,
+		Gflops: tuned.info.OptimizedGflops,
+	}
+	if mb, ok := tuned.prep.(interface{ MemBytes() int64 }); ok {
+		info.Bytes = mb.MemBytes()
+	} else {
+		info.Bytes = cm.Bytes()
+	}
+	return tuned, info, nil
+}
+
+func (e tunerEngine) Release(cm *matrix.CSR) { e.t.Release(&Matrix{csr: cm}) }

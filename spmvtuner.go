@@ -307,6 +307,20 @@ func (t *Tuner) Tune(m *Matrix) *Tuned {
 	return &Tuned{m: m, opt: pl.Opt, nat: t.nat, prep: prep, info: info}
 }
 
+// Release frees the prepared resources Tune built for m — converted
+// formats and cached kernels held by the tuner's executor — without
+// touching the plan store or any other matrix. Kernels already
+// returned by Tune stay usable (they own their structures); a later
+// Tune of m warm-starts from the stored plan and recompiles. This is
+// the per-entry eviction path a memory-budgeted serving layer needs:
+// Close tears down everything, Release only one matrix's footprint.
+// Releasing a never-tuned matrix is a no-op. Safe for concurrent use.
+func (t *Tuner) Release(m *Matrix) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nat.Release(m.csr)
+}
+
 // Close flushes the plan store and releases the tuner's persistent
 // worker pool. It is idempotent and optional — a dropped Tuner is
 // reclaimed by a finalizer — and kernels tuned from it remain usable
