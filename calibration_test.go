@@ -1,0 +1,174 @@
+package spmvtuner
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/sparsekit/spmvtuner/internal/calib"
+)
+
+// countingProbes substitutes deterministic fakes for the hardware
+// probes and counts every invocation: the proof that persistence means
+// the machine is measured exactly once, ever.
+func countingProbes(runs *int) calib.Probes {
+	return calib.Probes{
+		// Constant rates regardless of thread count, so the expected
+		// ceilings are the same on any host topology: 30 GB/s for
+		// main-memory working sets, 75 GB/s cache-resident.
+		Triad: func(elems, nt, iters int) float64 {
+			*runs++
+			if elems < 1<<20 {
+				return 75
+			}
+			return 30
+		},
+		Scalar: func(iters int) float64 {
+			*runs++
+			return 3.5
+		},
+	}
+}
+
+func capacityFixture(t *testing.T) *Matrix {
+	t.Helper()
+	b := NewBuilder(3000, 3000)
+	for i := 0; i < 3000; i++ {
+		for _, j := range []int{i - 1, i, i + 1, (i + 500) % 3000} {
+			if j >= 0 && j < 3000 {
+				b.Add(i, j, float64(i+j+1))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestCalibrationPersistsAcrossTunerStartups(t *testing.T) {
+	dir := t.TempDir()
+	oldProbes := hostProbes
+	defer func() { hostProbes = oldProbes }()
+	runs := 0
+	hostProbes = countingProbes(&runs)
+
+	m := capacityFixture(t)
+	demands := []CapacityDemand{{Name: "fix", RequestsPerSec: 200}}
+
+	// First startup: probes run and the artifact lands on disk next to
+	// the plan store.
+	t1 := NewTuner(WithCalibration(dir), WithPlanStore(dir))
+	if runs == 0 {
+		t.Fatal("first startup must probe the hardware")
+	}
+	c1 := t1.Calibration()
+	if !c1.Calibrated || !c1.Probed {
+		t.Fatalf("first startup flags wrong: %+v", c1)
+	}
+	if c1.MainGBs != 30 || c1.LLCGBs != 75 {
+		t.Fatalf("fake probe ceilings not applied: %+v", c1)
+	}
+	if _, err := os.Stat(filepath.Join(dir, calib.FileName)); err != nil {
+		t.Fatalf("artifact not persisted: %v", err)
+	}
+
+	s1 := NewServer(t1, ServerConfig{})
+	if err := s1.Register("fix", m); err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := s1.CapacityPlan(demands, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Replicas < 1 || rep1.MainGBs != 30 {
+		t.Fatalf("capacity plan implausible: %+v", rep1)
+	}
+	if len(rep1.PerMatrix) != 1 || rep1.PerMatrix[0].SecondsPerOp <= 0 || rep1.PerMatrix[0].BytesPerOp <= 0 {
+		t.Fatalf("per-matrix pricing missing: %+v", rep1.PerMatrix)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second startup: ZERO probe runs — the artifact is loaded — and
+	// the capacity prediction is bit-identical.
+	runs = 0
+	t2 := NewTuner(WithCalibration(dir), WithPlanStore(dir))
+	defer t2.Close()
+	if runs != 0 {
+		t.Fatalf("second startup ran %d probes, want 0", runs)
+	}
+	c2 := t2.Calibration()
+	if c2.Probed {
+		t.Fatal("second startup claims to have probed")
+	}
+	if !c2.Calibrated || c2.MainGBs != c1.MainGBs || c2.LLCGBs != c1.LLCGBs || c2.UsableThreads != c1.UsableThreads {
+		t.Fatalf("loaded calibration differs: %+v vs %+v", c1, c2)
+	}
+
+	s2 := NewServer(t2, ServerConfig{})
+	defer s2.Close()
+	if err := s2.Register("fix", m); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := s2.CapacityPlan(demands, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Fatalf("capacity prediction not reproducible:\n first %+v\n second %+v", rep1, rep2)
+	}
+}
+
+func TestCalibrationHealsCorruptArtifact(t *testing.T) {
+	dir := t.TempDir()
+	oldProbes := hostProbes
+	defer func() { hostProbes = oldProbes }()
+	runs := 0
+	hostProbes = countingProbes(&runs)
+
+	if err := os.WriteFile(filepath.Join(dir, calib.FileName), []byte("{half a file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tu := NewTuner(WithCalibration(dir))
+	defer tu.Close()
+	if runs == 0 {
+		t.Fatal("corrupt artifact must trigger a re-probe")
+	}
+	if c := tu.Calibration(); !c.Probed || c.MainGBs != 30 {
+		t.Fatalf("heal produced wrong calibration: %+v", c)
+	}
+	// The file must now be the healed artifact.
+	if _, err := calib.Load(dir); err != nil {
+		t.Fatalf("healed artifact unreadable: %v", err)
+	}
+}
+
+func TestUncalibratedTunerStillPlansCapacity(t *testing.T) {
+	tu := NewTuner()
+	defer tu.Close()
+	c := tu.Calibration()
+	if c.Calibrated || c.Probed {
+		t.Fatalf("plain tuner claims calibration: %+v", c)
+	}
+	if c.MainGBs <= 0 {
+		t.Fatal("fallback calibration must carry the static ceilings")
+	}
+	s := NewServer(tu, ServerConfig{})
+	defer s.Close()
+	if err := s.Register("fix", capacityFixture(t)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.CapacityPlan([]CapacityDemand{{Name: "fix", RequestsPerSec: 50}}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replicas < 1 {
+		t.Fatalf("capacity plan: %+v", rep)
+	}
+	if _, err := s.CapacityPlan([]CapacityDemand{{Name: "ghost"}}, 0.5); err == nil {
+		t.Fatal("unregistered matrix must fail the plan")
+	}
+}

@@ -13,6 +13,7 @@
 //	spmvbench -exp sym -scale 0.1       # symmetric SSS vs expanded CSR
 //	spmvbench -exp warm -scale 0.1      # plan store: cold tune vs warm start
 //	spmvbench -exp serve -scale 0.1     # serving: coalesced vs sequential
+//	spmvbench -exp twin -scale 0.1      # digital twin: predicted vs measured Gflops
 //	spmvbench -exp all -scale 0.25      # every modeled experiment
 //
 // The reuse, sellcs, spmm, sym, warm and serve experiments run
@@ -22,8 +23,10 @@
 // experiments assert their own invariants (zero warm-path
 // measurements and identical plans; coalesced throughput at least
 // sequential and reference-exact answers) and exit nonzero when they
-// fail, so CI can use them as smoke tests. -json writes the serve
-// result as JSON beside the table.
+// fail, so CI can use them as smoke tests; twin likewise exits
+// nonzero when the cost model's mean prediction error exceeds its
+// gate. -json writes the serve or twin result as JSON beside the
+// table.
 //
 // Ablations: ablate-delta, ablate-split, ablate-sched,
 // ablate-prefetch, ablate-partitioned-ml.
@@ -42,13 +45,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1, fig3, fig7, table4, table5, platforms, features, reuse, sellcs, spmm, sym, warm, serve, ablate-*, all")
+		exp      = flag.String("exp", "all", "experiment: fig1, fig3, fig7, table4, table5, platforms, features, reuse, sellcs, spmm, sym, warm, serve, twin, ablate-*, all")
 		platform = flag.String("platform", "", "fig7 platform: knc, knl, bdw (default: all three)")
 		scale    = flag.Float64("scale", 1.0, "suite size multiplier (1.0 = reproduction size)")
 		corpus   = flag.Int("corpus", 210, "training corpus size")
 		matrices = flag.String("matrix", "", "comma-separated suite subset")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonPath = flag.String("json", "", "also write the result as JSON to this path (serve)")
+		jsonPath = flag.String("json", "", "also write the result as JSON to this path (serve, twin)")
 	)
 	flag.Parse()
 
@@ -122,6 +125,25 @@ func main() {
 				}
 			}
 		}
+	case "twin":
+		// The accuracy gate returns the (partial) result alongside the
+		// error: emit the table either way so a failing smoke still
+		// shows which matrices missed.
+		res, terr := experiments.Twin(cfg)
+		if res != nil {
+			emit(res.Table())
+			if *jsonPath != "" {
+				var buf []byte
+				var jerr error
+				if buf, jerr = json.MarshalIndent(res, "", "  "); jerr == nil {
+					jerr = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+				}
+				if terr == nil {
+					terr = jerr
+				}
+			}
+		}
+		err = terr
 	case "ablate-delta":
 		emit(experiments.AblateDelta(cfg).Table())
 	case "ablate-split":

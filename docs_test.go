@@ -1,14 +1,15 @@
 // Mirrors the code samples of README.md, docs/guide/platforms.md,
 // docs/guide/formats.md, docs/guide/batching.md, docs/guide/symmetry.md,
-// docs/guide/plans.md and docs/guide/serving.md so the documented API
-// cannot drift without breaking the build: every call here appears in
-// a published snippet.
+// docs/guide/plans.md, docs/guide/serving.md and docs/guide/twin.md so
+// the documented API cannot drift without breaking the build: every
+// call here appears in a published snippet.
 package spmvtuner_test
 
 import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -272,6 +273,74 @@ func TestSymmetryGuideSamples(t *testing.T) {
 	}
 	if s.Bytes() >= csr.Bytes() {
 		t.Fatalf("SSS bytes %d not below CSR bytes %d", s.Bytes(), csr.Bytes())
+	}
+}
+
+// TestTwinGuideSamples exercises docs/guide/twin.md: the
+// WithCalibration flow, the Calibration() inspection sample, and the
+// Server.CapacityPlan sizing sample — including the restart promise
+// that the second Tuner loads the artifact without probing and the
+// capacity report is reproducible.
+func TestTwinGuideSamples(t *testing.T) {
+	m, err := spmvtuner.SuiteMatrix("FEM_3D_thermal2", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	plan := func() (spmvtuner.HostCalibration, spmvtuner.CapacityReport) {
+		tuner := spmvtuner.NewTuner(
+			spmvtuner.WithCalibration(dir),
+			spmvtuner.WithPlanStore(dir),
+		)
+		defer tuner.Close()
+
+		c := tuner.Calibration()
+		if !c.Calibrated || c.MainGBs <= 0 || c.PerCoreGBs <= 0 || c.UsableThreads < 1 {
+			t.Fatalf("guide's ceilings sample: %+v", c)
+		}
+
+		srv := spmvtuner.NewServer(tuner, spmvtuner.ServerConfig{})
+		defer srv.Close()
+		if err := srv.Register("thermal", m); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := srv.CapacityPlan([]spmvtuner.CapacityDemand{
+			{Name: "thermal", RequestsPerSec: 500},
+		}, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Replicas < 1 || (rep.Binding != "compute" && rep.Binding != "bandwidth") {
+			t.Fatalf("guide's capacity sample: %+v", rep)
+		}
+		if len(rep.PerMatrix) != 1 || rep.PerMatrix[0].SecondsPerOp <= 0 {
+			t.Fatalf("per-matrix itemization: %+v", rep.PerMatrix)
+		}
+		return c, rep
+	}
+
+	c1, rep1 := plan()
+	if !c1.Probed {
+		t.Fatal("first calibrated tuner did not probe")
+	}
+	// "Every later Tuner loads the artifact with zero probe runs" and
+	// "the report is identical across restarts".
+	c2, rep2 := plan()
+	if c2.Probed {
+		t.Fatal("second tuner re-probed despite the persisted artifact")
+	}
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Fatalf("capacity report drifted across restarts: %+v vs %+v", rep1, rep2)
+	}
+
+	// The guide's unregistered-name promise.
+	tuner := spmvtuner.NewTuner(spmvtuner.WithCalibration(dir))
+	defer tuner.Close()
+	srv := spmvtuner.NewServer(tuner, spmvtuner.ServerConfig{})
+	defer srv.Close()
+	if _, err := srv.CapacityPlan([]spmvtuner.CapacityDemand{{Name: "ghost", RequestsPerSec: 1}}, 0.7); !errors.Is(err, spmvtuner.ErrNotRegistered) {
+		t.Fatalf("unregistered demand: %v", err)
 	}
 }
 

@@ -1,0 +1,85 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+)
+
+// Demand is one matrix's contribution to a serving mix: the analytic
+// twin's per-request cost and the target request rate.
+type Demand struct {
+	// Name is the registered matrix name.
+	Name string `json:"name"`
+	// RequestsPerSec is the target arrival rate for this matrix.
+	RequestsPerSec float64 `json:"requestsPerSec"`
+	// SecondsPerOp is the twin-predicted wall time of one SpMV.
+	SecondsPerOp float64 `json:"secondsPerOp"`
+	// BytesPerOp is the twin-predicted memory traffic of one SpMV.
+	BytesPerOp float64 `json:"bytesPerOp"`
+	// Gflops is the twin-predicted per-op rate, carried for reporting.
+	Gflops float64 `json:"gflops"`
+}
+
+// Capacity is a replica-count prediction for a demand mix on one
+// calibrated host shape.
+type Capacity struct {
+	// Replicas is the predicted number of host replicas needed.
+	Replicas int `json:"replicas"`
+	// ComputeUtil and BandwidthUtil are the mix's aggregate demand as
+	// a fraction of ONE replica's budget (so 2.3 means "2.3 hosts of
+	// compute"). The binding one determines Replicas.
+	ComputeUtil   float64 `json:"computeUtil"`
+	BandwidthUtil float64 `json:"bandwidthUtil"`
+	// Binding names the resource that set the replica count:
+	// "compute" or "bandwidth".
+	Binding string `json:"binding"`
+	// Headroom echoes the utilization target the plan was sized for.
+	Headroom float64 `json:"headroom"`
+}
+
+// PlanCapacity sizes a replica fleet for a demand mix against this
+// calibration's measured ceilings. Each demand contributes
+// rate x seconds of compute occupancy and rate x bytes of memory
+// traffic; one replica offers 1 second/second of compute and
+// MainGBs x 1e9 bytes/second of bandwidth, derated by headroom (the
+// target utilization, e.g. 0.7 sizes the fleet to run at 70%).
+// SpMV is bandwidth-bound on most hosts, so the bandwidth dimension
+// usually binds — exactly the paper's roofline argument, priced with
+// measured rather than guessed ceilings.
+func (c Calibration) PlanCapacity(demands []Demand, headroom float64) (Capacity, error) {
+	if headroom <= 0 || headroom > 1 {
+		return Capacity{}, fmt.Errorf("calib: headroom %g outside (0,1]", headroom)
+	}
+	if err := c.Valid(); err != nil {
+		return Capacity{}, err
+	}
+	var busySecs, bytesPerSec float64
+	for _, d := range demands {
+		if d.RequestsPerSec < 0 || !isFinite(d.RequestsPerSec) {
+			return Capacity{}, fmt.Errorf("calib: demand %q has rate %g", d.Name, d.RequestsPerSec)
+		}
+		if d.SecondsPerOp < 0 || d.BytesPerOp < 0 || !isFinite(d.SecondsPerOp) || !isFinite(d.BytesPerOp) {
+			return Capacity{}, fmt.Errorf("calib: demand %q has non-finite or negative cost", d.Name)
+		}
+		busySecs += d.RequestsPerSec * d.SecondsPerOp
+		bytesPerSec += d.RequestsPerSec * d.BytesPerOp
+	}
+	out := Capacity{
+		ComputeUtil:   busySecs,
+		BandwidthUtil: bytesPerSec / (c.MainGBs * 1e9),
+		Headroom:      headroom,
+		Binding:       "compute",
+	}
+	need := out.ComputeUtil
+	if out.BandwidthUtil > need {
+		need = out.BandwidthUtil
+		out.Binding = "bandwidth"
+	}
+	out.Replicas = int(math.Ceil(need / headroom))
+	if out.Replicas < 1 {
+		out.Replicas = 1
+	}
+	return out, nil
+}
+
+func isFinite(v float64) bool { return !math.IsInf(v, 0) && !math.IsNaN(v) }

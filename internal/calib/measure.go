@@ -1,0 +1,152 @@
+package calib
+
+import (
+	"github.com/sparsekit/spmvtuner/internal/machine"
+)
+
+// Probes bundles the hardware measurement kernels Measure drives. The
+// indirection (function values, not a direct import of
+// internal/native) keeps this package's dependencies to the machine
+// model, lets native delegate its CalibratedHost to calib without a
+// cycle, and makes "how many times was the hardware probed" directly
+// countable in tests.
+type Probes struct {
+	// Triad runs a STREAM triad over three arrays of elems float64s on
+	// nt goroutines for iters repetitions and returns the best rate in
+	// GB/s. A non-finite or non-positive return marks the point as
+	// unmeasurable and it is skipped.
+	Triad func(elems, nt, iters int) float64
+	// Scalar runs a serial scalar multiply-add chain and returns the
+	// sustained rate in Gflops. Optional: nil leaves ScalarGflops 0 and
+	// the base model's clock untouched.
+	Scalar func(iters int) float64
+}
+
+// Probe working-set sizes, chosen relative to the LLC: the triad
+// streams three arrays, so cache residency needs 3*elems*8 well under
+// the LLC, and main-memory truth needs it well over.
+const (
+	mainSweepElems = 1 << 22 // 96 MiB of traffic: safely past any LLC here
+	triadIters     = 3
+	scalarIters    = 1 << 22
+)
+
+// saturationFrac is how close to the best observed rate a thread
+// count must come to be called saturating. 90% absorbs run-to-run
+// noise without crediting a width that is still clearly climbing.
+const saturationFrac = 0.90
+
+// Measure runs the full calibration suite against p and returns the
+// artifact: a thread-count sweep of the triad at a main-memory-sized
+// working set (per-core rate, saturated rate, and the smallest
+// saturating width), a working-set sweep at the saturating width for
+// the cache-resident rate, and the optional scalar compute probe.
+// base supplies the topology (thread count, LLC size) the sweeps are
+// shaped around.
+func Measure(p Probes, base machine.Model) Calibration {
+	c := Calibration{
+		Version:        CurrentVersion,
+		Machine:        base.Codename,
+		NumCPU:         base.Threads(),
+		Cores:          base.Cores,
+		ThreadsPerCore: base.ThreadsPerCore,
+		UsableThreads:  1,
+		Library:        Library,
+	}
+
+	// Thread sweep: 1, 2, 4, ... and always the full width, at a
+	// working set that cannot fit in cache.
+	for _, nt := range threadSteps(c.NumCPU) {
+		gbs := p.Triad(mainSweepElems, nt, triadIters)
+		if !finitePositive(gbs) {
+			continue
+		}
+		c.ThreadSweep = append(c.ThreadSweep, BandwidthPoint{Threads: nt, Elems: mainSweepElems, GBs: gbs})
+	}
+	best := 0.0
+	for _, pt := range c.ThreadSweep {
+		if pt.Threads == 1 {
+			c.PerCoreGBs = pt.GBs
+		}
+		if pt.GBs > best {
+			best = pt.GBs
+		}
+	}
+	c.MainGBs = best
+	for _, pt := range c.ThreadSweep {
+		if pt.GBs >= saturationFrac*best {
+			c.UsableThreads = pt.Threads
+			break
+		}
+	}
+
+	// Working-set sweep at the saturating width: a footprint well
+	// inside the LLC measures the cache-resident ceiling the old code
+	// guessed as "main x 2".
+	for _, elems := range workingSetSteps(base.LLCBytes()) {
+		gbs := p.Triad(elems, c.UsableThreads, triadIters)
+		if !finitePositive(gbs) {
+			continue
+		}
+		c.WorkingSetSweep = append(c.WorkingSetSweep, BandwidthPoint{Threads: c.UsableThreads, Elems: elems, GBs: gbs})
+	}
+	for _, pt := range c.WorkingSetSweep {
+		if pt.GBs > c.LLCGBs {
+			c.LLCGBs = pt.GBs
+		}
+	}
+
+	// Degenerate probes (every point unmeasurable) must still yield a
+	// Valid artifact rather than a zeroed one that fails to persist;
+	// fall back to the base model's static ceilings.
+	if !finitePositive(c.PerCoreGBs) {
+		c.PerCoreGBs = base.PerCoreGBs
+	}
+	if !finitePositive(c.MainGBs) {
+		c.MainGBs = base.StreamMainGBs
+	}
+	// The LLC rate can never be below the main-memory rate; on hosts
+	// where the triad footprint never fits in cache the sweep measures
+	// main-memory traffic and the max just reproduces MainGBs.
+	if c.LLCGBs < c.MainGBs {
+		c.LLCGBs = c.MainGBs
+	}
+
+	if p.Scalar != nil {
+		if gf := p.Scalar(scalarIters); finitePositive(gf) {
+			c.ScalarGflops = gf
+		}
+	}
+	return c
+}
+
+// threadSteps yields 1, 2, 4, ... up to and always including max.
+func threadSteps(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var steps []int
+	for nt := 1; nt < max; nt *= 2 {
+		steps = append(steps, nt)
+	}
+	return append(steps, max)
+}
+
+// workingSetSteps yields per-array element counts whose triad
+// footprint (3 arrays x 8 bytes) lands at roughly 1/8, 1/4, and 1/2
+// of the LLC — all cache-resident, sampled at several sizes so one
+// unlucky point cannot define the ceiling.
+func workingSetSteps(llcBytes int64) []int {
+	if llcBytes <= 0 {
+		llcBytes = 1 << 20
+	}
+	var steps []int
+	for _, div := range []int64{8, 4, 2} {
+		elems := int(llcBytes / div / 24)
+		if elems < 1<<10 {
+			elems = 1 << 10
+		}
+		steps = append(steps, elems)
+	}
+	return steps
+}

@@ -1,0 +1,83 @@
+package calib
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/sparsekit/spmvtuner/internal/machine"
+)
+
+// FileName is the on-disk artifact name. The schema version is part
+// of the name so a future v2 never tries to parse a v1 file: it just
+// measures and writes its own.
+const FileName = "calibration.v1.json"
+
+// Load reads and strictly decodes the artifact from dir. It returns
+// os.ErrNotExist (wrapped) when no artifact has been written yet; any
+// other failure — unreadable file, torn write, unknown fields, wrong
+// version, non-finite rates — is a decode error the caller should
+// treat as "re-measure".
+func Load(dir string) (Calibration, error) {
+	path := filepath.Join(dir, FileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Calibration{}, fmt.Errorf("calib: read %s: %w", path, err)
+	}
+	c, err := Decode(data)
+	if err != nil {
+		return Calibration{}, fmt.Errorf("calib: %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Save persists the artifact to dir atomically: encode, write to a
+// temp file in the same directory, rename over the final name. A
+// reader (or a concurrent Tuner in another process) sees either the
+// old complete file or the new complete file, never a torn one.
+func Save(dir string, c Calibration) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("calib: create dir: %w", err)
+	}
+	data, err := Encode(c)
+	if err != nil {
+		return fmt.Errorf("calib: encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".calib-*.tmp")
+	if err != nil {
+		return fmt.Errorf("calib: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("calib: write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("calib: close: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, FileName)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("calib: rename: %w", err)
+	}
+	return nil
+}
+
+// LoadOrMeasure is the startup path: load the persisted artifact from
+// dir if one exists and still matches the running host, otherwise run
+// the probes and persist the result. The bool reports whether the
+// hardware was probed — false means the host was calibrated by an
+// earlier run and this startup cost zero probe time. Corrupt, stale,
+// or wrong-version files heal by re-measuring and overwriting; a
+// failed save is reported but does not discard the fresh measurement.
+func LoadOrMeasure(dir string, p Probes, base machine.Model) (Calibration, bool, error) {
+	if c, err := Load(dir); err == nil && !c.StaleFor(base) {
+		return c, false, nil
+	}
+	c := Measure(p, base)
+	if err := Save(dir, c); err != nil {
+		return c, true, err
+	}
+	return c, true, nil
+}

@@ -10,6 +10,8 @@
 package core
 
 import (
+	"math"
+
 	"github.com/sparsekit/spmvtuner/internal/bounds"
 	"github.com/sparsekit/spmvtuner/internal/classify"
 	ex "github.com/sparsekit/spmvtuner/internal/exec"
@@ -49,7 +51,27 @@ type Pipeline struct {
 	// layer that makes repeat traffic pay the classify + sweep cost
 	// once, ever.
 	Store *planstore.Store
+	// Twin, when non-nil, is the calibrated analytic model of this
+	// host (a sim executor over measured ceilings). Prepare uses it
+	// two ways: a fresh plan is priced by the twin so the stored
+	// artifact carries an analytic prediction, and a store-loaded plan
+	// is re-priced before it is trusted — a plan whose recorded
+	// PredictedGflops disagrees with the local twin by more than
+	// TwinTolerance was decided on a different machine shape and is
+	// re-tuned instead of blindly reused. All of this is analytic:
+	// the gate costs zero hardware measurements.
+	Twin ex.Executor
+	// TwinTolerance is the relative deviation the validation gate
+	// accepts; zero means DefaultTwinTolerance.
+	TwinTolerance float64
 }
+
+// DefaultTwinTolerance is the twin validation gate's default: a
+// stored prediction within 50% of the local twin's is trusted.
+// Analytic models are good to tens of percent (the paper's Table IV
+// framing), so a factor-of-two disagreement means a different
+// machine, not model noise.
+const DefaultTwinTolerance = 0.5
 
 // New builds a profile-guided pipeline over the executor.
 func New(e ex.Executor) *Pipeline {
@@ -111,6 +133,27 @@ func (p *Pipeline) bind(fp string, pl plan.Plan) plan.Plan {
 	return pl
 }
 
+// twinTrusts is the analytic plan-validation gate: re-price a
+// store-loaded plan on the local twin and accept it only when its
+// recorded prediction agrees within tolerance. Plans with no recorded
+// prediction (tuned before the twin existed) and pipelines with no
+// twin pass trivially — the gate narrows trust, it never blocks the
+// legacy path.
+func (p *Pipeline) twinTrusts(m *matrix.CSR, pl plan.Plan) bool {
+	if p.Twin == nil || pl.PredictedGflops <= 0 {
+		return true
+	}
+	local := opt.Evaluate(p.Twin, m, pl).Gflops
+	if local <= 0 {
+		return true
+	}
+	tol := p.TwinTolerance
+	if tol <= 0 {
+		tol = DefaultTwinTolerance
+	}
+	return math.Abs(pl.PredictedGflops-local)/local <= tol
+}
+
 // storeKey is the (fingerprint, machine, version) identity Prepare
 // caches plans under.
 func (p *Pipeline) storeKey(fp string) planstore.Key {
@@ -149,6 +192,31 @@ func (p *Pipeline) PlanOnly(m *matrix.CSR) plan.Plan {
 	return p.bind(matrix.Fingerprint(m), p.optimizer().Plan(p.Exec, m))
 }
 
+// PriceOn analytically prices m on the given twin executor: the
+// stored plan when a valid one exists (so capacity predictions agree
+// with what serving will actually run), otherwise a plan decided
+// entirely on the twin. Both paths cost zero hardware measurements —
+// classification, candidate sweep and the final evaluation all run on
+// the analytic model — and are deterministic for a fixed calibration,
+// so a restarted process predicts identical capacity.
+func (p *Pipeline) PriceOn(twin ex.Executor, m *matrix.CSR) (plan.Plan, ex.Result) {
+	fp := matrix.Fingerprint(m)
+	if p.Store != nil {
+		if pl, ok := p.Store.Get(p.storeKey(fp)); ok && pl.ValidateForFingerprint(m, fp) == nil {
+			return pl, opt.Evaluate(twin, m, pl)
+		}
+	}
+	tp := &Pipeline{
+		Exec:         twin,
+		Mode:         p.Mode,
+		Tree:         p.Tree,
+		TreeFeatures: p.TreeFeatures,
+		Thresholds:   p.Thresholds,
+	}
+	pl := tp.bind(fp, tp.optimizer().Plan(twin, m))
+	return pl, opt.Evaluate(twin, m, pl)
+}
+
 // Prepare turns a matrix into an executable decision: a bound Plan
 // plus, when the pipeline's executor supports persistent kernels, the
 // compiled kernel (nil for analysis-only executors like the simulator
@@ -160,7 +228,8 @@ func (p *Pipeline) PlanOnly(m *matrix.CSR) plan.Plan {
 // return reports which path ran. A miss tunes, measures the chosen
 // configuration once (recording its rate in the plan), and writes the
 // plan back. Stale store entries (fingerprint mismatch, wrong
-// symmetry) are deleted and re-tuned.
+// symmetry, or a prediction the twin gate rejects) are deleted and
+// re-tuned.
 func (p *Pipeline) Prepare(m *matrix.CSR) (plan.Plan, ex.PreparedKernel, bool) {
 	pe, prepared := p.Exec.(ex.PreparedExecutor)
 	fp := matrix.Fingerprint(m) // hashed once; key, validation and bind share it
@@ -168,7 +237,7 @@ func (p *Pipeline) Prepare(m *matrix.CSR) (plan.Plan, ex.PreparedKernel, bool) {
 	if p.Store != nil {
 		key = p.storeKey(fp)
 		if pl, ok := p.Store.Get(key); ok {
-			if err := pl.ValidateForFingerprint(m, fp); err == nil {
+			if err := pl.ValidateForFingerprint(m, fp); err == nil && p.twinTrusts(m, pl) {
 				var k ex.PreparedKernel
 				if prepared {
 					k = pe.Prepare(m, pl.Opt)
@@ -190,6 +259,11 @@ func (p *Pipeline) Prepare(m *matrix.CSR) (plan.Plan, ex.PreparedKernel, bool) {
 		} else {
 			pl.PredictedGflops = r.Gflops
 		}
+	}
+	if p.Twin != nil {
+		// The twin's analytic price is the prediction future loads are
+		// validated against, whatever executor tuned the plan.
+		pl.PredictedGflops = opt.Evaluate(p.Twin, m, pl).Gflops
 	}
 	var k ex.PreparedKernel
 	if prepared {

@@ -172,3 +172,102 @@ func TestPrepareDropsStaleStoreEntry(t *testing.T) {
 		t.Fatalf("store not healed: ok=%v got=%+v", ok, got)
 	}
 }
+
+func TestPrepareTwinGateTrustsConsistentPlan(t *testing.T) {
+	// Exec and twin price with the same calibrated model, so the
+	// stored prediction agrees with the local re-price and the warm
+	// path survives the gate — with zero Exec measurements.
+	ce := &countingExec{Executor: sim.New(machine.KNL())}
+	p := New(ce)
+	p.Store = planstore.New(8)
+	p.Twin = sim.New(machine.KNL())
+	m := gen.UniformRandom(180000, 8, 7)
+
+	pl1, _, warm := p.Prepare(m)
+	if warm {
+		t.Fatal("first Prepare claims warm")
+	}
+	if pl1.PredictedGflops <= 0 {
+		t.Fatal("twin did not stamp a prediction")
+	}
+	coldRuns := ce.runs
+
+	pl2, _, warm := p.Prepare(m)
+	if !warm {
+		t.Fatal("consistent plan rejected by the twin gate")
+	}
+	if ce.runs != coldRuns {
+		t.Fatalf("twin validation cost %d Exec measurements, want 0", ce.runs-coldRuns)
+	}
+	if !reflect.DeepEqual(pl1, pl2) {
+		t.Fatalf("warm plan differs:\n cold %+v\n warm %+v", pl1, pl2)
+	}
+}
+
+func TestPrepareTwinGateRejectsForeignPlan(t *testing.T) {
+	ce := &countingExec{Executor: sim.New(machine.KNL())}
+	p := New(ce)
+	p.Store = planstore.New(8)
+	p.Twin = sim.New(machine.KNL())
+	m := gen.UniformRandom(160000, 6, 11)
+
+	pl, _, _ := p.Prepare(m)
+	key := p.storeKey(pl.Fingerprint)
+
+	// Simulate a plan shipped from a much faster host: same structure,
+	// same codename ("knl"), but a recorded prediction the local twin
+	// cannot reproduce.
+	foreign := pl
+	foreign.PredictedGflops = pl.PredictedGflops * 10
+	if err := p.Store.Put(key, foreign); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _, warm := p.Prepare(m)
+	if warm {
+		t.Fatal("foreign plan trusted despite a 10x prediction mismatch")
+	}
+	if got.PredictedGflops == foreign.PredictedGflops {
+		t.Fatal("re-tune kept the foreign prediction")
+	}
+	// The store must be healed with the locally priced plan.
+	if healed, ok := p.Store.Get(key); !ok || healed.PredictedGflops != got.PredictedGflops {
+		t.Fatalf("store not healed: ok=%v %+v", ok, healed)
+	}
+}
+
+func TestPrepareTwinGateLegacyPlansPass(t *testing.T) {
+	// Plans tuned before the twin existed carry no prediction; the
+	// gate must not force a re-tune for them.
+	ce := &countingExec{Executor: sim.New(machine.KNL())}
+	p := New(ce)
+	p.Store = planstore.New(8)
+	m := gen.UniformRandom(140000, 5, 13)
+
+	pl, _, _ := p.Prepare(m)
+	key := p.storeKey(pl.Fingerprint)
+	legacy := pl
+	legacy.PredictedGflops = 0
+	if err := p.Store.Put(key, legacy); err != nil {
+		t.Fatal(err)
+	}
+	p.Twin = sim.New(machine.KNL())
+	if _, _, warm := p.Prepare(m); !warm {
+		t.Fatal("legacy plan without a prediction must pass the gate")
+	}
+}
+
+func TestTwinToleranceConfigurable(t *testing.T) {
+	p := New(sim.New(machine.KNL()))
+	p.Twin = sim.New(machine.KNL())
+	m := gen.UniformRandom(120000, 6, 17)
+	pl := p.PlanOnly(m)
+	pl.PredictedGflops = 1e-9 // absurdly slow recorded prediction
+	if p.twinTrusts(m, pl) {
+		t.Fatal("default tolerance accepted a wildly off prediction")
+	}
+	p.TwinTolerance = 1e12
+	if !p.twinTrusts(m, pl) {
+		t.Fatal("huge tolerance should accept anything")
+	}
+}

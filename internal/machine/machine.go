@@ -12,7 +12,10 @@ package machine
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"strconv"
+	"strings"
 )
 
 // Model describes one execution platform.
@@ -180,20 +183,41 @@ func Broadwell() Model {
 }
 
 // Host builds a rough model of the running machine for the native
-// executor: core count from the runtime, conservative desktop-class
-// constants elsewhere. Bandwidths should be calibrated with the STREAM
-// probe in internal/native before trusting host-model simulations.
+// executor: hardware-thread count from the runtime, SMT topology from
+// the OS where readable (so physical cores — not hyperthreads — size
+// the per-core resources), conservative desktop-class constants
+// elsewhere. Bandwidths should be calibrated with the STREAM probe in
+// internal/native before trusting host-model simulations; a persisted
+// calibration (internal/calib) overrides the guesses wholesale.
 func Host() Model {
+	ncpu := runtime.NumCPU()
+	return hostWith(ncpu, hostThreadsPerCore(ncpu))
+}
+
+// hostWith assembles the host model for ncpu hardware threads at tpc
+// threads per core. Counting SMT threads as physical cores would
+// inflate every per-core resource — most visibly the aggregate L2
+// (Cores x 512 KiB), which shifts the cost model's cache-residency
+// crossover on hyperthreaded hosts — so Cores is the physical
+// estimate and Threads() recovers ncpu.
+func hostWith(ncpu, tpc int) Model {
+	if tpc < 1 {
+		tpc = 1
+	}
+	cores := ncpu / tpc
+	if cores < 1 {
+		cores = 1
+	}
 	return Model{
 		Name:     "host",
 		Codename: "host",
 
-		Cores:          runtime.NumCPU(),
-		ThreadsPerCore: 1,
+		Cores:          cores,
+		ThreadsPerCore: tpc,
 		FreqGHz:        2.5,
 
 		L1DBytes:       32 << 10,
-		L2Bytes:        int64(runtime.NumCPU()) * (512 << 10),
+		L2Bytes:        int64(cores) * (512 << 10),
 		L3Bytes:        16 << 20,
 		CacheLineBytes: 64,
 
@@ -212,6 +236,55 @@ func Host() Model {
 		GatherCyclesPerElem: 0.25,
 		RowOverheadCycles:   6,
 	}
+}
+
+// smtTopologyPath is the Linux sysfs file listing cpu0's SMT siblings;
+// a var so tests can point it at fixtures.
+var smtTopologyPath = "/sys/devices/system/cpu/cpu0/topology/thread_siblings_list"
+
+// hostThreadsPerCore estimates the host's SMT width: the number of
+// hardware threads sharing cpu0's physical core, read from the Linux
+// sysfs topology. Unreadable or implausible answers (non-Linux,
+// containers masking sysfs, a sibling count that does not divide the
+// visible CPU count) fall back to 1 — the conservative pre-calibration
+// guess, which a persisted calibration later overrides.
+func hostThreadsPerCore(ncpu int) int {
+	data, err := os.ReadFile(smtTopologyPath)
+	if err != nil {
+		return 1
+	}
+	tpc := countCPUList(strings.TrimSpace(string(data)))
+	if tpc < 1 || ncpu%tpc != 0 {
+		return 1
+	}
+	return tpc
+}
+
+// countCPUList counts the CPUs in a sysfs cpulist string: comma-
+// separated entries, each a single id ("3") or an inclusive range
+// ("0-5"). Malformed lists count as 0 (callers fall back).
+func countCPUList(list string) int {
+	if list == "" {
+		return 0
+	}
+	total := 0
+	for _, part := range strings.Split(list, ",") {
+		lo, hi, ok := strings.Cut(part, "-")
+		a, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil {
+			return 0
+		}
+		if !ok {
+			total++
+			continue
+		}
+		b, err := strconv.Atoi(strings.TrimSpace(hi))
+		if err != nil || b < a {
+			return 0
+		}
+		total += b - a + 1
+	}
+	return total
 }
 
 // ByCodename resolves "knc", "knl", "bdw" or "host".

@@ -135,3 +135,80 @@ func TestCyclesPerSecond(t *testing.T) {
 		t.Fatalf("KNC cycles/s = %g", got)
 	}
 }
+
+func TestHostWithSMTCountsPhysicalCores(t *testing.T) {
+	// 8 hardware threads at 2 threads/core: 4 physical cores, and the
+	// aggregate L2 must follow the cores, not the threads. Before the
+	// fix the host model counted every SMT thread as a core, doubling
+	// the modeled L2 on hyperthreaded machines.
+	m := hostWith(8, 2)
+	if m.Cores != 4 || m.ThreadsPerCore != 2 {
+		t.Fatalf("hostWith(8,2) = %d cores x %d, want 4 x 2", m.Cores, m.ThreadsPerCore)
+	}
+	if m.Threads() != 8 {
+		t.Fatalf("Threads() = %d, want the full 8 hardware threads", m.Threads())
+	}
+	if want := int64(4) * (512 << 10); m.L2Bytes != want {
+		t.Fatalf("aggregate L2 = %d, want %d (4 physical cores x 512 KiB)", m.L2Bytes, want)
+	}
+}
+
+func TestHostWithPinsBandwidthCrossover(t *testing.T) {
+	// The cache-residency crossover must sit exactly at the LLC
+	// boundary and must not move when the same hardware is described
+	// as SMT (8 threads over 4 cores) instead of 8 plain cores.
+	smt, flat := hostWith(8, 2), hostWith(8, 1)
+	for _, m := range []Model{smt, flat} {
+		llc := m.LLCBytes()
+		if got := m.PeakBandwidth(llc); got != m.StreamLLCGBs*1e9 {
+			t.Fatalf("working set == LLC should price at the LLC rate, got %g", got)
+		}
+		if got := m.PeakBandwidth(llc + 1); got != m.StreamMainGBs*1e9 {
+			t.Fatalf("working set just past LLC should price at the main rate, got %g", got)
+		}
+	}
+	if smt.LLCBytes() != flat.LLCBytes() {
+		t.Fatalf("SMT description moved the crossover: %d vs %d", smt.LLCBytes(), flat.LLCBytes())
+	}
+}
+
+func TestHostWithDefensiveArgs(t *testing.T) {
+	m := hostWith(1, 0)
+	if m.Cores != 1 || m.ThreadsPerCore != 1 {
+		t.Fatalf("hostWith(1,0) = %+v, want 1 core x 1 thread", m)
+	}
+	// An SMT width that exceeds the thread count must not zero Cores.
+	m = hostWith(2, 4)
+	if m.Cores < 1 {
+		t.Fatalf("hostWith(2,4) produced %d cores", m.Cores)
+	}
+}
+
+func TestCountCPUList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"0", 1},
+		{"0,4", 2},
+		{"0-3", 4},
+		{"0-1,8-9", 4},
+		{"", 0},
+		{"x", 0},
+		{"3-1", 0},
+	}
+	for _, c := range cases {
+		if got := countCPUList(c.in); got != c.want {
+			t.Errorf("countCPUList(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHostThreadsPerCoreFallsBack(t *testing.T) {
+	old := smtTopologyPath
+	defer func() { smtTopologyPath = old }()
+	smtTopologyPath = "/nonexistent/topology"
+	if got := hostThreadsPerCore(8); got != 1 {
+		t.Fatalf("unreadable topology should fall back to 1, got %d", got)
+	}
+}

@@ -9,10 +9,12 @@
 package native
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"time"
 
+	"github.com/sparsekit/spmvtuner/internal/calib"
 	ex "github.com/sparsekit/spmvtuner/internal/exec"
 	"github.com/sparsekit/spmvtuner/internal/formats"
 	"github.com/sparsekit/spmvtuner/internal/machine"
@@ -60,8 +62,18 @@ type preparedKey struct {
 // pool lives until Close; a finalizer reclaims the workers if the
 // executor is dropped without closing.
 func New() *Executor {
+	return NewWithModel(machine.Host())
+}
+
+// NewWithModel returns a native executor describing itself with m —
+// typically a calibrated host model whose ceilings were measured
+// rather than guessed. The worker pool spans every hardware thread
+// (not just physical cores: SpMV's irregular gathers hide latency
+// well under SMT, and shrinking the pool to the core count would
+// regress hyperthreaded hosts).
+func NewWithModel(m machine.Model) *Executor {
 	e := &Executor{
-		model:    machine.Host(),
+		model:    m,
 		Iters:    3,
 		deltas:   make(map[*matrix.CSR]*formats.DeltaCSR),
 		splits:   make(map[*matrix.CSR]*formats.SplitCSR),
@@ -69,7 +81,7 @@ func New() *Executor {
 		ssses:    make(map[*matrix.CSR]*formats.SSS),
 		prepared: make(map[preparedKey]*Prepared),
 	}
-	e.workers = NewPool(e.model.Cores)
+	e.workers = NewPool(e.model.Threads())
 	// The pool's goroutines reference only the pool, so an unreachable
 	// Executor is collectable; closing from the finalizer unparks and
 	// ends the workers.
@@ -123,7 +135,7 @@ func (e *Executor) Release(m *matrix.CSR) {
 // STREAM triad and keeps the parallel width only when it pays.
 func (e *Executor) usableThreads() int {
 	e.probeOnce.Do(func() {
-		n := e.model.Cores
+		n := e.model.Threads()
 		if n <= 1 {
 			e.usable = 1
 			return
@@ -398,10 +410,18 @@ func (e *Executor) MulVecOnce(m *matrix.CSR, o ex.Optim, x, y []float64) {
 	p.MulVec(x, y)
 }
 
+// minMeasurableSecs is the floor below which a triad timing is noise:
+// coarse platform clocks can report 0 elapsed seconds for a fast run,
+// and dividing by that yields +Inf GB/s, which then poisons any model
+// that trusts "gbs > 0". Runs faster than the floor return 0
+// ("unmeasurable") instead of a garbage rate.
+const minMeasurableSecs = 100e-9
+
 // StreamTriad measures sustainable memory bandwidth with the classic
 // a[i] = b[i] + s*c[i] kernel over nt goroutines, returning GB/s. It
 // is the paper's B_max measurement (Table III's STREAM row) for the
-// host platform.
+// host platform. A run too fast for the clock to resolve returns 0;
+// the result is always finite.
 func StreamTriad(elems int, nt int, iters int) float64 {
 	if elems < 1<<16 {
 		elems = 1 << 16
@@ -446,17 +466,70 @@ func StreamTriad(elems int, nt int, iters int) float64 {
 		}
 	}
 	bytes := float64(elems) * 8 * 3 // two reads + one write
-	return bytes / bestSecs / 1e9
+	return safeRate(bytes, bestSecs)
 }
 
-// CalibratedHost returns the host machine model with its bandwidth
-// replaced by a measured STREAM triad figure.
-func CalibratedHost() machine.Model {
-	mdl := machine.Host()
-	gbs := StreamTriad(1<<22, mdl.Cores, 3)
-	if gbs > 0 {
-		mdl.StreamMainGBs = gbs
-		mdl.StreamLLCGBs = gbs * 2
+// safeRate converts units moved in secs to giga-units/second,
+// returning 0 — "unmeasurable" — instead of +Inf/NaN when the timing
+// is below the clock floor or otherwise degenerate. This is the
+// regression guard for the bestSecs == 0 division.
+func safeRate(units, secs float64) float64 {
+	if secs < minMeasurableSecs {
+		return 0
 	}
-	return mdl
+	rate := units / secs / 1e9
+	if math.IsInf(rate, 0) || math.IsNaN(rate) {
+		return 0
+	}
+	return rate
+}
+
+// scalarSink defeats dead-code elimination of the ScalarRate chain.
+var scalarSink float64
+
+// ScalarRate measures the single-thread scalar multiply-add rate in
+// Gflops. Two independent accumulator chains hide part of the FMA
+// latency: a single dependent chain would measure latency, not a
+// sustainable rate, while deep ILP would measure a throughput SpMV's
+// dependent per-row accumulations never reach — two chains sit where
+// the row-wise kernels actually operate. Like StreamTriad it returns
+// 0 when the run is too fast to time.
+func ScalarRate(iters int) float64 {
+	if iters < 1<<16 {
+		iters = 1 << 16
+	}
+	iters &^= 1 // multiple of the chain count
+	x, y := 1.0000001, 0.9999999
+	// Warmup plus timed run share the loop; only the timed one counts.
+	run := func(n int) float64 {
+		a0, a1 := 1.0, 1.01
+		for i := 0; i < n; i += 2 {
+			a0 = a0*x + y
+			a1 = a1*x + y
+		}
+		return a0 + a1
+	}
+	scalarSink = run(iters / 4)
+	start := time.Now()
+	scalarSink += run(iters)
+	secs := time.Since(start).Seconds()
+	return safeRate(2*float64(iters), secs)
+}
+
+// HostProbes bundles the native measurement kernels in the shape
+// internal/calib drives: this is the one place probe functions and
+// the calibration machinery meet, and swapping it out (tests,
+// facade) controls exactly how often the hardware is touched.
+func HostProbes() calib.Probes {
+	return calib.Probes{Triad: StreamTriad, Scalar: ScalarRate}
+}
+
+// CalibratedHost returns the host machine model with every ceiling
+// replaced by a fresh measurement: the full calib.Measure suite —
+// thread sweep, working-set sweep, scalar probe — applied to
+// machine.Host(). Callers that want the measurement persisted should
+// use calib.LoadOrMeasure with these probes instead.
+func CalibratedHost() machine.Model {
+	base := machine.Host()
+	return calib.Measure(HostProbes(), base).Apply(base)
 }

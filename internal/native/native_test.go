@@ -7,6 +7,7 @@ import (
 
 	ex "github.com/sparsekit/spmvtuner/internal/exec"
 	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/machine"
 	"github.com/sparsekit/spmvtuner/internal/matrix"
 	"github.com/sparsekit/spmvtuner/internal/sched"
 )
@@ -154,5 +155,64 @@ func TestCalibratedHost(t *testing.T) {
 	mdl := CalibratedHost()
 	if mdl.StreamMainGBs <= 0 || mdl.StreamLLCGBs < mdl.StreamMainGBs {
 		t.Fatalf("calibration wrong: %g/%g", mdl.StreamMainGBs, mdl.StreamLLCGBs)
+	}
+}
+
+func TestSafeRateRejectsDegenerateTimings(t *testing.T) {
+	// Regression: a coarse clock can report 0 elapsed seconds, and the
+	// old StreamTriad divided by it, returning +Inf GB/s which
+	// CalibratedHost's "gbs > 0" happily accepted into the model.
+	if got := safeRate(1e9, 0); got != 0 {
+		t.Fatalf("zero-second timing must be unmeasurable, got %g", got)
+	}
+	if got := safeRate(1e9, minMeasurableSecs/2); got != 0 {
+		t.Fatalf("sub-floor timing must be unmeasurable, got %g", got)
+	}
+	if got := safeRate(math.Inf(1), 1); got != 0 {
+		t.Fatalf("non-finite rate must be rejected, got %g", got)
+	}
+	if got := safeRate(24e9, 1); got != 24 {
+		t.Fatalf("sane timing mispriced: got %g, want 24", got)
+	}
+	if got := StreamTriad(1<<16, 1, 1); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("StreamTriad returned non-finite %g", got)
+	}
+}
+
+func TestScalarRate(t *testing.T) {
+	gf := ScalarRate(1 << 20)
+	if math.IsInf(gf, 0) || math.IsNaN(gf) || gf < 0 {
+		t.Fatalf("scalar rate = %g", gf)
+	}
+	// A measurable run on any real machine lands between 1 Mflops and
+	// 1 Tflops for a serial dependent chain.
+	if gf != 0 && (gf < 0.001 || gf > 1000) {
+		t.Fatalf("scalar rate implausible: %g Gflops", gf)
+	}
+}
+
+func TestHostProbesWired(t *testing.T) {
+	p := HostProbes()
+	if p.Triad == nil || p.Scalar == nil {
+		t.Fatal("host probes must bundle both kernels")
+	}
+	if gbs := p.Triad(1<<18, 1, 1); math.IsInf(gbs, 0) || math.IsNaN(gbs) {
+		t.Fatalf("probe triad non-finite: %g", gbs)
+	}
+}
+
+func TestNewWithModelSpansHardwareThreads(t *testing.T) {
+	// The pool must follow Threads(), not Cores: the SMT topology fix
+	// halves Cores on hyperthreaded hosts and the executor must not
+	// lose parallel width because of it.
+	m := machine.Host()
+	m.Cores, m.ThreadsPerCore = 2, 2
+	e := NewWithModel(m)
+	defer e.Close()
+	if e.workers.Size() != 4 {
+		t.Fatalf("pool size = %d, want 4 hardware threads", e.workers.Size())
+	}
+	if e.Machine().Cores != 2 {
+		t.Fatalf("model not preserved: %+v", e.Machine())
 	}
 }

@@ -271,6 +271,19 @@ func (s *Server) Names() []string {
 	return names
 }
 
+// MatrixFor returns the registered matrix under name. Capacity
+// planning uses it to price each tenant's SpMV analytically without
+// touching the dispatcher.
+func (s *Server) MatrixFor(name string) (*matrix.CSR, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[name]
+	if e == nil {
+		return nil, false
+	}
+	return e.m, true
+}
+
 // lookup fetches a live entry.
 func (s *Server) lookup(name string) (*entry, error) {
 	s.mu.Lock()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/sparsekit/spmvtuner/internal/calib"
 	"github.com/sparsekit/spmvtuner/internal/matrix"
 	"github.com/sparsekit/spmvtuner/internal/serve"
 )
@@ -151,6 +152,99 @@ func (s *Server) StatsFor(name string) (ServerStats, bool) {
 // Close stops every dispatcher, fails pending requests, and releases
 // resident kernels. The tuner stays open. Idempotent.
 func (s *Server) Close() error { return s.inner.Close() }
+
+// CapacityDemand is one registered matrix's target traffic for
+// capacity planning.
+type CapacityDemand struct {
+	// Name is the registered matrix name.
+	Name string
+	// RequestsPerSec is the target MulVec arrival rate.
+	RequestsPerSec float64
+}
+
+// MatrixCapacity is the twin's analytic price of one demand: what a
+// single request costs on the calibrated host model.
+type MatrixCapacity struct {
+	Name            string
+	RequestsPerSec  float64
+	Plan            string
+	PredictedGflops float64
+	SecondsPerOp    float64
+	BytesPerOp      float64
+}
+
+// CapacityReport is a replica-count prediction for a demand mix.
+type CapacityReport struct {
+	// Replicas is the predicted number of host replicas needed to
+	// serve the mix at the configured headroom.
+	Replicas int
+	// Binding names the resource that set the count: "compute" or
+	// "bandwidth" (SpMV is memory-bound on most hosts, so bandwidth
+	// usually binds — the roofline argument, priced with this host's
+	// ceilings).
+	Binding string
+	// ComputeUtil and BandwidthUtil are the mix's aggregate demand in
+	// units of one replica's budget.
+	ComputeUtil   float64
+	BandwidthUtil float64
+	// Headroom echoes the target utilization the fleet was sized for;
+	// MainGBs the bandwidth budget per replica it was priced against.
+	Headroom float64
+	MainGBs  float64
+	// PerMatrix itemizes each demand's analytic price.
+	PerMatrix []MatrixCapacity
+}
+
+// CapacityPlan predicts how many replicas of this host the given
+// traffic mix needs. Every registered matrix named in the mix is
+// priced analytically on the tuner's digital twin — the stored plan
+// when one exists, a twin-decided plan otherwise — and the aggregate
+// compute occupancy and memory traffic are divided by one replica's
+// measured budget, derated by headroom (target utilization in (0,1],
+// e.g. 0.7 sizes the fleet to run at 70%). No kernel runs and no
+// hardware is probed: with a persisted calibration and plan store the
+// prediction is identical across restarts. Naming an unregistered
+// matrix fails with ErrNotRegistered.
+func (s *Server) CapacityPlan(demands []CapacityDemand, headroom float64) (CapacityReport, error) {
+	cds := make([]calib.Demand, 0, len(demands))
+	per := make([]MatrixCapacity, 0, len(demands))
+	for _, d := range demands {
+		cm, ok := s.inner.MatrixFor(d.Name)
+		if !ok {
+			return CapacityReport{}, fmt.Errorf("spmvtuner: capacity plan %q: %w", d.Name, ErrNotRegistered)
+		}
+		pl, r := s.t.priceOnTwin(cm)
+		cds = append(cds, calib.Demand{
+			Name:           d.Name,
+			RequestsPerSec: d.RequestsPerSec,
+			SecondsPerOp:   r.Seconds,
+			BytesPerOp:     float64(r.MemBytes),
+			Gflops:         r.Gflops,
+		})
+		per = append(per, MatrixCapacity{
+			Name:            d.Name,
+			RequestsPerSec:  d.RequestsPerSec,
+			Plan:            pl.Opt.String(),
+			PredictedGflops: r.Gflops,
+			SecondsPerOp:    r.Seconds,
+			BytesPerOp:      float64(r.MemBytes),
+		})
+	}
+	cal := s.t.cal
+	got, err := cal.PlanCapacity(cds, headroom)
+	if err != nil {
+		return CapacityReport{}, err
+	}
+	return CapacityReport{
+		Replicas:      got.Replicas,
+		Binding:       got.Binding,
+		ComputeUtil:   got.ComputeUtil,
+		BandwidthUtil: got.BandwidthUtil,
+		Headroom:      got.Headroom,
+		MainGBs:       cal.MainGBs,
+		PerMatrix:     per,
+	}, nil
+}
 
 func serverStats(st serve.MatrixStats) ServerStats {
 	return ServerStats{

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/sparsekit/spmvtuner/internal/calib"
 	"github.com/sparsekit/spmvtuner/internal/classify"
 	"github.com/sparsekit/spmvtuner/internal/core"
 	ex "github.com/sparsekit/spmvtuner/internal/exec"
@@ -132,7 +133,24 @@ type Tuner struct {
 	platform machine.Model
 	modeled  bool
 	closed   bool
+
+	// hostModel is the model of the machine kernels actually run on —
+	// machine.Host(), with calibrated ceilings applied when
+	// WithCalibration is configured. twin is the analytic executor over
+	// it: the digital twin that validates shipped plans and prices
+	// serving capacity.
+	hostModel machine.Model
+	twin      *sim.Executor
+	cal       calib.Calibration
+	calDir    string
+	calOn     bool
+	calProbed bool
 }
+
+// hostProbes is the probe bundle calibration runs against the
+// hardware. A package variable so tests can substitute counting fakes
+// and prove exactly how often the machine is measured.
+var hostProbes = native.HostProbes()
 
 // Option configures a Tuner.
 type Option func(*Tuner) error
@@ -179,6 +197,35 @@ func WithPlanStore(dir string) Option {
 	}
 }
 
+// WithCalibration measures this host's real performance ceilings —
+// saturated and per-core STREAM bandwidth, cache-resident rate,
+// scalar compute rate — and persists the result under dir (created if
+// missing) as a versioned JSON artifact, typically the same directory
+// as the plan store. The host is probed exactly once, ever: later
+// Tuners load the artifact with zero probe runs. Corrupt, stale (the
+// machine's thread count changed) or wrong-version artifacts heal by
+// re-probing and overwriting.
+//
+// Calibration turns the analysis model into a digital twin of the
+// host: Analyze and modeled predictions price against measured
+// ceilings, plans loaded from the plan store are analytically
+// re-validated against the twin before being trusted (a plan tuned on
+// a different machine re-tunes instead of silently serving), and
+// Server.CapacityPlan sizes replica fleets from the measured
+// bandwidth budget.
+//
+// An unusable directory fails Tuner construction, like WithPlanStore.
+func WithCalibration(dir string) Option {
+	return func(t *Tuner) error {
+		if dir == "" {
+			return fmt.Errorf("spmvtuner: calibration directory must not be empty")
+		}
+		t.calDir = dir
+		t.calOn = true
+		return nil
+	}
+}
+
 // WithThresholds overrides the profile-guided classifier
 // hyperparameters (defaults: the paper's T_ML=1.25, T_IMB=1.24).
 func WithThresholds(tml, timb float64) Option {
@@ -196,18 +243,46 @@ func WithThresholds(tml, timb float64) Option {
 // NewTuner builds a tuner. Without options it analyzes on a host
 // model and executes natively.
 func NewTuner(opts ...Option) *Tuner {
-	t := &Tuner{
-		nat:      native.New(),
-		platform: machine.Host(),
-	}
-	t.pipeline = core.New(t.nat)
+	t := &Tuner{platform: machine.Host()}
+	t.pipeline = core.New(nil) // executor chosen below, after options
 	for _, o := range opts {
 		if err := o(t); err != nil {
 			panic(err) // options with invalid static arguments are programming errors
 		}
 	}
+
+	// Resolve the host model before building the native executor: with
+	// calibration, the executor describes itself with measured ceilings.
+	host := machine.Host()
+	if t.calOn {
+		c, probed, err := calib.LoadOrMeasure(t.calDir, hostProbes, host)
+		if err != nil {
+			panic(err) // unusable calibration dir: fail fast, like WithPlanStore
+		}
+		t.cal, t.calProbed = c, probed
+		host = c.Apply(host)
+	} else {
+		t.cal = calib.FromModel(host)
+	}
+	t.hostModel = host
+	t.nat = native.NewWithModel(host)
+	t.twin = sim.New(host)
+
 	if t.modeled {
+		if t.platform.Codename == host.Codename {
+			// OnPlatform("host") + calibration: model the real machine,
+			// not the static guess.
+			t.platform = host
+		}
 		t.pipeline.Exec = sim.New(t.platform)
+	} else {
+		t.pipeline.Exec = t.nat
+	}
+	if t.calOn {
+		// The calibrated twin gates store-loaded plans: a plan whose
+		// recorded prediction the local twin cannot reproduce was tuned
+		// on a different machine and is re-tuned instead of trusted.
+		t.pipeline.Twin = t.twin
 	}
 	if t.store == nil {
 		t.store = planstore.New(planstore.DefaultCapacity)
