@@ -1,0 +1,147 @@
+// Command spmvlint runs the repo's analyzer suite (internal/lint)
+// over package patterns and exits nonzero on any diagnostic. It is
+// the static half of the invariant enforcement whose dynamic half is
+// the alloc-guard and -race CI jobs:
+//
+//	go run ./cmd/spmvlint ./...
+//
+// Output format is one diagnostic per line:
+//
+//	file:line:col: analyzer: message
+//
+// Packages are resolved with `go list`, so patterns behave exactly
+// like any other go command; test files are not analyzed.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"github.com/sparsekit/spmvtuner/internal/lint"
+	"github.com/sparsekit/spmvtuner/internal/lint/analysis"
+)
+
+// listedPackage is the subset of `go list -json` output the driver
+// needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	// Pre-scan every package's syntax for //spmv:artifact markers so
+	// cross-package artifact rules (strictjson on json.Unmarshal of
+	// plan.Plan from another package) see the full index before any
+	// analysis pass runs.
+	facts := analysis.NewFacts()
+	preFset := token.NewFileSet()
+	for _, p := range pkgs {
+		files, err := parseAll(preFset, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
+			os.Exit(2)
+		}
+		lint.CollectArtifacts(p.ImportPath, files, facts)
+	}
+
+	loader := analysis.NewLoader()
+	exit := 0
+	for _, p := range pkgs {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		var paths []string
+		for _, f := range p.GoFiles {
+			paths = append(paths, filepath.Join(p.Dir, f))
+		}
+		pkg, err := loader.Check(p.ImportPath, paths)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spmvlint: %s: %v\n", p.ImportPath, err)
+			os.Exit(2)
+		}
+		for _, a := range lint.Analyzers() {
+			diags, err := pkg.Run(a, facts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spmvlint: %s: %v\n", p.ImportPath, err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				fmt.Printf("%s: %s: %s\n", relPosition(pos), a.Name, d.Message)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+// goList resolves package patterns through the go tool.
+func goList(patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// parseAll parses a package's non-test files with comments, for the
+// artifact pre-scan.
+func parseAll(fset *token.FileSet, p listedPackage) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// relPosition renders a position relative to the working directory
+// when possible, keeping output stable across checkouts.
+func relPosition(pos token.Position) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return pos.String()
+	}
+	if rel, err := filepath.Rel(wd, pos.Filename); err == nil && !filepath.IsAbs(rel) {
+		pos.Filename = rel
+	}
+	return pos.String()
+}

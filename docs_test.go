@@ -1,8 +1,8 @@
 // Mirrors the code samples of README.md, docs/guide/platforms.md,
 // docs/guide/formats.md, docs/guide/batching.md, docs/guide/symmetry.md,
-// docs/guide/plans.md, docs/guide/serving.md and docs/guide/twin.md so
-// the documented API cannot drift without breaking the build: every
-// call here appears in a published snippet.
+// docs/guide/plans.md, docs/guide/serving.md, docs/guide/twin.md and
+// docs/guide/lint.md so the documented API cannot drift without
+// breaking the build: every call here appears in a published snippet.
 package spmvtuner_test
 
 import (
@@ -18,6 +18,8 @@ import (
 	ex "github.com/sparsekit/spmvtuner/internal/exec"
 	"github.com/sparsekit/spmvtuner/internal/formats"
 	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/lint"
+	"github.com/sparsekit/spmvtuner/internal/lint/analysis"
 	"github.com/sparsekit/spmvtuner/internal/machine"
 	"github.com/sparsekit/spmvtuner/internal/native"
 	"github.com/sparsekit/spmvtuner/internal/opt"
@@ -408,5 +410,49 @@ func TestServingGuideSamples(t *testing.T) {
 	srv.Close()
 	if err := srv.MulVec("thermal", nil, y); !errors.Is(err, spmvtuner.ErrServerClosed) {
 		t.Fatalf("closed server: %v", err)
+	}
+}
+
+// TestLintGuideSamples exercises the spmvlint guide: the aliasing
+// guard the analyzers enforce is live at runtime, and the analyzer
+// suite runs programmatically through the stdlib-only loader.
+func TestLintGuideSamples(t *testing.T) {
+	m, err := spmvtuner.SuiteMatrix("poisson3Db", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner := spmvtuner.NewTuner()
+	defer tuner.Close()
+	tuned := tuner.Tune(m)
+
+	// The guide's aliased-call snippet: overlapping x and y panic
+	// instead of corrupting the result.
+	n := m.Cols()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("aliased MulVec did not panic")
+			}
+		}()
+		buf := make([]float64, n+n/2)
+		x, y := buf[:n], buf[n/2:n/2+n] // overlapping
+		tuned.MulVec(x, y)              // panics: aliasing guard
+	}()
+
+	// The guide's programmatic-run snippet: the full suite over a real
+	// package, expecting zero diagnostics.
+	ld := analysis.NewLoader()
+	pkg, err := ld.CheckDir("internal/matrix", "github.com/sparsekit/spmvtuner/internal/matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range lint.Analyzers() {
+		diags, err := pkg.Run(a, analysis.NewFacts())
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if len(diags) != 0 {
+			t.Fatalf("%s: unexpected diagnostics: %v", a.Name, diags)
+		}
 	}
 }

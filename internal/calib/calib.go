@@ -50,6 +50,8 @@ type BandwidthPoint struct {
 
 // Calibration is one host's measured performance ceilings — the
 // versioned, persistable artifact the digital twin is built from.
+//
+//spmv:artifact
 type Calibration struct {
 	// Version is the artifact schema version (CurrentVersion when
 	// produced by this library build).

@@ -7,6 +7,14 @@ import (
 )
 
 func TestTwinExperiment(t *testing.T) {
+	if raceEnabled {
+		// The race detector slows the SpMV kernels and the bandwidth
+		// probes by different factors, so measured Gflops no longer
+		// relate to the calibrated prediction and the accuracy gate
+		// fires on model-irrelevant instrumentation skew. The un-
+		// instrumented gate runs in CI's twin smoke job.
+		t.Skip("prediction-accuracy gate is meaningless under the race detector")
+	}
 	// Two matrices at tiny scale keep the calibration probes the
 	// dominant cost; the full-suite accuracy run lives in CI's smoke.
 	res, err := Twin(Config{Scale: 0.04, Matrices: []string{"poisson3Db", "small-dense"}})

@@ -208,6 +208,8 @@ func (d *DeltaCSR) Decompress() *matrix.CSR {
 // [lo, hi) directly from the compressed form. Overflow entries are
 // located per row via a precomputed per-row overflow offset when used
 // in parallel; the sequential entry point scans from oi.
+//
+//spmv:hotpath
 func (d *DeltaCSR) MulVecRows(x, y []float64, lo, hi int, overflowStart int) {
 	oi := overflowStart
 	if d.Width == Delta8 {
@@ -260,6 +262,8 @@ func (d *DeltaCSR) MulVecRows(x, y []float64, lo, hi int, overflowStart int) {
 // delta stream once per block instead of once per vector — the
 // MB-class compression and the SpMM traffic amortization compose.
 // overflowStart follows the same contract as MulVecRows.
+//
+//spmv:hotpath
 func (d *DeltaCSR) MulMatRows(x, y []float64, k, lo, hi, overflowStart int) {
 	oi := overflowStart
 	// Two specialized loops, as in MulVecRows: the width test must not
@@ -335,6 +339,9 @@ func (d *DeltaCSR) MulMat(x, y []float64, k int) {
 	if k < 1 || len(x) != d.NCols*k || len(y) != d.NRows*k {
 		panic("formats: DeltaCSR.MulMat dimension mismatch")
 	}
+	if matrix.Aliased(x, y) {
+		panic("formats: DeltaCSR.MulMat input and output must not alias")
+	}
 	d.MulMatRows(x, y, k, 0, d.NRows, 0)
 }
 
@@ -367,6 +374,9 @@ func (d *DeltaCSR) OverflowOffsets() []int {
 func (d *DeltaCSR) MulVec(x, y []float64) {
 	if len(x) != d.NCols || len(y) != d.NRows {
 		panic("formats: DeltaCSR.MulVec dimension mismatch")
+	}
+	if matrix.Aliased(x, y) {
+		panic("formats: DeltaCSR.MulVec input and output must not alias")
 	}
 	d.MulVecRows(x, y, 0, d.NRows, 0)
 }

@@ -249,6 +249,9 @@ func (s *SellCS) MulVec(x, y []float64) {
 		panic(fmt.Sprintf("formats: SellCS.MulVec dimension mismatch: x=%d y=%d for %dx%d",
 			len(x), len(y), s.NRows, s.NCols))
 	}
+	if matrix.Aliased(x, y) {
+		panic("formats: SellCS.MulVec input and output must not alias")
+	}
 	s.MulVecChunks(x, y, 0, s.NChunks())
 }
 
@@ -256,6 +259,8 @@ func (s *SellCS) MulVec(x, y []float64) {
 // real row in those chunks it writes the full dot product to
 // y[original row]. Chunks own disjoint row sets, so disjoint chunk
 // ranges can run in parallel without synchronization.
+//
+//spmv:hotpath
 func (s *SellCS) MulVecChunks(x, y []float64, lo, hi int) {
 	c := s.C
 	for k := lo; k < hi; k++ {
@@ -283,6 +288,8 @@ func (s *SellCS) MulVecChunks(x, y []float64, lo, hi int) {
 // through the permutation. Like MulVecChunks, disjoint chunk ranges
 // run in parallel without synchronization; the padded value/column
 // arrays are streamed once per block of k vectors.
+//
+//spmv:hotpath
 func (s *SellCS) MulMatChunks(x, y []float64, k, lo, hi int) {
 	c := s.C
 	for ch := lo; ch < hi; ch++ {
@@ -315,6 +322,9 @@ func (s *SellCS) MulMat(x, y []float64, k int) {
 	if k < 1 || len(x) != s.NCols*k || len(y) != s.NRows*k {
 		panic(fmt.Sprintf("formats: SellCS.MulMat dimension mismatch: x=%d y=%d for %dx%d with k=%d",
 			len(x), len(y), s.NRows, s.NCols, k))
+	}
+	if matrix.Aliased(x, y) {
+		panic("formats: SellCS.MulMat input and output must not alias")
 	}
 	s.MulMatChunks(x, y, k, 0, s.NChunks())
 }

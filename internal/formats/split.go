@@ -138,6 +138,8 @@ func (s *SplitCSR) MulVec(x, y []float64) {
 // LongRowPartial computes the partial dot product of extracted long row
 // k over the element range [lo, hi) of that row's segment — the unit of
 // work each thread takes in the Fig 6 step-2 reduction.
+//
+//spmv:hotpath
 func (s *SplitCSR) LongRowPartial(k int, x []float64, lo, hi int64) float64 {
 	var sum float64
 	for j := lo; j < hi; j++ {
@@ -149,6 +151,8 @@ func (s *SplitCSR) LongRowPartial(k int, x []float64, lo, hi int64) float64 {
 // LongRowPartialBlock is the blocked form of LongRowPartial: it writes
 // the k partial sums of extracted long row r over [lo, hi) — one per
 // right-hand side of the interleaved block x — into out[:k].
+//
+//spmv:hotpath
 func (s *SplitCSR) LongRowPartialBlock(r int, x, out []float64, k int, lo, hi int64) {
 	out = out[:k]
 	for l := range out {

@@ -142,6 +142,9 @@ func (s *SSS) MulVec(x, y []float64) {
 		panic(fmt.Sprintf("formats: SSS MulVec dimension mismatch: x=%d y=%d for n=%d",
 			len(x), len(y), s.N))
 	}
+	if matrix.Aliased(x, y) {
+		panic("formats: SSS MulVec input and output must not alias")
+	}
 	for i := 0; i < s.N; i++ {
 		y[i] = s.Diag[i] * x[i]
 	}
@@ -169,6 +172,9 @@ func (s *SSS) MulMat(x, y []float64, k int) {
 	if len(x) != s.N*k || len(y) != s.N*k {
 		panic(fmt.Sprintf("formats: SSS MulMat dimension mismatch: x=%d y=%d for n=%d k=%d",
 			len(x), len(y), s.N, k))
+	}
+	if matrix.Aliased(x, y) {
+		panic("formats: SSS MulMat input and output must not alias")
 	}
 	for i := 0; i < s.N; i++ {
 		d := s.Diag[i]

@@ -18,6 +18,8 @@ type RangeKernel func(m *matrix.CSR, x, y []float64, lo, hi int)
 
 // CSRRange is the canonical scalar kernel of Fig 2 restricted to a row
 // range.
+//
+//spmv:hotpath
 func CSRRange(m *matrix.CSR, x, y []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		var sum float64
@@ -31,6 +33,8 @@ func CSRRange(m *matrix.CSR, x, y []float64, lo, hi int) {
 // CSRUnrolled4Range unrolls the inner loop four-way with independent
 // accumulators (the CMP-class scalar optimization: exposes ILP and
 // halves loop bookkeeping).
+//
+//spmv:hotpath
 func CSRUnrolled4Range(m *matrix.CSR, x, y []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		jlo, jhi := m.RowPtr[i], m.RowPtr[i+1]
@@ -53,6 +57,8 @@ func CSRUnrolled4Range(m *matrix.CSR, x, y []float64, lo, hi int) {
 // accumulators mirroring an 8-lane SIMD unit (Go has no portable
 // intrinsics; the unrolled form is what an auto-vectorizer would
 // produce for gather-based SpMV).
+//
+//spmv:hotpath
 func CSRVector8Range(m *matrix.CSR, x, y []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		jlo, jhi := m.RowPtr[i], m.RowPtr[i+1]
@@ -83,6 +89,8 @@ const PrefetchDistance = 8
 // CSRPrefetchRange inserts a look-ahead touch load of
 // x[colind[j+PrefetchDistance]] — a genuine prefetch: the load pulls
 // the line into cache ahead of its use (the ML-class optimization).
+//
+//spmv:hotpath
 func CSRPrefetchRange(m *matrix.CSR, x, y []float64, lo, hi int) {
 	var sink float64
 	nnz := int64(len(m.ColInd))
@@ -107,6 +115,8 @@ func CSRPrefetchRange(m *matrix.CSR, x, y []float64, lo, hi int) {
 // regular by using the row index instead of the column index. It does
 // NOT compute A*x; it exists to measure what performance would be if
 // irregularity vanished (Section III-B).
+//
+//spmv:hotpath
 func RegularizedRange(m *matrix.CSR, x, y []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		xi := x[i%len(x)]
@@ -121,6 +131,8 @@ func RegularizedRange(m *matrix.CSR, x, y []float64, lo, hi int) {
 // UnitStrideRange is the P_CMP bound kernel: indirect references are
 // eliminated entirely — no colind loads, unit-stride access to x only.
 // Like RegularizedRange it is a measurement probe, not SpMV.
+//
+//spmv:hotpath
 func UnitStrideRange(m *matrix.CSR, x, y []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		xi := x[i%len(x)]
@@ -135,11 +147,15 @@ func UnitStrideRange(m *matrix.CSR, x, y []float64, lo, hi int) {
 // DeltaRange runs the DeltaCSR kernel over a row range; overflowStart
 // must be the delta stream's overflow offset at row lo (see
 // DeltaCSR.OverflowOffsets).
+//
+//spmv:hotpath
 func DeltaRange(d *formats.DeltaCSR, x, y []float64, lo, hi, overflowStart int) {
 	d.MulVecRows(x, y, lo, hi, overflowStart)
 }
 
 // SplitPhase1 computes the base part of a SplitCSR over a row range.
+//
+//spmv:hotpath
 func SplitPhase1(s *formats.SplitCSR, x, y []float64, lo, hi int) {
 	CSRRange(s.Base, x, y, lo, hi)
 }
@@ -149,6 +165,8 @@ func SplitPhase1(s *formats.SplitCSR, x, y []float64, lo, hi int) {
 // and the partial sums are written to slot[k] — the thread's private
 // cell array of the shared reduction engine (internal/native), which
 // folds all slots into y after the barrier (Fig 6's step 2).
+//
+//spmv:hotpath
 func SplitPhase2Partial(s *formats.SplitCSR, x []float64, slot []float64, t, nt int) {
 	nLong := s.NumLongRows()
 	for k := 0; k < nLong; k++ {
@@ -162,6 +180,8 @@ func SplitPhase2Partial(s *formats.SplitCSR, x []float64, slot []float64, t, nt 
 
 // CSRVector8PrefetchRange combines the vectorized kernel with
 // look-ahead touch loads — the joint ML+{MB,CMP} configuration.
+//
+//spmv:hotpath
 func CSRVector8PrefetchRange(m *matrix.CSR, x, y []float64, lo, hi int) {
 	var sink float64
 	nnz := int64(len(m.ColInd))
@@ -195,6 +215,8 @@ func CSRVector8PrefetchRange(m *matrix.CSR, x, y []float64, lo, hi int) {
 // in parallel without synchronization. This is the plain (any-C)
 // variant; it walks each row along the column-major layout, stopping at
 // the row's real length.
+//
+//spmv:hotpath
 func SellCSRange(s *formats.SellCS, x, y []float64, lo, hi int) {
 	s.MulVecChunks(x, y, lo, hi)
 }
@@ -208,6 +230,8 @@ func SellCSRange(s *formats.SellCS, x, y []float64, lo, hi int) {
 // padded 0*x into NaN, but only on rows whose true result is already
 // non-finite (the repeated column is one the row genuinely reads).
 // Empty rows are scattered as exact zeros regardless of x.
+//
+//spmv:hotpath
 func SellCS8Range(s *formats.SellCS, x, y []float64, lo, hi int) {
 	if s.C != 8 {
 		SellCSRange(s, x, y, lo, hi)

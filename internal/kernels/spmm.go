@@ -24,6 +24,8 @@ type BlockKernel func(m *matrix.CSR, x, y []float64, k, lo, hi int)
 // CSRBlockRange is the CSR blocked kernel: it dispatches to the
 // register-blocked k=2/4/8 specializations and falls back to the
 // generic-k tail otherwise (k=1 degenerates to the scalar SpMV).
+//
+//spmv:hotpath
 func CSRBlockRange(m *matrix.CSR, x, y []float64, k, lo, hi int) {
 	switch k {
 	case 1:
@@ -39,6 +41,7 @@ func CSRBlockRange(m *matrix.CSR, x, y []float64, k, lo, hi int) {
 	}
 }
 
+//spmv:hotpath
 func csrBlock2Range(m *matrix.CSR, x, y []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		var a0, a1 float64
@@ -53,6 +56,7 @@ func csrBlock2Range(m *matrix.CSR, x, y []float64, lo, hi int) {
 	}
 }
 
+//spmv:hotpath
 func csrBlock4Range(m *matrix.CSR, x, y []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		var a0, a1, a2, a3 float64
@@ -69,6 +73,7 @@ func csrBlock4Range(m *matrix.CSR, x, y []float64, lo, hi int) {
 	}
 }
 
+//spmv:hotpath
 func csrBlock8Range(m *matrix.CSR, x, y []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		var a0, a1, a2, a3, a4, a5, a6, a7 float64
@@ -92,6 +97,8 @@ func csrBlock8Range(m *matrix.CSR, x, y []float64, lo, hi int) {
 
 // csrBlockGenericRange is the any-k tail: the output row (k floats,
 // L1 resident for the whole row) is the accumulator.
+//
+//spmv:hotpath
 func csrBlockGenericRange(m *matrix.CSR, x, y []float64, k, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		yr := y[i*k : i*k+k]
@@ -110,6 +117,8 @@ func csrBlockGenericRange(m *matrix.CSR, x, y []float64, k, lo, hi int) {
 
 // DeltaBlockRange runs the blocked DeltaCSR kernel over a row range;
 // overflowStart follows the DeltaRange contract.
+//
+//spmv:hotpath
 func DeltaBlockRange(d *formats.DeltaCSR, x, y []float64, k, lo, hi, overflowStart int) {
 	d.MulMatRows(x, y, k, lo, hi, overflowStart)
 }
@@ -118,6 +127,8 @@ func DeltaBlockRange(d *formats.DeltaCSR, x, y []float64, k, lo, hi, overflowSta
 // interleaved right-hand sides, scattering through the permutation as
 // SellCSRange does. Chunks own disjoint rows, so disjoint chunk ranges
 // run in parallel without synchronization.
+//
+//spmv:hotpath
 func SellCSBlockRange(s *formats.SellCS, x, y []float64, k, lo, hi int) {
 	s.MulMatChunks(x, y, k, lo, hi)
 }
@@ -126,6 +137,8 @@ func SellCSBlockRange(s *formats.SellCS, x, y []float64, k, lo, hi int) {
 // thread t's share of every long row, with k partial sums per long-row
 // cell written to slot[r*k ...] — the thread's private cell array of
 // the shared reduction engine.
+//
+//spmv:hotpath
 func SplitPhase2PartialBlock(s *formats.SplitCSR, x, slot []float64, k, t, nt int) {
 	nLong := s.NumLongRows()
 	for r := 0; r < nLong; r++ {

@@ -19,6 +19,8 @@ import (
 // scatter[j]. All stored columns of rows [lo, hi) are strictly below
 // hi, so the caller must zero scatter[0:hi) before the pass — cells at
 // or above hi are never touched.
+//
+//spmv:hotpath
 func SSSRange(s *formats.SSS, x, y, scatter []float64, lo, hi int) {
 	L := s.Lower
 	for i := lo; i < hi; i++ {
@@ -38,6 +40,8 @@ func SSSRange(s *formats.SSS, x, y, scatter []float64, lo, hi int) {
 // interleaved right-hand sides: the lower triangle streams once per
 // block, each element serving both its own row and its mirror for all
 // k vectors. scatter[0 : hi*k] must be zeroed by the caller.
+//
+//spmv:hotpath
 func SSSBlockRange(s *formats.SSS, x, y, scatter []float64, k, lo, hi int) {
 	L := s.Lower
 	for i := lo; i < hi; i++ {

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"github.com/sparsekit/spmvtuner/internal/lint/analysis"
+)
+
+// AliasGuard enforces the repo-wide aliasing rule on the multiply
+// surface: every exported MulVec/MulMat/MulVecBatch method writes its
+// output while the input is still being gathered, so an aliased call
+// silently computes garbage. The rule (established in PR 3 and
+// documented on matrix.Aliased) is that each such method must reject
+// overlap before its first write to the output.
+//
+// The analyzer checks every exported method named MulVec, MulMat or
+// MulVecBatch that takes an output slice parameter named y or ys.
+// Scanning the body in source order, the first use of the output —
+// other than inside len/cap — must be preceded by either a call to an
+// aliasing guard (a function named Aliased or AnyAliased receiving
+// the output) or a delegation that forwards the output to another
+// method of the multiply family, which is itself subject to this rule
+// and therefore guards (or delegates) in turn. The order check is
+// positional, not path-sensitive: a guard inside a conditional
+// satisfies it, which matches the universal `if Aliased { panic }`
+// idiom and keeps the analyzer free of false positives on it.
+var AliasGuard = &analysis.Analyzer{
+	Name: "aliasguard",
+	Doc:  "exported MulVec/MulMat/MulVecBatch must guard against aliased outputs before writing",
+	Run:  runAliasGuard,
+}
+
+// multiplyFamily are the method names the aliasing rule covers;
+// delegation to any of them counts as guarding.
+var multiplyFamily = map[string]bool{"MulVec": true, "MulMat": true, "MulVecBatch": true}
+
+// guardNames are the sanctioned aliasing predicates.
+var guardNames = map[string]bool{"Aliased": true, "AnyAliased": true}
+
+func runAliasGuard(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			if !fd.Name.IsExported() || !multiplyFamily[fd.Name.Name] {
+				continue
+			}
+			checkMultiply(pass, fd)
+		}
+	}
+	return nil
+}
+
+// outputParam finds the output slice parameter: the convention across
+// the repo is y for single-output multiplies and ys for batches.
+func outputParam(pass *analysis.Pass, fd *ast.FuncDecl) (types.Object, string) {
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "y" || name.Name == "ys" {
+				return pass.TypesInfo.Defs[name], name.Name
+			}
+		}
+	}
+	return nil, ""
+}
+
+func checkMultiply(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	yObj, yName := outputParam(pass, fd)
+	if yObj == nil {
+		return // no conventional output parameter: out of scope
+	}
+
+	usesOutput := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(c ast.Node) bool {
+			if id, ok := c.(*ast.Ident); ok && info.Uses[id] == yObj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	// Spans of calls in which a use of the output is benign (len/cap)
+	// or sanctioned (guards and family delegations), plus the guard
+	// positions themselves.
+	type span struct{ lo, hi token.Pos }
+	var benign []span
+	guardPos := token.Pos(-1)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, _ := calleeName(call)
+		switch {
+		case guardNames[name] && usesOutput(call):
+			benign = append(benign, span{call.Pos(), call.End()})
+			if guardPos < 0 || call.Pos() < guardPos {
+				guardPos = call.Pos()
+			}
+		case multiplyFamily[name] && usesOutput(call):
+			// Delegation: the callee is bound by the same rule.
+			benign = append(benign, span{call.Pos(), call.End()})
+			if guardPos < 0 || call.Pos() < guardPos {
+				guardPos = call.Pos()
+			}
+		case name == "len" || name == "cap":
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					benign = append(benign, span{call.Pos(), call.End()})
+				}
+			}
+		}
+		return true
+	})
+
+	// First non-benign use of the output in source order.
+	var uses []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != yObj {
+			return true
+		}
+		for _, s := range benign {
+			if id.Pos() >= s.lo && id.Pos() < s.hi {
+				return true
+			}
+		}
+		uses = append(uses, id.Pos())
+		return true
+	})
+	if len(uses) == 0 {
+		return
+	}
+	sort.Slice(uses, func(i, j int) bool { return uses[i] < uses[j] })
+	first := uses[0]
+	if guardPos >= 0 && guardPos < first {
+		return
+	}
+	recv := ""
+	if t := recvTypeName(fd); t != "" {
+		recv = t + "."
+	}
+	pass.Reportf(first, "%s%s uses %s before an aliasing guard (call Aliased/AnyAliased or delegate to a guarded multiply)",
+		recv, fd.Name.Name, yName)
+}
+
+// recvTypeName renders the receiver's type name for diagnostics.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		case *ast.IndexExpr:
+			t = x.X
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects
+// one type-checked package through a Pass and reports Diagnostics.
+//
+// The repo's toolchain carries no module dependencies (go.mod lists
+// none, and the build environment has no module cache to resolve
+// x/tools from), so spmvlint vendors the *idea* of the framework —
+// the Analyzer/Pass/Diagnostic contract and the analysistest fixture
+// convention — on top of the standard library's go/ast, go/types and
+// go/importer. The API is intentionally shaped like x/tools so the
+// suite can migrate to the real framework by swapping imports if the
+// dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check: a name, a human description, and a
+// Run function applied to each package independently.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the spmvlint
+	// command line.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run inspects one package and reports findings through
+	// Pass.Report. It returns an error only for analyzer malfunction;
+	// findings are diagnostics, not errors.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Facts is the module-wide annotation index the driver collects in a
+// pre-pass over every package before running analyzers. The real
+// x/tools framework propagates typed facts between packages; this
+// suite needs exactly one cross-package fact — which named types are
+// versioned artifacts — so the index is a purpose-built bag instead
+// of a generic mechanism.
+type Facts struct {
+	// ArtifactTypes holds "pkgpath.TypeName" for every struct type
+	// whose declaration carries the //spmv:artifact marker.
+	ArtifactTypes map[string]bool
+}
+
+// NewFacts returns an empty index.
+func NewFacts() *Facts {
+	return &Facts{ArtifactTypes: make(map[string]bool)}
+}
+
+// Pass carries one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Facts is the shared cross-package index; never nil.
+	Facts *Facts
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf formats and reports one diagnostic.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,134 @@
+// Package analysistest runs an analyzer over a fixture directory and
+// matches its diagnostics against // want "regex" comments, the same
+// contract as golang.org/x/tools/go/analysis/analysistest (rebuilt on
+// the stdlib-only framework in internal/lint/analysis).
+//
+// A want comment constrains the line it appears on: every diagnostic
+// must match exactly one unconsumed want expectation on its line, and
+// every want must be consumed. Multiple expectations may share one
+// comment: // want "first" "second".
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/sparsekit/spmvtuner/internal/lint/analysis"
+)
+
+// sharedLoader caches type-checked dependencies (notably the stdlib's
+// encoding/json and sync trees) across fixture runs in one test
+// binary.
+var (
+	loaderOnce   sync.Once
+	sharedLoader *analysis.Loader
+)
+
+func loader() *analysis.Loader {
+	loaderOnce.Do(func() { sharedLoader = analysis.NewLoader() })
+	return sharedLoader
+}
+
+// wantRe matches the expectation list after the want keyword; each
+// expectation is a double-quoted or backquoted pattern.
+var wantRe = regexp.MustCompile(`//\s*want((?:\s+(?:"(?:[^"\\]|\\.)*"|` + "`[^`]*`" + `))+)`)
+
+// quotedRe extracts each quoted expectation; strconv.Unquote handles
+// both forms.
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture directory as one package, executes the
+// analyzer, and reports any mismatch between produced diagnostics and
+// // want expectations as test failures.
+func Run(t *testing.T, fixtureDir string, a *analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(fixtureDir)
+	if err != nil {
+		t.Fatalf("abs(%s): %v", fixtureDir, err)
+	}
+	// A unique synthetic import path per fixture keeps importer caches
+	// from conflating same-named fixture packages.
+	importPath := "spmvlint.test/" + filepath.ToSlash(strings.TrimPrefix(abs, string(filepath.Separator)))
+	pkg, err := loader().CheckDir(abs, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+
+	wants := collectWants(t, pkg)
+	diags, err := pkg.Run(a, analysis.NewFacts())
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, fixtureDir, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		file := filepath.Base(pos.Filename)
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != file || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", file, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// collectWants scans every comment in the package for want
+// expectations.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+						raw:  fmt.Sprintf("%q", pat),
+					})
+				}
+			}
+		}
+	}
+	return wants
+}

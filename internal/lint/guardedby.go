@@ -1,0 +1,348 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/sparsekit/spmvtuner/internal/lint/analysis"
+)
+
+// GuardedBy verifies mutex discipline declared in the source: a
+// struct field whose comment says "guarded by <mu>" (where <mu> is a
+// sync.Mutex or sync.RWMutex field of the same struct) may only be
+// read or written while that mutex is held. The -race jobs catch
+// violations only on interleavings the tests produce; this analyzer
+// rejects the unguarded access sites themselves.
+//
+// The check is lock-interval based and deliberately conservative
+// rather than path-sensitive. Within one function body, an access to
+// a guarded field through base expression B (e.g. e.kernel) is legal
+// if it falls between a B.mu.Lock()/RLock() call and the matching
+// release: the first Unlock()/RUnlock() in the same statement block,
+// the end of the function when the unlock is deferred, or the end of
+// the lock's enclosing block when no release is visible (early-exit
+// unlocks inside conditionals do not end the critical section on the
+// fall-through path). Accesses inside closures must lock within the
+// closure — a closure runs on its own schedule, so the enclosing
+// function's critical section proves nothing.
+//
+// Escapes: a function named with the Locked suffix or carrying the
+// //spmv:locked marker asserts its caller holds the necessary locks
+// (the repo's convention for critical-section helpers), and accesses
+// to fields of a struct constructed in the same function (`x :=
+// &T{...}`) are exempt — the object is unpublished. Anything the
+// analyzer cannot prove — a base expression that is not a plain
+// identifier chain, an access with no covering interval — is
+// reported.
+var GuardedBy = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "fields commented 'guarded by <mu>' must only be accessed with the mutex held",
+	Run:  runGuardedBy,
+}
+
+func runGuardedBy(pass *analysis.Pass) error {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") || hasMarker(fd.Doc, lockedMarker) {
+				continue // caller-holds-lock helper, by contract
+			}
+			checkLockedBody(pass, fd.Body, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields maps each annotated field object to the name
+// of its guarding mutex, validating that the mutex is a sibling field
+// of mutex type.
+func collectGuardedFields(pass *analysis.Pass) map[types.Object]string {
+	info := pass.TypesInfo
+	guarded := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// Mutex siblings available in this struct.
+			mutexes := make(map[string]bool)
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil && isMutexType(obj.Type()) {
+						mutexes[name.Name] = true
+					}
+				}
+			}
+			for _, field := range st.Fields.List {
+				m := guardedByRe.FindStringSubmatch(commentText(field.Doc, field.Comment))
+				if m == nil {
+					continue
+				}
+				mu := m[1]
+				for _, name := range field.Names {
+					if name.Name == mu {
+						continue // the mutex does not guard itself
+					}
+					if !mutexes[mu] {
+						pass.Reportf(field.Pos(), "field %s declared guarded by %s, but the struct has no mutex field %s", name.Name, mu, mu)
+						continue
+					}
+					if obj := info.Defs[name]; obj != nil {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func isMutexType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" && (n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
+}
+
+// lockInterval is one critical section of a specific "base.mu" chain.
+type lockInterval struct {
+	chain  string
+	lo, hi token.Pos
+}
+
+// lockEvent is a raw Lock/Unlock call before pairing.
+type lockEvent struct {
+	pos      token.Pos
+	end      token.Pos
+	chain    string // "e.mu"
+	acquire  bool
+	deferred bool
+	block    ast.Node // enclosing statement block
+}
+
+// checkLockedBody analyzes one function body; nested closures are
+// recursed into as independent bodies.
+func checkLockedBody(pass *analysis.Pass, body *ast.BlockStmt, guarded map[types.Object]string) {
+	info := pass.TypesInfo
+	parents := parentsOf(body)
+
+	// Locally constructed (unpublished) objects: x := &T{...} / T{} /
+	// new(T).
+	constructed := make(map[types.Object]bool)
+	// Lock/unlock events, per mutex chain.
+	var events []lockEvent
+	// Guarded-field accesses found in THIS body (closures excluded).
+	type access struct {
+		pos   token.Pos
+		field string
+		mu    string
+		chain string // rendered base, "" when not a plain chain
+		ok    bool   // base rendered successfully
+	}
+	var accesses []access
+	var nested []*ast.FuncLit
+
+	enclosingBlock := func(n ast.Node) ast.Node {
+		for p := parents[n]; p != nil; p = parents[p] {
+			switch p.(type) {
+			case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+				return p
+			}
+		}
+		return body
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			nested = append(nested, x)
+			return false // analyzed as its own body below
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				for i, lhs := range x.Lhs {
+					if i >= len(x.Rhs) {
+						break
+					}
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if isConstruction(x.Rhs[i]) {
+						if obj := info.Defs[id]; obj != nil {
+							constructed[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			if ev, ok := lockEventOf(x.Call, true); ok {
+				ev.block = enclosingBlock(x)
+				events = append(events, ev)
+			}
+		case *ast.CallExpr:
+			if _, isDefer := parents[x].(*ast.DeferStmt); !isDefer {
+				if ev, ok := lockEventOf(x, false); ok {
+					ev.block = enclosingBlock(x)
+					events = append(events, ev)
+				}
+			}
+		case *ast.SelectorExpr:
+			obj := info.Uses[x.Sel]
+			if obj == nil {
+				if sel, ok := info.Selections[x]; ok {
+					obj = sel.Obj()
+				}
+			}
+			mu, isGuarded := guarded[obj]
+			if !isGuarded {
+				return true
+			}
+			chain, ok := chainText(x.X)
+			// Construction exemption: the base object is local and
+			// unpublished.
+			if id, isIdent := ast.Unparen(x.X).(*ast.Ident); isIdent && ok {
+				if o := info.Uses[id]; o != nil && constructed[o] {
+					return true
+				}
+			}
+			accesses = append(accesses, access{pos: x.Sel.Pos(), field: x.Sel.Name, mu: mu, chain: chain, ok: ok})
+		}
+		return true
+	})
+
+	// Pair events into intervals per chain.
+	intervals := pairLockIntervals(events, body)
+
+	for _, a := range accesses {
+		if !a.ok {
+			pass.Reportf(a.pos, "guarded field %s accessed through a non-trivial base expression; hold %s via a named variable", a.field, a.mu)
+			continue
+		}
+		want := a.chain + "." + a.mu
+		covered := false
+		for _, iv := range intervals {
+			if iv.chain == want && a.pos > iv.lo && a.pos < iv.hi {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(a.pos, "field %s is guarded by %s but accessed without holding %s.%s", a.field, a.mu, a.chain, a.mu)
+		}
+	}
+
+	for _, lit := range nested {
+		checkLockedBody(pass, lit.Body, guarded)
+	}
+}
+
+// lockEventOf recognizes chain.Lock/RLock/Unlock/RUnlock calls.
+func lockEventOf(call *ast.CallExpr, deferred bool) (lockEvent, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return lockEvent{}, false
+	}
+	chain, ok := chainText(sel.X)
+	if !ok {
+		return lockEvent{}, false
+	}
+	return lockEvent{pos: call.Pos(), end: call.End(), chain: chain, acquire: acquire, deferred: deferred}, true
+}
+
+// pairLockIntervals turns raw lock events into critical sections,
+// applying the same-block pairing rule described on GuardedBy.
+func pairLockIntervals(events []lockEvent, body *ast.BlockStmt) []lockInterval {
+	var out []lockInterval
+	for i, ev := range events {
+		if !ev.acquire {
+			continue
+		}
+		hi := token.NoPos
+		// First release in the same block after the acquire.
+		for _, other := range events {
+			if other.acquire || other.deferred || other.chain != ev.chain {
+				continue
+			}
+			if other.pos > ev.pos && other.block == ev.block {
+				if !hi.IsValid() || other.pos < hi {
+					hi = other.pos
+				}
+			}
+		}
+		// Between this acquire and that release, a re-acquire of the
+		// same chain means the candidate release belongs to the later
+		// critical section (sequential Lock/Unlock pairs).
+		if hi.IsValid() {
+			for j, other := range events {
+				if j == i || !other.acquire || other.chain != ev.chain {
+					continue
+				}
+				if other.pos > ev.pos && other.pos < hi && other.block == ev.block {
+					hi = other.pos // close at the re-acquire boundary instead
+				}
+			}
+		}
+		if !hi.IsValid() {
+			// Deferred release after the acquire holds to function end.
+			for _, other := range events {
+				if !other.acquire && other.deferred && other.chain == ev.chain && other.pos > ev.pos {
+					hi = body.End()
+					break
+				}
+			}
+		}
+		if !hi.IsValid() {
+			// No visible release: conservatively hold to the end of
+			// the acquire's own block (early-exit unlocks inside
+			// conditionals do not end the fall-through section).
+			if b, ok := ev.block.(*ast.BlockStmt); ok {
+				hi = b.End()
+			} else if ev.block != nil {
+				hi = ev.block.End()
+			} else {
+				hi = body.End()
+			}
+		}
+		out = append(out, lockInterval{chain: ev.chain, lo: ev.end, hi: hi})
+	}
+	return out
+}
+
+// isConstruction recognizes the unpublished-object initializers.
+func isConstruction(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/sparsekit/spmvtuner/internal/lint/analysis"
+)
+
+// HotAlloc enforces the repo's zero-allocation contract on functions
+// marked //spmv:hotpath: the SpMV inner kernels and the prepared
+// multiply dispatch run once per multiply in the bandwidth-bound
+// steady state, where a single heap allocation (or the GC pressure it
+// feeds) costs more than the kernel's own arithmetic. The runtime
+// TestAllocFree* guards catch violations only on the shapes the tests
+// exercise; this analyzer rejects the allocation sites themselves.
+//
+// Inside a hot-path function the analyzer reports: make/new calls,
+// append (it may grow the backing array), closures (func literals),
+// goroutine launches, slice/map/&composite literals, method-value
+// bindings, string concatenation and string<->[]byte conversions,
+// calls into fmt or log, and implicit boxing — a non-constant
+// concrete value converted, assigned, passed or returned as an
+// interface. Constants are exempt (the compiler materializes their
+// interface data statically, so panic("msg") stays legal). The check
+// is per-function: a hot path may only call helpers that are
+// themselves annotated or accept the callee's allocations knowingly.
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "//spmv:hotpath functions must not allocate",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasMarker(fd.Doc, hotpathMarker) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// parentsOf maps every node under root to its syntactic parent.
+func parentsOf(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+func checkHotFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	// Result types of the hot function, for boxing checks on return.
+	var results *types.Tuple
+	if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+		results = obj.Type().(*types.Signature).Results()
+	}
+	parents := parentsOf(fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "hot path allocates: closure")
+			return false // the literal is the finding; don't double-report its body
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "hot path spawns a goroutine")
+			return false
+		case *ast.CompositeLit:
+			switch info.Types[x].Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(x.Pos(), "hot path allocates: composite literal")
+			default:
+				// Struct/array value literals are stack-allocatable —
+				// unless their address is taken (see UnaryExpr).
+			}
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "hot path allocates: composite literal")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op.String() == "+" && info.Types[x].Value == nil && isStringType(info.Types[x].Type) {
+				pass.Reportf(x.Pos(), "hot path concatenates strings")
+			}
+		case *ast.SelectorExpr:
+			// A selector that binds a method and is used as a value
+			// (not immediately called) allocates the bound closure.
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.MethodVal {
+				if call, ok := parents[x].(*ast.CallExpr); !ok || call.Fun != x {
+					pass.Reportf(x.Pos(), "hot path allocates: method value")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					if boxes(info, x.Rhs[i], info.Types[x.Lhs[i]].Type) {
+						pass.Reportf(x.Rhs[i].Pos(), "hot path boxes into interface")
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range x.Values {
+				if i < len(x.Names) {
+					if obj := info.Defs[x.Names[i]]; obj != nil && boxes(info, v, obj.Type()) {
+						pass.Reportf(v.Pos(), "hot path boxes into interface")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if results != nil && len(x.Results) == results.Len() {
+				for i, e := range x.Results {
+					if boxes(info, e, results.At(i).Type()) {
+						pass.Reportf(e.Pos(), "hot path boxes into interface")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, x)
+		}
+		return true
+	})
+}
+
+// checkHotCall reports the call-shaped allocation sources: builtins,
+// fmt/log, conversions, and boxed arguments.
+func checkHotCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	fun := ast.Unparen(call.Fun)
+
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "hot path allocates: make")
+			case "new":
+				pass.Reportf(call.Pos(), "hot path allocates: new")
+			case "append":
+				pass.Reportf(call.Pos(), "hot path allocates: append may grow")
+			}
+			return
+		}
+	}
+
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok {
+				switch pn.Imported().Path() {
+				case "fmt", "log":
+					pass.Reportf(call.Pos(), "hot path calls %s.%s", pn.Imported().Path(), sel.Sel.Name)
+					return
+				}
+			}
+		}
+	}
+
+	// Conversion T(x)?
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		checkConversion(pass, call, tv.Type)
+		return
+	}
+
+	// Ordinary call: box check on each argument against its parameter.
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarded slice: no per-element boxing
+			}
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if boxes(info, arg, pt) {
+			pass.Reportf(arg.Pos(), "hot path boxes into interface")
+		}
+	}
+}
+
+// checkConversion flags interface boxing and string<->byte/rune-slice
+// conversions.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	info := pass.TypesInfo
+	arg := call.Args[0]
+	if boxes(info, arg, target) {
+		pass.Reportf(call.Pos(), "hot path boxes into interface")
+		return
+	}
+	src := info.Types[arg].Type
+	if src == nil || info.Types[arg].Value != nil {
+		return
+	}
+	if isStringType(target) != isStringType(src) && (isByteSlice(target) || isByteSlice(src)) {
+		pass.Reportf(call.Pos(), "hot path converts between string and byte slice")
+	}
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+// boxes reports whether assigning expr to a target of type dst wraps
+// a concrete value in an interface at runtime. Constants are exempt:
+// their interface data is materialized at link time.
+func boxes(info *types.Info, expr ast.Expr, dst types.Type) bool {
+	if dst == nil {
+		return false
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.Value != nil { // constant: static interface data
+		return false
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	if _, ok := tv.Type.Underlying().(*types.Interface); ok {
+		return false // interface-to-interface: no new allocation
+	}
+	return true
+}

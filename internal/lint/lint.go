@@ -1,0 +1,167 @@
+// Package lint is the spmvlint analyzer suite: four static checks
+// that turn the repo's hot-path, aliasing, strict-artifact and
+// locking invariants — currently guarded only by runtime tests — into
+// compile-time contracts. See docs/guide/lint.md for the annotation
+// vocabulary each analyzer enforces.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/sparsekit/spmvtuner/internal/lint/analysis"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{HotAlloc, AliasGuard, StrictJSON, GuardedBy}
+}
+
+// Annotation markers. Markers live in comments, so they bind source
+// contracts without any runtime footprint.
+const (
+	// hotpathMarker on a function's doc comment subjects its body to
+	// the hotalloc allocation rules.
+	hotpathMarker = "spmv:hotpath"
+	// artifactMarker on a struct type's doc comment declares it a
+	// versioned serialization artifact subject to strictjson.
+	artifactMarker = "spmv:artifact"
+	// lockedMarker on a function's doc comment asserts the caller
+	// holds every lock the function's guarded-field accesses need —
+	// the guardedby escape for helpers invoked under a caller's
+	// critical section. The xxxLocked naming convention implies it.
+	lockedMarker = "spmv:locked"
+)
+
+// guardedByRe extracts the mutex name from a field's
+// "guarded by <mu>" comment.
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// hasMarker reports whether any comment in the group carries the
+// marker.
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// commentText flattens a comment group to one string.
+func commentText(groups ...*ast.CommentGroup) string {
+	var b strings.Builder
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			b.WriteString(c.Text)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// chainText renders a pure identifier chain ("e", "s.pool.mu") and
+// reports whether the expression is one. Analyzers use the rendered
+// text as the conservative identity of a lock or receiver: two
+// occurrences of the same chain in one function denote the same
+// object for any code that does not rebind the identifiers between
+// them, which the analyzers do not attempt to track.
+func chainText(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		base, ok := chainText(x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	case *ast.ParenExpr:
+		return chainText(x.X)
+	}
+	return "", false
+}
+
+// calleeName resolves a call's function name and, when the callee is
+// a selector, the receiver/package expression it hangs off.
+func calleeName(call *ast.CallExpr) (name string, recv ast.Expr) {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name, nil
+	case *ast.SelectorExpr:
+		return fn.Sel.Name, fn.X
+	}
+	return "", nil
+}
+
+// pkgPathOf resolves the package path of the object an identifier
+// uses, empty for builtins and locals.
+func pkgPathOf(info *types.Info, id *ast.Ident) string {
+	obj := info.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// isPkgCall reports whether the call is pkg.Fun(...) for the given
+// import path, resolving the package through type info (so aliased
+// imports are still caught).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, fun string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fun {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj, ok := info.Uses[id].(*types.PkgName); ok {
+		return obj.Imported().Path() == pkgPath
+	}
+	return false
+}
+
+// funcEnd returns the end position of the innermost function body
+// enclosing pos, used to close deferred-unlock intervals.
+func funcEnd(body *ast.BlockStmt) token.Pos { return body.End() }
+
+// namedOf unwraps pointers and returns the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// hasUnmarshalJSON reports whether *T declares an UnmarshalJSON
+// method — the hook encoding/json dispatches to, making raw
+// json.Unmarshal on T exactly as strict as T's own implementation.
+func hasUnmarshalJSON(n *types.Named) bool {
+	ptr := types.NewPointer(n)
+	obj, _, _ := types.LookupFieldOrMethod(ptr, true, n.Obj().Pkg(), "UnmarshalJSON")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	return sig.Params().Len() == 1 && sig.Results().Len() == 1
+}

@@ -1,0 +1,53 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/sparsekit/spmvtuner/internal/lint"
+	"github.com/sparsekit/spmvtuner/internal/lint/analysis"
+	"github.com/sparsekit/spmvtuner/internal/lint/analysistest"
+)
+
+// analyzerByName avoids fixture/analyzer drift: every analyzer in the
+// suite must have a bad and a good fixture, and vice versa.
+func analyzerByName(t *testing.T, name string) *analysis.Analyzer {
+	t.Helper()
+	for _, a := range lint.Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q in lint.Analyzers()", name)
+	return nil
+}
+
+func TestAnalyzers(t *testing.T) {
+	for _, name := range []string{"hotalloc", "aliasguard", "strictjson", "guardedby"} {
+		a := analyzerByName(t, name)
+		t.Run(name+"/bad", func(t *testing.T) {
+			analysistest.Run(t, filepath.Join("testdata", name, "bad"), a)
+		})
+		t.Run(name+"/good", func(t *testing.T) {
+			analysistest.Run(t, filepath.Join("testdata", name, "good"), a)
+		})
+	}
+}
+
+// TestSuiteComplete pins the suite composition: adding an analyzer
+// without fixtures (or renaming one) fails here, not silently.
+func TestSuiteComplete(t *testing.T) {
+	want := map[string]bool{"hotalloc": true, "aliasguard": true, "strictjson": true, "guardedby": true}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for _, a := range got {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q", a.Name)
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/sparsekit/spmvtuner/internal/lint/analysis"
+)
+
+// StrictJSON enforces the versioned-artifact decoding discipline. The
+// plan store and calibration artifacts are long-lived files shared
+// across processes and hosts: a decoder that silently drops unknown
+// fields turns a version skew into wrong tuning decisions instead of
+// a clean re-tune, so artifact decoding must be strict everywhere.
+//
+// Artifact types are structs whose declaration carries the
+// //spmv:artifact marker (plan.Plan, calib.Calibration). The analyzer
+// reports:
+//
+//  1. In any package declaring an artifact type, a json.Decoder whose
+//     Decode runs without a preceding DisallowUnknownFields call on
+//     the same decoder variable — including the chained
+//     json.NewDecoder(r).Decode(&v) form, which can never be strict.
+//  2. Anywhere, a Decode call whose destination is an artifact type
+//     that does not implement its own UnmarshalJSON, without a
+//     preceding DisallowUnknownFields.
+//  3. Anywhere, raw json.Unmarshal into an artifact type that does
+//     not implement UnmarshalJSON. Types with a strict UnmarshalJSON
+//     are exempt: encoding/json dispatches to it, so json.Unmarshal
+//     is exactly as strict as the method (which rule 1 checks, since
+//     the method lives in the artifact's own package).
+//
+// The before/after relation is positional within one function body —
+// the established idiom is DisallowUnknownFields immediately after
+// NewDecoder, which the order check accepts without path analysis.
+var StrictJSON = &analysis.Analyzer{
+	Name: "strictjson",
+	Doc:  "versioned artifacts must be decoded strictly (DisallowUnknownFields, no raw Unmarshal)",
+	Run:  runStrictJSON,
+}
+
+const encodingJSON = "encoding/json"
+
+// CollectArtifacts records every //spmv:artifact-marked type of the
+// package into facts, keyed "pkgpath.TypeName". The spmvlint driver
+// runs it over every package before the analysis passes so rule 3
+// sees markers across package boundaries.
+func CollectArtifacts(pkgPath string, files []*ast.File, facts *analysis.Facts) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasMarker(gd.Doc, artifactMarker) || hasMarker(ts.Doc, artifactMarker) || hasMarker(ts.Comment, artifactMarker) {
+					facts.ArtifactTypes[pkgPath+"."+ts.Name.Name] = true
+				}
+			}
+		}
+	}
+}
+
+// isArtifact reports whether the named type carries the artifact
+// marker, consulting the cross-package facts index.
+func isArtifact(pass *analysis.Pass, n *types.Named) bool {
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return pass.Facts.ArtifactTypes[obj.Pkg().Path()+"."+obj.Name()]
+}
+
+func runStrictJSON(pass *analysis.Pass) error {
+	// Self-registration: a package's own markers count even when the
+	// driver did not pre-scan (the analysistest path).
+	CollectArtifacts(pass.Pkg.Path(), pass.Files, pass.Facts)
+
+	artifactPkg := false
+	for name := range pass.Facts.ArtifactTypes {
+		if len(name) > len(pass.Pkg.Path()) && name[:len(pass.Pkg.Path())+1] == pass.Pkg.Path()+"." {
+			artifactPkg = true
+			break
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkStrictFunc(pass, fd, artifactPkg)
+		}
+	}
+	return nil
+}
+
+// decoderState tracks one json.Decoder variable within a function.
+type decoderState struct {
+	strictPos token.Pos // position of DisallowUnknownFields, or NoPos
+}
+
+func checkStrictFunc(pass *analysis.Pass, fd *ast.FuncDecl, artifactPkg bool) {
+	info := pass.TypesInfo
+	decoders := make(map[types.Object]*decoderState)
+
+	// First sweep in source order: record decoder creations and
+	// DisallowUnknownFields calls, then judge Decode/Unmarshal calls.
+	// ast.Inspect visits statements in source order, which is the
+	// order the positional before/after check needs.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Rhs {
+					if call, ok := ast.Unparen(x.Rhs[i]).(*ast.CallExpr); ok && isPkgCall(info, call, encodingJSON, "NewDecoder") {
+						if id, ok := x.Lhs[i].(*ast.Ident); ok {
+							if obj := objOf(info, id); obj != nil {
+								decoders[obj] = &decoderState{strictPos: token.NoPos}
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			name, recv := calleeName(x)
+			switch name {
+			case "DisallowUnknownFields":
+				if obj := identObj(info, recv); obj != nil {
+					if st, ok := decoders[obj]; ok {
+						st.strictPos = x.Pos()
+					}
+				}
+			case "Decode":
+				checkDecodeCall(pass, x, recv, decoders, artifactPkg)
+			case "Unmarshal":
+				if isPkgCall(info, x, encodingJSON, "Unmarshal") && len(x.Args) == 2 {
+					if n := namedOf(typeOf(info, x.Args[1])); n != nil && isArtifact(pass, n) && !hasUnmarshalJSON(n) {
+						pass.Reportf(x.Pos(), "raw json.Unmarshal on artifact type %s (no strict UnmarshalJSON); use its package's strict Decode", n.Obj().Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkDecodeCall judges one dec.Decode(&v) call.
+func checkDecodeCall(pass *analysis.Pass, call *ast.CallExpr, recv ast.Expr, decoders map[types.Object]*decoderState, artifactPkg bool) {
+	info := pass.TypesInfo
+	if !isJSONDecoder(typeOf(info, recv)) {
+		return
+	}
+	// Does strictness apply to this Decode? Either the package
+	// declares artifacts (every decoder in it handles artifact wire
+	// forms) or the destination itself is a marked artifact without
+	// its own strict UnmarshalJSON.
+	applies := artifactPkg
+	if !applies && len(call.Args) == 1 {
+		if n := namedOf(typeOf(info, call.Args[0])); n != nil && isArtifact(pass, n) && !hasUnmarshalJSON(n) {
+			applies = true
+		}
+	}
+	if !applies {
+		return
+	}
+	if obj := identObj(info, recv); obj != nil {
+		if st, ok := decoders[obj]; ok {
+			if st.strictPos.IsValid() && st.strictPos < call.Pos() {
+				return
+			}
+			pass.Reportf(call.Pos(), "artifact decoder must call DisallowUnknownFields before Decode")
+			return
+		}
+	}
+	// Chained json.NewDecoder(r).Decode(&v), or a decoder from an
+	// unknown source: cannot have been made strict in this function.
+	pass.Reportf(call.Pos(), "artifact decoder must call DisallowUnknownFields before Decode")
+}
+
+// identObj resolves a plain identifier expression to its object.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return objOf(info, id)
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if e == nil {
+		return nil
+	}
+	return info.Types[e].Type
+}
+
+// isJSONDecoder reports whether t is *encoding/json.Decoder.
+func isJSONDecoder(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == encodingJSON && obj.Name() == "Decoder"
+}

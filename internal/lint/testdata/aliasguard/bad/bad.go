@@ -1,0 +1,33 @@
+package fixture
+
+// Aliased stands in for matrix.Aliased; the analyzer matches guard
+// calls by name.
+func Aliased(a, b []float64) bool { return false }
+
+type M struct{ n int }
+
+// MulVec writes y with no guard at all.
+func (m *M) MulVec(y, x []float64) {
+	for i := range y { // want `M.MulVec uses y before an aliasing guard`
+		y[i] = x[i]
+	}
+}
+
+type N struct{ n int }
+
+// MulMat writes y before the guard runs.
+func (n *N) MulMat(y []float64, cols int, x []float64) {
+	y[0] = 0 // want `N.MulMat uses y before an aliasing guard`
+	if Aliased(y, x) {
+		panic("aliased")
+	}
+}
+
+type B struct{ n int }
+
+// MulVecBatch covers the batch output name ys.
+func (b *B) MulVecBatch(ys [][]float64, xs [][]float64) {
+	for i := range ys { // want `B.MulVecBatch uses ys before an aliasing guard`
+		copy(ys[i], xs[i])
+	}
+}

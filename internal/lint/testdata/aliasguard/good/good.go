@@ -1,0 +1,60 @@
+package fixture
+
+func Aliased(a, b []float64) bool     { return false }
+func AnyAliased(ys ...[]float64) bool { return false }
+
+type G struct{ n int }
+
+// MulVec guards before its first write.
+func (g *G) MulVec(y, x []float64) {
+	if Aliased(y, x) {
+		panic("spmvtuner: aliased y")
+	}
+	for i := range y {
+		y[i] = x[i]
+	}
+}
+
+// MulMat may inspect len/cap before guarding.
+func (g *G) MulMat(y []float64, cols int, x []float64) {
+	if len(y) == 0 || cap(y) < cols {
+		return
+	}
+	if Aliased(y, x) {
+		panic("spmvtuner: aliased y")
+	}
+	copy(y, x)
+}
+
+// MulVecBatch uses the variadic guard.
+func (g *G) MulVecBatch(ys [][]float64, xs [][]float64) {
+	if AnyAliased(ys...) {
+		panic("spmvtuner: aliased ys")
+	}
+	for i := range ys {
+		copy(ys[i], xs[i])
+	}
+}
+
+type D struct{ g G }
+
+// MulVec delegates to a family member, which guards in turn.
+func (d *D) MulVec(y, x []float64) {
+	d.g.MulVec(y, x)
+}
+
+type q struct{ n int }
+
+// mulVec is unexported: out of scope.
+func (p *q) mulVec(y, x []float64) {
+	copy(y, x)
+}
+
+type R struct{ n int }
+
+// Scale is not in the multiply family: out of scope.
+func (r *R) Scale(y []float64, s float64) {
+	for i := range y {
+		y[i] *= s
+	}
+}

@@ -1,0 +1,38 @@
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) badBare() {
+	c.n++ // want `field n is guarded by mu but accessed without holding c.mu`
+}
+
+func (c *counter) badAfterUnlock() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want `field n is guarded by mu but accessed without holding c.mu`
+}
+
+func (c *counter) badClosure() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `field n is guarded by mu but accessed without holding c.mu`
+	}()
+}
+
+func (c *counter) badBeforeLock() {
+	c.n = 0 // want `field n is guarded by mu but accessed without holding c.mu`
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+type wrongAnnotation struct {
+	x int // guarded by missing // want `field x declared guarded by missing, but the struct has no mutex field missing`
+}

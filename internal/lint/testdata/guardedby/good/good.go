@@ -1,0 +1,87 @@
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) incDeferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// earlyExit releases inside a conditional; the fall-through path is
+// still inside the critical section.
+func (c *counter) earlyExit(limit int) int {
+	c.mu.Lock()
+	if c.n > limit {
+		c.mu.Unlock()
+		return limit
+	}
+	c.n++
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// twice has two sequential critical sections.
+func (c *counter) twice() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// bumpLocked runs under the caller's lock, by naming convention.
+func (c *counter) bumpLocked() { c.n++ }
+
+// bump runs under the caller's lock, by explicit marker.
+//
+//spmv:locked
+func (c *counter) bump() { c.n++ }
+
+// newCounter touches the field before the object is published.
+func newCounter(n int) *counter {
+	c := &counter{}
+	c.n = n
+	return c
+}
+
+// lockedClosure takes the lock inside the closure that needs it.
+func (c *counter) lockedClosure() func() {
+	return func() {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+type table struct {
+	rw sync.RWMutex
+	m  map[string]int // guarded by rw
+}
+
+func (t *table) get(k string) int {
+	t.rw.RLock()
+	v := t.m[k]
+	t.rw.RUnlock()
+	return v
+}
+
+func (t *table) set(k string, v int) {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	t.m[k] = v
+}

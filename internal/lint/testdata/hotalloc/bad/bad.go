@@ -1,0 +1,59 @@
+package fixture
+
+import "fmt"
+
+type thing struct{ v float64 }
+
+func (t thing) Value() float64 { return t.v }
+
+func helper() {}
+
+var sink interface{}
+
+//spmv:hotpath
+func hotBuiltins(y []float64, n int) {
+	buf := make([]float64, n) // want `hot path allocates: make`
+	_ = buf
+	y = append(y, 1) // want `hot path allocates: append may grow`
+	_ = y
+	p := new(thing) // want `hot path allocates: new`
+	_ = p
+}
+
+//spmv:hotpath
+func hotClosures() {
+	f := func() {} // want `hot path allocates: closure`
+	f()
+	go helper() // want `hot path spawns a goroutine`
+}
+
+//spmv:hotpath
+func hotLiterals() {
+	s := []float64{1, 2} // want `hot path allocates: composite literal`
+	_ = s
+	t := &thing{v: 1} // want `hot path allocates: composite literal`
+	_ = t
+	m := t.Value // want `hot path allocates: method value`
+	_ = m
+}
+
+//spmv:hotpath
+func hotBoxing(x []float64) {
+	sink = x[0]       // want `hot path boxes into interface`
+	fmt.Println("hi") // want `hot path calls fmt.Println`
+}
+
+//spmv:hotpath
+func hotReturnBox(v float64) interface{} {
+	return v // want `hot path boxes into interface`
+}
+
+//spmv:hotpath
+func hotStrings(a, b string, raw []byte) string {
+	c := a + b     // want `hot path concatenates strings`
+	d := []byte(a) // want `hot path converts between string and byte slice`
+	_ = d
+	e := string(raw) // want `hot path converts between string and byte slice`
+	_ = e
+	return c
+}

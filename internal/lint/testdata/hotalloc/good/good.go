@@ -1,0 +1,35 @@
+package fixture
+
+import "fmt"
+
+type point struct{ x, y float64 }
+
+//spmv:hotpath
+func hotKernel(y, x []float64) {
+	var acc float64
+	for i := range y {
+		acc += x[i]
+		y[i] = acc
+	}
+	if len(y) != len(x) {
+		panic("length mismatch") // constant: interface data is static
+	}
+}
+
+//spmv:hotpath
+func hotStruct() float64 {
+	p := point{x: 1, y: 2} // struct value literal stays on the stack
+	return p.x + p.y
+}
+
+//spmv:hotpath
+func hotCopyShift(y, x []float64, n int) int {
+	copy(y, x)
+	return n << 1
+}
+
+// Unannotated functions may allocate freely.
+func coldAlloc(n int) []float64 {
+	fmt.Println("cold path")
+	return make([]float64, n)
+}

@@ -1,0 +1,40 @@
+package fixture
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// Artifact is a versioned on-disk artifact.
+//
+//spmv:artifact
+type Artifact struct {
+	Version int `json:"version"`
+}
+
+func decodeLoose(data []byte) (Artifact, error) {
+	var a Artifact
+	dec := json.NewDecoder(bytes.NewReader(data))
+	err := dec.Decode(&a) // want `artifact decoder must call DisallowUnknownFields before Decode`
+	return a, err
+}
+
+func decodeChained(data []byte) (Artifact, error) {
+	var a Artifact
+	err := json.NewDecoder(bytes.NewReader(data)).Decode(&a) // want `artifact decoder must call DisallowUnknownFields before Decode`
+	return a, err
+}
+
+func decodeStrictTooLate(data []byte) (Artifact, error) {
+	var a Artifact
+	dec := json.NewDecoder(bytes.NewReader(data))
+	err := dec.Decode(&a) // want `artifact decoder must call DisallowUnknownFields before Decode`
+	dec.DisallowUnknownFields()
+	return a, err
+}
+
+func rawUnmarshal(data []byte) (Artifact, error) {
+	var a Artifact
+	err := json.Unmarshal(data, &a) // want `raw json.Unmarshal on artifact type Artifact`
+	return a, err
+}

@@ -1,0 +1,52 @@
+package fixture
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// Artifact is a versioned on-disk artifact.
+//
+//spmv:artifact
+type Artifact struct {
+	Version int `json:"version"`
+}
+
+func decodeStrict(data []byte) (Artifact, error) {
+	var a Artifact
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	err := dec.Decode(&a)
+	return a, err
+}
+
+// Envelope implements its own strict UnmarshalJSON, so raw
+// json.Unmarshal dispatches to it and inherits its strictness.
+//
+//spmv:artifact
+type Envelope struct {
+	V int `json:"v"`
+}
+
+func (e *Envelope) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	type wire Envelope
+	var w wire
+	if err := dec.Decode(&w); err != nil {
+		return err
+	}
+	*e = Envelope(w)
+	return nil
+}
+
+func viaUnmarshalJSON(data []byte) (Envelope, error) {
+	var e Envelope
+	err := json.Unmarshal(data, &e) // sanctioned: dispatches to strict UnmarshalJSON
+	return e, err
+}
+
+// Encoding is unconstrained; only decoding must be strict.
+func encode(a Artifact) ([]byte, error) {
+	return json.Marshal(a)
+}

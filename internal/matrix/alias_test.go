@@ -1,0 +1,26 @@
+package matrix
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDenseMulVecRejectsAliasedOutput pins the guard added for the
+// spmvlint aliasguard rule: Dense.MulVec writes y[i] while later rows
+// still read x, so overlap must panic instead of corrupting.
+func TestDenseMulVecRejectsAliasedOutput(t *testing.T) {
+	d := NewDense(3, 3)
+	for i := 0; i < 3; i++ {
+		d.Set(i, i, 1)
+	}
+	buf := make([]float64, 4)
+	x, y := buf[:3], buf[1:4]
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "alias") {
+			t.Fatalf("panic %v, want aliasing panic", r)
+		}
+	}()
+	d.MulVec(x, y)
+}

@@ -21,6 +21,8 @@ import (
 // calls silently compute garbage and are rejected. (Go's GC does not
 // move heap objects, so comparing the two ranges' addresses is a
 // sound overlap test.)
+//
+//spmv:hotpath
 func Aliased(x, y []float64) bool {
 	if len(x) == 0 || len(y) == 0 {
 		return false

@@ -305,8 +305,12 @@ func (d *Dense) At(i, j int) float64 { return d.Data[i*d.NCols+j] }
 // Set assigns element (i, j).
 func (d *Dense) Set(i, j int, v float64) { d.Data[i*d.NCols+j] = v }
 
-// MulVec computes y = D*x densely.
+// MulVec computes y = D*x densely. x and y must not alias: y[i] is
+// written while later rows still read all of x.
 func (d *Dense) MulVec(x, y []float64) {
+	if Aliased(x, y) {
+		panic("matrix: Dense.MulVec input and output must not alias")
+	}
 	for i := 0; i < d.NRows; i++ {
 		var sum float64
 		row := d.Data[i*d.NCols : (i+1)*d.NCols]

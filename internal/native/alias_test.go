@@ -1,0 +1,42 @@
+package native
+
+import (
+	"strings"
+	"testing"
+
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+)
+
+// TestPreparedRejectsAliasedOutputs pins the engine-level aliasing
+// guards: the prepared multiply paths scatter into y while workers
+// still gather x, so overlap must be rejected before dispatch.
+func TestPreparedRejectsAliasedOutputs(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := gen.FewDenseRows(500, 4, 1, 100, 11)
+	p := e.Prepare(m, ex.Optim{})
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "alias") {
+				t.Fatalf("%s: panic %v, want aliasing panic", name, r)
+			}
+		}()
+		f()
+	}
+
+	buf := make([]float64, m.NRows+m.NRows/2)
+	x, y := buf[:m.NCols], buf[m.NRows/2:m.NRows/2+m.NRows]
+	mustPanic("MulVec", func() { p.MulVec(x, y) })
+
+	// Batch: input of one pair overlapping the output of another.
+	clean := make([]float64, m.NCols)
+	out := make([]float64, m.NRows)
+	mustPanic("MulVecBatch", func() {
+		p.MulVecBatch([][]float64{clean, x}, [][]float64{y, out})
+	})
+}

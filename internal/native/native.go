@@ -35,11 +35,11 @@ type Executor struct {
 	workers *Pool
 
 	mu       sync.Mutex
-	deltas   map[*matrix.CSR]*formats.DeltaCSR
-	splits   map[*matrix.CSR]*formats.SplitCSR
-	sells    map[*matrix.CSR]*formats.SellCS
-	ssses    map[*matrix.CSR]*formats.SSS
-	prepared map[preparedKey]*Prepared
+	deltas   map[*matrix.CSR]*formats.DeltaCSR // guarded by mu
+	splits   map[*matrix.CSR]*formats.SplitCSR // guarded by mu
+	sells    map[*matrix.CSR]*formats.SellCS   // guarded by mu
+	ssses    map[*matrix.CSR]*formats.SSS      // guarded by mu
+	prepared map[preparedKey]*Prepared         // guarded by mu
 
 	probeOnce sync.Once
 	usable    int // threads that actually speed up memory streaming

@@ -65,7 +65,7 @@ type Prepared struct {
 	// xb, yb are the engine-owned pack buffers of the batch path,
 	// allocated on first blocked batch and reused thereafter (the
 	// zero-alloc steady state covers them).
-	xb, yb []float64
+	xb, yb []float64 // guarded by mu
 }
 
 // Opt returns the optimization configuration the kernel was compiled
@@ -89,7 +89,12 @@ func (p *Prepared) Kernel() string { return p.kernelName }
 
 // MulVec computes y = A*x. Safe for concurrent use; allocation-free in
 // steady state.
+//
+//spmv:hotpath
 func (p *Prepared) MulVec(x, y []float64) {
+	if matrix.Aliased(x, y) {
+		panic("native: Prepared.MulVec input and output must not alias")
+	}
 	p.mu.Lock()
 	p.mulVecLocked(x, y, nil)
 	p.mu.Unlock()
@@ -105,9 +110,11 @@ func (p *Prepared) MulVec(x, y []float64) {
 // covering the tail block. Steady-state calls with a stable batch
 // shape are allocation-free. No input vector may overlap ANY output
 // vector (earlier blocks' outputs are written before later blocks'
-// inputs are packed); the facade enforces this, callers of the
-// internal engine must uphold it themselves.
+// inputs are packed); the engine rejects such batches.
 func (p *Prepared) MulVecBatch(xs, ys [][]float64) {
+	if matrix.AnyAliased(xs, ys) {
+		panic("native: Prepared.MulVecBatch inputs and outputs must not alias")
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	w := p.blockW
@@ -144,6 +151,8 @@ func (p *Prepared) MulVecBatch(xs, ys [][]float64) {
 // matrix.PackBlock), streaming the matrix once for the whole block.
 // Safe for concurrent use; allocation-free in steady state for any k
 // up to the largest seen. x and y must not alias.
+//
+//spmv:hotpath
 func (p *Prepared) MulMat(x, y []float64, k int) {
 	if k < 1 {
 		panic("native: MulMat block width < 1")
@@ -167,6 +176,10 @@ func (p *Prepared) mulVecTimed(x, y []float64, perThread []float64) {
 	p.mu.Unlock()
 }
 
+// mulVecLocked publishes the operands and dispatches one barrier.
+//
+//spmv:hotpath
+//spmv:locked
 func (p *Prepared) mulVecLocked(x, y, perThread []float64) {
 	p.x, p.y, p.timing = x, y, perThread
 	p.next.Store(0)
@@ -180,6 +193,8 @@ func (p *Prepared) mulVecLocked(x, y, perThread []float64) {
 // runPhase dispatches one barrier of the kernel — through the
 // persistent pool when bound, transient goroutines otherwise. Multi-
 // phase kernels (the SSS reduction) dispatch it again from finish.
+//
+//spmv:hotpath
 func (p *Prepared) runPhase(body func(t int)) {
 	if p.pool != nil {
 		p.pool.Run(p.nt, body)
@@ -198,6 +213,9 @@ func (p *Prepared) mulMatTimed(x, y []float64, k int, perThread []float64) {
 
 // mulMatLocked dispatches one blocked multiply of k interleaved
 // right-hand sides as a single pool barrier.
+//
+//spmv:hotpath
+//spmv:locked
 func (p *Prepared) mulMatLocked(x, y []float64, k int, perThread []float64) {
 	if k == 1 {
 		p.mulVecLocked(x, y, perThread)

@@ -38,6 +38,8 @@ const CurrentVersion = 1
 const Library = "spmvtuner"
 
 // Plan is one serializable tuning decision.
+//
+//spmv:artifact
 type Plan struct {
 	// Version is the IR schema version (CurrentVersion when produced
 	// by this library build).

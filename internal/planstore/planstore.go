@@ -45,15 +45,15 @@ const DefaultCapacity = 256
 type Store struct {
 	mu       sync.Mutex
 	capacity int
-	dir      string // "" = memory-only
-	entries  map[Key]*list.Element
-	lru      *list.List // front = most recently used
+	dir      string                // "" = memory-only; immutable after New
+	entries  map[Key]*list.Element // guarded by mu
+	lru      *list.List            // guarded by mu; front = most recently used
 	// dirty holds entries not yet durable on disk; writeBack always
 	// persists the latest dirty value and clears the marker only when
 	// it is still the value it wrote, so racing Puts of one key can
 	// never leave an older plan on disk with the marker gone.
-	dirty  map[Key]plan.Plan
-	closed bool
+	dirty  map[Key]plan.Plan // guarded by mu
+	closed bool              // guarded by mu
 
 	// wmu serializes disk writes: renames from concurrent Puts of the
 	// same key must not land out of order. Held outside mu.

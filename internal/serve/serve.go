@@ -108,27 +108,26 @@ type entry struct {
 	// dispatcher and Warm may race); never held while serving.
 	prepMu sync.Mutex
 
-	// mu guards the fields below.
 	mu     sync.Mutex
-	dead   bool   // deregistered or closed: no further submissions
-	kernel Kernel // nil until first prepared, or after eviction
-	bytes  int64
-	info   PrepInfo
+	dead   bool     // guarded by mu; deregistered or closed: no further submissions
+	kernel Kernel   // guarded by mu; nil until first prepared, or after eviction
+	bytes  int64    // guarded by mu
+	info   PrepInfo // guarded by mu
 
 	// sm guards the counters (written per batch by the dispatcher,
 	// read by Stats).
 	sm          sync.Mutex
-	requests    uint64
-	batches     uint64
-	widthSum    uint64
-	busySeconds float64
-	flops       float64
-	tunes       uint64
-	warmPreps   uint64
-	evictions   uint64
-	errors      uint64
-	lat         []float64 // ring of recent request latencies (seconds)
-	latPos      int
+	requests    uint64    // guarded by sm
+	batches     uint64    // guarded by sm
+	widthSum    uint64    // guarded by sm
+	busySeconds float64   // guarded by sm
+	flops       float64   // guarded by sm
+	tunes       uint64    // guarded by sm
+	warmPreps   uint64    // guarded by sm
+	evictions   uint64    // guarded by sm
+	errors      uint64    // guarded by sm
+	lat         []float64 // guarded by sm; ring of recent request latencies (seconds)
+	latPos      int       // guarded by sm
 
 	// lastUse orders LRU decisions without taking locks on the hot
 	// path (UnixNano of the last served batch).
@@ -188,9 +187,9 @@ type Server struct {
 	cfg    Config
 
 	mu      sync.Mutex
-	entries map[string]*entry
-	budget  *cache.Budget // guarded by mu
-	closed  bool
+	entries map[string]*entry // guarded by mu
+	budget  *cache.Budget     // guarded by mu
+	closed  bool              // guarded by mu
 
 	wg sync.WaitGroup
 }

@@ -132,7 +132,7 @@ type Tuner struct {
 	store    *planstore.Store
 	platform machine.Model
 	modeled  bool
-	closed   bool
+	closed   bool // guarded by mu
 
 	// hostModel is the model of the machine kernels actually run on —
 	// machine.Host(), with calibrated ceilings applied when
