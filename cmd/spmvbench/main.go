@@ -14,6 +14,7 @@
 //	spmvbench -exp warm -scale 0.1      # plan store: cold tune vs warm start
 //	spmvbench -exp serve -scale 0.1     # serving: coalesced vs sequential
 //	spmvbench -exp twin -scale 0.1      # digital twin: predicted vs measured Gflops
+//	spmvbench -exp kernels -scale 0.1   # SIMD assembly kernels vs scalar oracles
 //	spmvbench -exp all -scale 0.25      # every modeled experiment
 //
 // The reuse, sellcs, spmm, sym, warm and serve experiments run
@@ -25,8 +26,9 @@
 // sequential and reference-exact answers) and exit nonzero when they
 // fail, so CI can use them as smoke tests; twin likewise exits
 // nonzero when the cost model's mean prediction error exceeds its
-// gate. -json writes the serve or twin result as JSON beside the
-// table.
+// gate, and kernels exits nonzero when any assembly body runs slower
+// than its scalar oracle. -json writes the serve, twin or kernels
+// result as JSON beside the table.
 //
 // Ablations: ablate-delta, ablate-split, ablate-sched,
 // ablate-prefetch, ablate-partitioned-ml.
@@ -37,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/sparsekit/spmvtuner/internal/experiments"
@@ -44,16 +47,41 @@ import (
 )
 
 func main() {
+	// main exits through run so deferred cleanup (the CPU-profile
+	// flush) always runs before os.Exit.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spmvbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1, fig3, fig7, table4, table5, platforms, features, reuse, sellcs, spmm, sym, warm, serve, twin, ablate-*, all")
+		exp      = flag.String("exp", "all", "experiment: fig1, fig3, fig7, table4, table5, platforms, features, reuse, sellcs, spmm, sym, warm, serve, twin, kernels, ablate-*, all")
 		platform = flag.String("platform", "", "fig7 platform: knc, knl, bdw (default: all three)")
 		scale    = flag.Float64("scale", 1.0, "suite size multiplier (1.0 = reproduction size)")
 		corpus   = flag.Int("corpus", 210, "training corpus size")
 		matrices = flag.String("matrix", "", "comma-separated suite subset")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonPath = flag.String("json", "", "also write the result as JSON to this path (serve, twin)")
+		jsonPath = flag.String("json", "", "also write the result as JSON to this path (serve, twin, kernels)")
+		profile  = flag.String("cpuprofile", "", "write a CPU profile to this path (the PGO collection hook: a suite run's profile becomes cmd/spmvbench/default.pgo)")
 	)
 	flag.Parse()
+
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	cfg := experiments.Config{Scale: *scale, CorpusSize: *corpus}
 	if *matrices != "" {
@@ -125,6 +153,25 @@ func main() {
 				}
 			}
 		}
+	case "kernels":
+		// The regression gate returns the result alongside the error:
+		// emit the table either way so a failing gate shows which
+		// (matrix, kernel) pair lost to the compiler.
+		res, kerr := experiments.Kernels(cfg)
+		if res != nil {
+			emit(res.Table())
+			if *jsonPath != "" {
+				var buf []byte
+				var jerr error
+				if buf, jerr = json.MarshalIndent(res, "", "  "); jerr == nil {
+					jerr = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+				}
+				if kerr == nil {
+					kerr = jerr
+				}
+			}
+		}
+		err = kerr
 	case "twin":
 		// The accuracy gate returns the (partial) result alongside the
 		// error: emit the table either way so a failing smoke still
@@ -175,8 +222,5 @@ func main() {
 	default:
 		err = fmt.Errorf("unknown experiment %q", *exp)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "spmvbench:", err)
-		os.Exit(1)
-	}
+	return err
 }

@@ -10,12 +10,18 @@
 //	file:line:col: analyzer: message
 //
 // Packages are resolved with `go list`, so patterns behave exactly
-// like any other go command; test files are not analyzed.
+// like any other go command; test files are not analyzed. -tags
+// selects build-tag variants the way go build does — CI lints both
+// the assembly-dispatch and the `noasm` file sets of the kernel
+// packages:
+//
+//	go run ./cmd/spmvlint -tags noasm ./...
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -39,11 +45,13 @@ type listedPackage struct {
 }
 
 func main() {
-	patterns := os.Args[1:]
+	tags := flag.String("tags", "", "comma-separated build tags, forwarded to go list (lint a tag variant, e.g. -tags noasm)")
+	flag.Parse()
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := goList(patterns)
+	pkgs, err := goList(*tags, patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spmvlint: %v\n", err)
 		os.Exit(2)
@@ -95,9 +103,14 @@ func main() {
 	os.Exit(exit)
 }
 
-// goList resolves package patterns through the go tool.
-func goList(patterns []string) ([]listedPackage, error) {
-	args := append([]string{"list", "-json"}, patterns...)
+// goList resolves package patterns through the go tool; tags selects
+// the build-tag variant of each package's file list.
+func goList(tags string, patterns []string) ([]listedPackage, error) {
+	args := []string{"list", "-json"}
+	if tags != "" {
+		args = append(args, "-tags", tags)
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()

@@ -1,15 +1,18 @@
 // Mirrors the code samples of README.md, docs/guide/platforms.md,
 // docs/guide/formats.md, docs/guide/batching.md, docs/guide/symmetry.md,
-// docs/guide/plans.md, docs/guide/serving.md, docs/guide/twin.md and
-// docs/guide/lint.md so the documented API cannot drift without
-// breaking the build: every call here appears in a published snippet.
+// docs/guide/plans.md, docs/guide/serving.md, docs/guide/twin.md,
+// docs/guide/lint.md and docs/guide/simd.md so the documented API
+// cannot drift without breaking the build: every call here appears in
+// a published snippet.
 package spmvtuner_test
 
 import (
 	"errors"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -18,6 +21,7 @@ import (
 	ex "github.com/sparsekit/spmvtuner/internal/exec"
 	"github.com/sparsekit/spmvtuner/internal/formats"
 	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/kernels"
 	"github.com/sparsekit/spmvtuner/internal/lint"
 	"github.com/sparsekit/spmvtuner/internal/lint/analysis"
 	"github.com/sparsekit/spmvtuner/internal/machine"
@@ -410,6 +414,65 @@ func TestServingGuideSamples(t *testing.T) {
 	srv.Close()
 	if err := srv.MulVec("thermal", nil, y); !errors.Is(err, spmvtuner.ErrServerClosed) {
 		t.Fatalf("closed server: %v", err)
+	}
+}
+
+// TestSIMDGuideSamples exercises docs/guide/simd.md: the dispatch
+// introspection API, the kernel-name suffix rule, the oracle
+// differential snippet with its 1e-12 contract, and the KernelISA
+// provenance the facade surfaces.
+func TestSIMDGuideSamples(t *testing.T) {
+	// The guide's introspection sample, and its name/lanes coupling.
+	isa, lanes := kernels.ISA(), kernels.ISALanes()
+	wantLanes := map[string]int{"avx512": 8, "avx2": 4, "scalar": 1}[isa]
+	if wantLanes == 0 || lanes != wantLanes {
+		t.Fatalf("ISA %q with %d lanes", isa, lanes)
+	}
+
+	// "Never compare kernel names for equality against the unsuffixed
+	// form; use a prefix check."
+	name := kernels.VariantName(true, false, false)
+	if !strings.HasPrefix(name, "csr-vec8") {
+		t.Fatalf("VariantName = %q", name)
+	}
+	if isa != "scalar" && !strings.HasSuffix(name, "-"+isa) {
+		t.Fatalf("dispatched name %q missing ISA suffix %q", name, isa)
+	}
+
+	// The guide's differential snippet: dispatched kernel against the
+	// pure-Go oracle, within 1e-12 relative.
+	m := gen.UniformRandom(4000, 7, 42)
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = float64(i%9) - 4
+	}
+	want := make([]float64, m.NRows)
+	kernels.CSRVector8Range(m, x, want, 0, m.NRows) // the oracle
+	got := make([]float64, m.NRows)
+	kernels.Variant(true, false, false)(m, x, got, 0, m.NRows) // dispatched
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-12*(1+math.Abs(want[i])) {
+			t.Fatalf("oracle contract broken at row %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+
+	// The cost model prices vectors at the dispatched width.
+	eng := native.New()
+	engLanes := eng.Machine().SIMDLanes
+	eng.Close()
+	if engLanes != lanes {
+		t.Fatalf("host model prices %d lanes, dispatch executes %d", engLanes, lanes)
+	}
+
+	// Plans carry the winning ISA as provenance (facade sample).
+	sm, err := spmvtuner.SuiteMatrix("poisson3Db", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner := spmvtuner.NewTuner()
+	defer tuner.Close()
+	if got := tuner.Tune(sm).Info().KernelISA; got != isa {
+		t.Fatalf("Info().KernelISA = %q, dispatch says %q", got, isa)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"github.com/sparsekit/spmvtuner/internal/classify"
 	ex "github.com/sparsekit/spmvtuner/internal/exec"
 	"github.com/sparsekit/spmvtuner/internal/features"
+	"github.com/sparsekit/spmvtuner/internal/kernels"
 	"github.com/sparsekit/spmvtuner/internal/matrix"
 	"github.com/sparsekit/spmvtuner/internal/ml"
 	"github.com/sparsekit/spmvtuner/internal/opt"
@@ -129,6 +130,7 @@ func (p *Pipeline) bind(fp string, pl plan.Plan) plan.Plan {
 	pl.Version = plan.CurrentVersion
 	pl.Fingerprint = fp
 	pl.Machine = p.Exec.Machine().Codename
+	pl.KernelISA = kernels.ISA()
 	pl.Library = plan.Library
 	return pl
 }
@@ -238,6 +240,18 @@ func (p *Pipeline) Prepare(m *matrix.CSR) (plan.Plan, ex.PreparedKernel, bool) {
 		key = p.storeKey(fp)
 		if pl, ok := p.Store.Get(key); ok {
 			if err := pl.ValidateForFingerprint(m, fp); err == nil && p.twinTrusts(m, pl) {
+				if pl.KernelISA != kernels.ISA() {
+					// The knobs survive an ISA change — the same plan
+					// dispatches to this host's kernel bodies — but the
+					// recorded rate was earned by different code. One
+					// re-measure (on real executors) keeps the stored
+					// trajectory honest across hardware migrations.
+					pl.KernelISA = kernels.ISA()
+					if prepared {
+						pl.MeasuredGflops = opt.Evaluate(p.Exec, m, pl).Gflops
+					}
+					_ = p.Store.Put(key, pl)
+				}
 				var k ex.PreparedKernel
 				if prepared {
 					k = pe.Prepare(m, pl.Opt)

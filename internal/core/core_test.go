@@ -173,6 +173,68 @@ func TestPrepareDropsStaleStoreEntry(t *testing.T) {
 	}
 }
 
+// preparedCountingExec makes countingExec a PreparedExecutor: Prepare
+// hands back a nil kernel (tests never multiply through it), but its
+// presence selects the measured-executor paths in core.Prepare.
+type preparedCountingExec struct {
+	countingExec
+}
+
+func (p *preparedCountingExec) Prepare(m *matrix.CSR, o ex.Optim) ex.PreparedKernel { return nil }
+func (p *preparedCountingExec) Close() error                                        { return nil }
+
+// TestPrepareRemeasuresOnISAChange: a store hit whose KernelISA is not
+// the running host's keeps its knob set (still warm — no classify, no
+// sweep) but re-measures the rate once and heals the stored entry —
+// the recorded Gflops were earned by different kernel bodies.
+func TestPrepareRemeasuresOnISAChange(t *testing.T) {
+	ce := &preparedCountingExec{countingExec{Executor: sim.New(machine.KNL())}}
+	p := New(ce)
+	p.Store = planstore.New(8)
+	m := gen.UniformRandom(160000, 8, 11)
+
+	pl1, _, _ := p.Prepare(m)
+	if pl1.KernelISA == "" {
+		t.Fatalf("bind did not stamp the kernel ISA: %+v", pl1)
+	}
+	key := p.storeKey(pl1.Fingerprint)
+
+	// Simulate a plan tuned on other hardware: same knobs, foreign ISA.
+	foreign := pl1
+	foreign.KernelISA = "other-isa"
+	foreign.MeasuredGflops = 123.456
+	if err := p.Store.Put(key, foreign); err != nil {
+		t.Fatal(err)
+	}
+	baseRuns := ce.runs
+
+	pl2, _, warm := p.Prepare(m)
+	if !warm {
+		t.Fatal("ISA mismatch must stay a warm hit (knobs survive)")
+	}
+	if pl2.KernelISA != pl1.KernelISA {
+		t.Fatalf("ISA not restamped: %q", pl2.KernelISA)
+	}
+	if pl2.Opt != pl1.Opt {
+		t.Fatalf("knobs changed on ISA migration: %+v vs %+v", pl2.Opt, pl1.Opt)
+	}
+	if got := ce.runs - baseRuns; got != 1 {
+		t.Fatalf("ISA migration measured %d times, want exactly 1", got)
+	}
+	if pl2.MeasuredGflops == 123.456 {
+		t.Fatal("stale foreign rate survived the migration")
+	}
+	if healed, ok := p.Store.Get(key); !ok || healed.KernelISA != pl1.KernelISA {
+		t.Fatalf("store not healed: ok=%v got=%+v", ok, healed)
+	}
+
+	// Same-ISA warm hits stay measurement-free.
+	baseRuns = ce.runs
+	if _, _, warm := p.Prepare(m); !warm || ce.runs != baseRuns {
+		t.Fatalf("same-ISA warm hit ran %d measurements", ce.runs-baseRuns)
+	}
+}
+
 func TestPrepareTwinGateTrustsConsistentPlan(t *testing.T) {
 	// Exec and twin price with the same calibrated model, so the
 	// stored prediction agrees with the local re-price and the warm

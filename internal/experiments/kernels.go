@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/sparsekit/spmvtuner/internal/formats"
+	"github.com/sparsekit/spmvtuner/internal/kernels"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+	"github.com/sparsekit/spmvtuner/internal/report"
+)
+
+// KernelRow compares one kernel family's scalar oracle against its
+// dispatched SIMD body on one suite matrix: the tracked kernel-perf
+// trajectory (BENCH_kernels.json) is a list of these.
+type KernelRow struct {
+	Matrix string  `json:"matrix"`
+	Kernel string  `json:"kernel"` // family: csr-vec8, sellcs-c8, block4, block8
+	NNZ    int     `json:"nnz"`
+	Scalar float64 `json:"scalarGflops"`
+	Asm    float64 `json:"asmGflops"`
+	// Speedup is Asm/Scalar; the regression gate rejects any row
+	// meaningfully below 1.
+	Speedup float64 `json:"speedup"`
+}
+
+// KernelsResult is the single-thread scalar-vs-assembly comparison
+// across the suite, one row per (matrix, kernel family).
+type KernelsResult struct {
+	// ISA is the dispatched instruction set the asm column ran on
+	// ("scalar" disables the comparison and the gate).
+	ISA  string      `json:"isa"`
+	Rows []KernelRow `json:"rows"`
+}
+
+// kernelGateSlack absorbs timer and turbo noise in the regression
+// gate: an asm body is a regression when it is more than 5% slower
+// than its scalar oracle on any suite matrix, under best-of-N timing.
+const kernelGateSlack = 0.95
+
+// kernelReps is the best-of-N repetition count; the minimum over reps
+// is the noise-robust per-op time.
+const kernelReps = 5
+
+// bestOf times fn (which runs iters kernel operations) kernelReps
+// times and returns the fastest per-op seconds.
+func bestOf(iters int, fn func()) float64 {
+	best := math.Inf(1)
+	for r := 0; r < kernelReps; r++ {
+		start := time.Now()
+		fn()
+		if s := time.Since(start).Seconds() / float64(iters); s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Kernels measures every dispatched assembly kernel against its
+// pure-Go oracle, single-threaded and straight at the kernel (no
+// engine, no scheduler): exactly the code-generation delta. The
+// returned error is the regression gate: on hosts with SIMD dispatch,
+// every asm body must be at least as fast as its oracle (within
+// kernelGateSlack) on every suite matrix — an asm kernel that loses
+// to the compiler is a bug, not a tradeoff.
+func Kernels(cfg Config) (*KernelsResult, error) {
+	c := cfg.withDefaults()
+	res := &KernelsResult{ISA: kernels.ISA()}
+
+	for _, r := range c.selected() {
+		m := r.Build(c.Scale)
+		x := make([]float64, m.NCols)
+		for i := range x {
+			x[i] = 1 + 1/float64(i+2)
+		}
+		y := make([]float64, m.NRows)
+		iters := reuseIters(m.NNZ())
+		flops := 2 * float64(m.NNZ())
+
+		rate := func(secPerOp float64, mult float64) float64 {
+			if secPerOp <= 0 {
+				return 0
+			}
+			return flops * mult / secPerOp / 1e9
+		}
+
+		// CSR vector kernel: dispatched Variant(vec) vs the oracle.
+		scalarSec := bestOf(iters, func() {
+			for i := 0; i < iters; i++ {
+				kernels.CSRVector8Range(m, x, y, 0, m.NRows)
+			}
+		})
+		asmK := kernels.Variant(true, false, false)
+		asmSec := bestOf(iters, func() {
+			for i := 0; i < iters; i++ {
+				asmK(m, x, y, 0, m.NRows)
+			}
+		})
+		res.add(m, "csr-vec8", rate(scalarSec, 1), rate(asmSec, 1))
+
+		// SELL-C-σ C=8 chunk kernel.
+		s := formats.ConvertSellCSAuto(m)
+		if s.C == 8 {
+			scalarSec = bestOf(iters, func() {
+				for i := 0; i < iters; i++ {
+					kernels.SellCS8Range(s, x, y, 0, s.NChunks())
+				}
+			})
+			sellK, _ := kernels.SellCSVariant(s, true)
+			asmSec = bestOf(iters, func() {
+				for i := 0; i < iters; i++ {
+					sellK(s, x, y, 0, s.NChunks())
+				}
+			})
+			res.add(m, "sellcs-c8", rate(scalarSec, 1), rate(asmSec, 1))
+		}
+
+		// Register-blocked SpMM, k = 4 and 8. Fewer iterations: each op
+		// does k× the flops.
+		for _, k := range []int{4, 8} {
+			xb := make([]float64, m.NCols*k)
+			for i := range xb {
+				xb[i] = x[i/k]
+			}
+			yb := make([]float64, m.NRows*k)
+			bi := iters/k + 1
+			scalarSec = bestOf(bi, func() {
+				for i := 0; i < bi; i++ {
+					kernels.ScalarCSRBlockRange(m, xb, yb, k, 0, m.NRows)
+				}
+			})
+			asmSec = bestOf(bi, func() {
+				for i := 0; i < bi; i++ {
+					kernels.CSRBlockRange(m, xb, yb, k, 0, m.NRows)
+				}
+			})
+			res.add(m, fmt.Sprintf("block%d", k), rate(scalarSec, float64(k)), rate(asmSec, float64(k)))
+		}
+	}
+
+	if res.ISA == "scalar" {
+		// No assembly dispatched (noasm build or non-amd64 host): both
+		// columns ran the same bodies, the gate is meaningless.
+		return res, nil
+	}
+	for _, row := range res.Rows {
+		if row.Asm < row.Scalar*kernelGateSlack {
+			return res, fmt.Errorf("kernel regression: %s on %s runs %.2f Gflops %s vs %.2f scalar (%.2fx)",
+				row.Kernel, row.Matrix, row.Asm, res.ISA, row.Scalar, row.Speedup)
+		}
+	}
+	return res, nil
+}
+
+func (r *KernelsResult) add(m *matrix.CSR, kernel string, scalar, asm float64) {
+	row := KernelRow{Matrix: m.Name, Kernel: kernel, NNZ: m.NNZ(), Scalar: scalar, Asm: asm}
+	if scalar > 0 {
+		row.Speedup = asm / scalar
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// Table renders the trajectory.
+func (r *KernelsResult) Table() *report.Table {
+	t := report.New(fmt.Sprintf("SIMD assembly kernels vs scalar oracles (single thread, isa=%s)", r.ISA),
+		"matrix", "kernel", "nnz", "scalar Gflops", "asm Gflops", "speedup")
+	logSum, n := 0.0, 0
+	for _, row := range r.Rows {
+		t.Add(row.Matrix, row.Kernel, report.F(float64(row.NNZ)),
+			report.F(row.Scalar), report.F(row.Asm), report.Fx(row.Speedup))
+		if row.Speedup > 0 {
+			logSum += math.Log(row.Speedup)
+			n++
+		}
+	}
+	if n > 0 {
+		t.AddNote("geometric-mean speedup %.2fx over %d (matrix, kernel) pairs", math.Exp(logSum/float64(n)), n)
+	}
+	if r.ISA == "scalar" {
+		t.AddNote("no SIMD dispatch on this build/host: both columns ran the pure-Go bodies")
+	} else {
+		t.AddNote("gate: every asm body must hold >= %.0f%% of its scalar oracle's rate", kernelGateSlack*100)
+	}
+	return t
+}

@@ -1,0 +1,439 @@
+//go:build !noasm
+
+// SIMD bodies for the hottest inner loops, dispatched by
+// dispatch_amd64.go. Every function here has a pure-Go twin in
+// kernels.go / spmm.go that serves as its differential-test oracle;
+// the contract (dispatch_test.go) is agreement within 1e-12 over the
+// generator families. Two ISA tiers:
+//
+//   - AVX2+FMA: 4-lane f64, dword-indexed gathers (VGATHERDPD with a
+//     VPCMPEQD-refreshed mask — the gather clobbers its mask register).
+//   - AVX-512F: 8-lane f64, opmask gathers (KXNORW-refreshed). Only
+//     the gather kernels and the widest block kernel get a 512-bit
+//     variant: doubling the gather width doubles the irregular-access
+//     throughput, while the k=4 block kernel's natural width IS one
+//     YMM register and gains nothing from ZMM.
+//
+// Accumulator grouping differs from the scalar oracles (pairs of
+// vector accumulators versus 8 named scalars) and products are fused
+// (FMA rounds once where the oracle rounds twice), so results match
+// the oracle to rounding, not bit-for-bit — exactly the tolerance the
+// differential suite checks. Scalar tails use FMA too, for the same
+// reason.
+
+#include "textflag.h"
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// Register plan shared by the CSR range kernels:
+//   R10 rowptr base   DI colind base   SI val base
+//   R8  x base        R9 y base (or y cursor)
+//   CX  row i         DX hi            R12 j   R13 row end   R14 unroll limit
+//   AX  scratch column index
+
+// func csrGatherRangeAVX2(rowptr []int64, colind []int32, val, x, y []float64, lo, hi int)
+//
+// y[i] = sum_j val[j]*x[colind[j]] for rows [lo,hi): 8 elements per
+// iteration as two 4-wide gather+FMA streams, scalar-FMA tail.
+TEXT ·csrGatherRangeAVX2(SB), NOSPLIT, $0-136
+	MOVQ rowptr_base+0(FP), R10
+	MOVQ colind_base+24(FP), DI
+	MOVQ val_base+48(FP), SI
+	MOVQ x_base+72(FP), R8
+	MOVQ y_base+96(FP), R9
+	MOVQ lo+120(FP), CX
+	MOVQ hi+128(FP), DX
+	CMPQ CX, DX
+	JGE  a2done
+
+a2row:
+	MOVQ (R10)(CX*8), R12
+	MOVQ 8(R10)(CX*8), R13
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD X2, X2, X2
+	LEAQ -8(R13), R14
+
+a2loop8:
+	CMPQ R12, R14
+	JGT  a2tail
+	VMOVDQU (DI)(R12*4), X3
+	VMOVDQU 16(DI)(R12*4), X4
+	VPCMPEQD Y5, Y5, Y5
+	VGATHERDPD Y5, (R8)(X3*8), Y6
+	VPCMPEQD Y5, Y5, Y5
+	VGATHERDPD Y5, (R8)(X4*8), Y7
+	VMOVUPD (SI)(R12*8), Y8
+	VMOVUPD 32(SI)(R12*8), Y9
+	VFMADD231PD Y6, Y8, Y0
+	VFMADD231PD Y7, Y9, Y1
+	ADDQ $8, R12
+	JMP  a2loop8
+
+a2tail:
+	CMPQ R12, R13
+	JGE  a2reduce
+	MOVL (DI)(R12*4), AX
+	VMOVSD (R8)(AX*8), X3
+	VMOVSD (SI)(R12*8), X4
+	VFMADD231SD X3, X4, X2
+	INCQ R12
+	JMP  a2tail
+
+a2reduce:
+	VADDPD Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0
+	VADDSD X2, X0, X0
+	VMOVSD X0, (R9)(CX*8)
+	INCQ CX
+	CMPQ CX, DX
+	JLT  a2row
+
+a2done:
+	VZEROUPPER
+	RET
+
+// func csrGatherRangeAVX512(rowptr []int64, colind []int32, val, x, y []float64, lo, hi int)
+//
+// The 8-lane form: 16 elements per iteration as two 8-wide
+// gather+FMA streams, one 8-wide step, scalar-FMA tail.
+TEXT ·csrGatherRangeAVX512(SB), NOSPLIT, $0-136
+	MOVQ rowptr_base+0(FP), R10
+	MOVQ colind_base+24(FP), DI
+	MOVQ val_base+48(FP), SI
+	MOVQ x_base+72(FP), R8
+	MOVQ y_base+96(FP), R9
+	MOVQ lo+120(FP), CX
+	MOVQ hi+128(FP), DX
+	CMPQ CX, DX
+	JGE  a5done
+
+a5row:
+	MOVQ (R10)(CX*8), R12
+	MOVQ 8(R10)(CX*8), R13
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VXORPD X2, X2, X2
+	LEAQ -16(R13), R14
+
+a5loop16:
+	CMPQ R12, R14
+	JGT  a5chk8
+	VMOVDQU (DI)(R12*4), Y3
+	VMOVDQU 32(DI)(R12*4), Y4
+	KXNORW K1, K1, K1
+	VGATHERDPD (R8)(Y3*8), K1, Z6
+	KXNORW K2, K2, K2
+	VGATHERDPD (R8)(Y4*8), K2, Z7
+	VMOVUPD (SI)(R12*8), Z8
+	VMOVUPD 64(SI)(R12*8), Z9
+	VFMADD231PD Z6, Z8, Z0
+	VFMADD231PD Z7, Z9, Z1
+	ADDQ $16, R12
+	JMP  a5loop16
+
+a5chk8:
+	LEAQ -8(R13), R14
+	CMPQ R12, R14
+	JGT  a5tail
+	VMOVDQU (DI)(R12*4), Y3
+	KXNORW K1, K1, K1
+	VGATHERDPD (R8)(Y3*8), K1, Z6
+	VMOVUPD (SI)(R12*8), Z8
+	VFMADD231PD Z6, Z8, Z0
+	ADDQ $8, R12
+
+a5tail:
+	CMPQ R12, R13
+	JGE  a5reduce
+	MOVL (DI)(R12*4), AX
+	VMOVSD (R8)(AX*8), X3
+	VMOVSD (SI)(R12*8), X4
+	VFMADD231SD X3, X4, X2
+	INCQ R12
+	JMP  a5tail
+
+a5reduce:
+	VADDPD Z1, Z0, Z0
+	VEXTRACTF64X4 $1, Z0, Y1
+	VADDPD Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0
+	VADDSD X2, X0, X0
+	VMOVSD X0, (R9)(CX*8)
+	INCQ CX
+	CMPQ CX, DX
+	JLT  a5row
+
+a5done:
+	VZEROUPPER
+	RET
+
+// func sellChunkC8AVX2(vals *float64, cols *int32, x *float64, w int64, acc *[8]float64)
+//
+// One SELL-C-σ chunk (C == 8), column-major: acc[r] accumulates row
+// r's dot product across the w padded column slots. vals/cols point
+// at the chunk's first slot (ChunkPtr[k] already applied). Each lane
+// accumulates its row's terms in slot order — the same order as the
+// scalar oracle's acc[0..7].
+TEXT ·sellChunkC8AVX2(SB), NOSPLIT, $0-40
+	MOVQ vals+0(FP), SI
+	MOVQ cols+8(FP), DI
+	MOVQ x+16(FP), R8
+	MOVQ w+24(FP), CX
+	MOVQ acc+32(FP), R9
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+
+s2loop:
+	TESTQ CX, CX
+	JLE  s2done
+	VMOVDQU (DI), X3
+	VMOVDQU 16(DI), X4
+	VPCMPEQD Y5, Y5, Y5
+	VGATHERDPD Y5, (R8)(X3*8), Y6
+	VPCMPEQD Y5, Y5, Y5
+	VGATHERDPD Y5, (R8)(X4*8), Y7
+	VMOVUPD (SI), Y8
+	VMOVUPD 32(SI), Y9
+	VFMADD231PD Y6, Y8, Y0
+	VFMADD231PD Y7, Y9, Y1
+	ADDQ $64, SI
+	ADDQ $32, DI
+	DECQ CX
+	JMP  s2loop
+
+s2done:
+	VMOVUPD Y0, (R9)
+	VMOVUPD Y1, 32(R9)
+	VZEROUPPER
+	RET
+
+// func sellChunkC8AVX512(vals *float64, cols *int32, x *float64, w int64, acc *[8]float64)
+//
+// The 8-lane form: one chunk column slot is exactly one ZMM gather +
+// one FMA.
+TEXT ·sellChunkC8AVX512(SB), NOSPLIT, $0-40
+	MOVQ vals+0(FP), SI
+	MOVQ cols+8(FP), DI
+	MOVQ x+16(FP), R8
+	MOVQ w+24(FP), CX
+	MOVQ acc+32(FP), R9
+	VPXORQ Z0, Z0, Z0
+
+s5loop:
+	TESTQ CX, CX
+	JLE  s5done
+	VMOVDQU (DI), Y3
+	KXNORW K1, K1, K1
+	VGATHERDPD (R8)(Y3*8), K1, Z6
+	VMOVUPD (SI), Z8
+	VFMADD231PD Z6, Z8, Z0
+	ADDQ $64, SI
+	ADDQ $32, DI
+	DECQ CX
+	JMP  s5loop
+
+s5done:
+	VMOVUPD Z0, (R9)
+	VZEROUPPER
+	RET
+
+// func csrBlock4RangeAVX2(rowptr []int64, colind []int32, val, x, y []float64, lo, hi int)
+//
+// Register-blocked SpMM, k=4 interleaved right-hand sides: broadcast
+// the matrix value, load the column's contiguous 4-wide x row, FMA.
+// No gathers — the block layout makes every x access unit-stride,
+// which is why these bodies get the biggest SIMD win. Two
+// accumulators hide FMA latency; R15 walks y by one 32-byte row per
+// matrix row.
+TEXT ·csrBlock4RangeAVX2(SB), NOSPLIT, $0-136
+	MOVQ rowptr_base+0(FP), R10
+	MOVQ colind_base+24(FP), DI
+	MOVQ val_base+48(FP), SI
+	MOVQ x_base+72(FP), R8
+	MOVQ y_base+96(FP), R9
+	MOVQ lo+120(FP), CX
+	MOVQ hi+128(FP), DX
+	CMPQ CX, DX
+	JGE  b4done
+	MOVQ CX, R15
+	SHLQ $5, R15
+	ADDQ R9, R15
+
+b4row:
+	MOVQ (R10)(CX*8), R12
+	MOVQ 8(R10)(CX*8), R13
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	LEAQ -2(R13), R14
+
+b4loop2:
+	CMPQ R12, R14
+	JGT  b4tail
+	MOVL (DI)(R12*4), AX
+	SHLQ $2, AX
+	VBROADCASTSD (SI)(R12*8), Y2
+	VMOVUPD (R8)(AX*8), Y3
+	VFMADD231PD Y3, Y2, Y0
+	MOVL 4(DI)(R12*4), AX
+	SHLQ $2, AX
+	VBROADCASTSD 8(SI)(R12*8), Y2
+	VMOVUPD (R8)(AX*8), Y3
+	VFMADD231PD Y3, Y2, Y1
+	ADDQ $2, R12
+	JMP  b4loop2
+
+b4tail:
+	CMPQ R12, R13
+	JGE  b4store
+	MOVL (DI)(R12*4), AX
+	SHLQ $2, AX
+	VBROADCASTSD (SI)(R12*8), Y2
+	VMOVUPD (R8)(AX*8), Y3
+	VFMADD231PD Y3, Y2, Y0
+	INCQ R12
+
+b4store:
+	VADDPD Y1, Y0, Y0
+	VMOVUPD Y0, (R15)
+	ADDQ $32, R15
+	INCQ CX
+	CMPQ CX, DX
+	JLT  b4row
+
+b4done:
+	VZEROUPPER
+	RET
+
+// func csrBlock8RangeAVX2(rowptr []int64, colind []int32, val, x, y []float64, lo, hi int)
+//
+// k=8: one broadcast feeds two 4-wide FMAs per element (the two
+// halves of the 64-byte x row).
+TEXT ·csrBlock8RangeAVX2(SB), NOSPLIT, $0-136
+	MOVQ rowptr_base+0(FP), R10
+	MOVQ colind_base+24(FP), DI
+	MOVQ val_base+48(FP), SI
+	MOVQ x_base+72(FP), R8
+	MOVQ y_base+96(FP), R9
+	MOVQ lo+120(FP), CX
+	MOVQ hi+128(FP), DX
+	CMPQ CX, DX
+	JGE  b8done
+	MOVQ CX, R15
+	SHLQ $6, R15
+	ADDQ R9, R15
+
+b8row:
+	MOVQ (R10)(CX*8), R12
+	MOVQ 8(R10)(CX*8), R13
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+
+b8loop:
+	CMPQ R12, R13
+	JGE  b8store
+	MOVL (DI)(R12*4), AX
+	SHLQ $3, AX
+	VBROADCASTSD (SI)(R12*8), Y2
+	VMOVUPD (R8)(AX*8), Y3
+	VMOVUPD 32(R8)(AX*8), Y4
+	VFMADD231PD Y3, Y2, Y0
+	VFMADD231PD Y4, Y2, Y1
+	INCQ R12
+	JMP  b8loop
+
+b8store:
+	VMOVUPD Y0, (R15)
+	VMOVUPD Y1, 32(R15)
+	ADDQ $64, R15
+	INCQ CX
+	CMPQ CX, DX
+	JLT  b8row
+
+b8done:
+	VZEROUPPER
+	RET
+
+// func csrBlock8RangeAVX512(rowptr []int64, colind []int32, val, x, y []float64, lo, hi int)
+//
+// k=8 at full ZMM width: one broadcast + one FMA per element, two
+// accumulators to hide FMA latency.
+TEXT ·csrBlock8RangeAVX512(SB), NOSPLIT, $0-136
+	MOVQ rowptr_base+0(FP), R10
+	MOVQ colind_base+24(FP), DI
+	MOVQ val_base+48(FP), SI
+	MOVQ x_base+72(FP), R8
+	MOVQ y_base+96(FP), R9
+	MOVQ lo+120(FP), CX
+	MOVQ hi+128(FP), DX
+	CMPQ CX, DX
+	JGE  c8done
+	MOVQ CX, R15
+	SHLQ $6, R15
+	ADDQ R9, R15
+
+c8row:
+	MOVQ (R10)(CX*8), R12
+	MOVQ 8(R10)(CX*8), R13
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	LEAQ -2(R13), R14
+
+c8loop2:
+	CMPQ R12, R14
+	JGT  c8tail
+	MOVL (DI)(R12*4), AX
+	SHLQ $3, AX
+	VBROADCASTSD (SI)(R12*8), Z2
+	VMOVUPD (R8)(AX*8), Z3
+	VFMADD231PD Z3, Z2, Z0
+	MOVL 4(DI)(R12*4), AX
+	SHLQ $3, AX
+	VBROADCASTSD 8(SI)(R12*8), Z2
+	VMOVUPD (R8)(AX*8), Z3
+	VFMADD231PD Z3, Z2, Z1
+	ADDQ $2, R12
+	JMP  c8loop2
+
+c8tail:
+	CMPQ R12, R13
+	JGE  c8store
+	MOVL (DI)(R12*4), AX
+	SHLQ $3, AX
+	VBROADCASTSD (SI)(R12*8), Z2
+	VMOVUPD (R8)(AX*8), Z3
+	VFMADD231PD Z3, Z2, Z0
+	INCQ R12
+
+c8store:
+	VADDPD Z1, Z0, Z0
+	VMOVUPD Z0, (R15)
+	ADDQ $64, R15
+	INCQ CX
+	CMPQ CX, DX
+	JLT  c8row
+
+c8done:
+	VZEROUPPER
+	RET

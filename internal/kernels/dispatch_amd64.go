@@ -1,0 +1,177 @@
+//go:build amd64 && !noasm
+
+// Runtime dispatch for the SIMD assembly bodies in asm_amd64.s. The
+// ISA is detected once, at package init, straight from CPUID + XGETBV
+// (no build-time GOAMD64 assumption and no external cpu-feature
+// dependency): AVX-512F when the OS saves ZMM/opmask state, else
+// AVX2+FMA when the OS saves YMM state, else the scalar kernels. The
+// `noasm` build tag removes this file and the assembly entirely
+// (dispatch_noasm.go takes over), which is also how CI cross-checks
+// every asm body against its pure-Go oracle.
+package kernels
+
+import (
+	"github.com/sparsekit/spmvtuner/internal/formats"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// cpuid and xgetbv are implemented in asm_amd64.s.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// Assembly kernel bodies (asm_amd64.s).
+//
+//go:noescape
+func csrGatherRangeAVX2(rowptr []int64, colind []int32, val, x, y []float64, lo, hi int)
+
+//go:noescape
+func csrGatherRangeAVX512(rowptr []int64, colind []int32, val, x, y []float64, lo, hi int)
+
+//go:noescape
+func sellChunkC8AVX2(vals *float64, cols *int32, x *float64, w int64, acc *[8]float64)
+
+//go:noescape
+func sellChunkC8AVX512(vals *float64, cols *int32, x *float64, w int64, acc *[8]float64)
+
+//go:noescape
+func csrBlock4RangeAVX2(rowptr []int64, colind []int32, val, x, y []float64, lo, hi int)
+
+//go:noescape
+func csrBlock8RangeAVX2(rowptr []int64, colind []int32, val, x, y []float64, lo, hi int)
+
+//go:noescape
+func csrBlock8RangeAVX512(rowptr []int64, colind []int32, val, x, y []float64, lo, hi int)
+
+var (
+	useAVX2   bool
+	useAVX512 bool
+	isaName   = "scalar"
+	isaLanes  = 1
+)
+
+func init() {
+	detectISA()
+	if useAVX512 {
+		block4Impl = csrBlock4AVX2 // block4's natural width is one YMM
+		block8Impl = csrBlock8AVX512
+	} else if useAVX2 {
+		block4Impl = csrBlock4AVX2
+		block8Impl = csrBlock8AVX2
+	}
+}
+
+// detectISA reads the feature and OS-state bits the kernels need:
+// AVX2 requires FMA, OSXSAVE and XCR0 XMM+YMM state; AVX-512 further
+// requires the F foundation bit and XCR0 opmask+ZMM state (bits
+// 5..7). Hosts where the OS disables ZMM state fall back to AVX2.
+func detectISA() {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const osxsave, avx, fma = 1 << 27, 1 << 28, 1 << 12
+	if c1&osxsave == 0 || c1&avx == 0 || c1&fma == 0 {
+		return
+	}
+	xlo, _ := xgetbv()
+	if xlo&0x6 != 0x6 { // XMM + YMM state saved
+		return
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx2, avx512f = 1 << 5, 1 << 16
+	if b7&avx2 == 0 {
+		return
+	}
+	useAVX2, isaName, isaLanes = true, "avx2", 4
+	if b7&avx512f != 0 && xlo&0xe6 == 0xe6 { // + opmask, ZMM_Hi256, Hi16_ZMM
+		useAVX512, isaName, isaLanes = true, "avx512", 8
+	}
+}
+
+// ISA names the instruction set the dispatched kernels execute on
+// this host: "avx512", "avx2", or "scalar". It is what VariantName
+// suffixes kernel names with and what plans record as provenance.
+func ISA() string { return isaName }
+
+// ISALanes is the float64 vector width of the dispatched ISA (8, 4,
+// or 1) — the lanes figure the host cost model prices vector ops at.
+func ISALanes() int {
+	if isaLanes < 1 {
+		return 1
+	}
+	return isaLanes
+}
+
+// dispatchCSRVec8 returns the asm-backed CSR vector kernel and its
+// ISA tag, or (nil, "") when the host supports neither tier.
+func dispatchCSRVec8() (RangeKernel, string) {
+	switch {
+	case useAVX512:
+		return csrVec8AVX512, "avx512"
+	case useAVX2:
+		return csrVec8AVX2, "avx2"
+	}
+	return nil, ""
+}
+
+//spmv:hotpath
+func csrVec8AVX2(m *matrix.CSR, x, y []float64, lo, hi int) {
+	csrGatherRangeAVX2(m.RowPtr, m.ColInd, m.Val, x, y, lo, hi)
+}
+
+//spmv:hotpath
+func csrVec8AVX512(m *matrix.CSR, x, y []float64, lo, hi int) {
+	csrGatherRangeAVX512(m.RowPtr, m.ColInd, m.Val, x, y, lo, hi)
+}
+
+// dispatchSellC8 returns the asm-backed SELL-C-σ C=8 chunk kernel
+// and its ISA tag, or (nil, "").
+func dispatchSellC8() (func(s *formats.SellCS, x, y []float64, lo, hi int), string) {
+	switch {
+	case useAVX512:
+		return sellCS8RangeAVX512, "avx512"
+	case useAVX2:
+		return sellCS8RangeAVX2, "avx2"
+	}
+	return nil, ""
+}
+
+//spmv:hotpath
+func sellCS8RangeAVX2(s *formats.SellCS, x, y []float64, lo, hi int) {
+	for k := lo; k < hi; k++ {
+		var acc [8]float64
+		if w := int64(s.Width[k]); w > 0 {
+			p := s.ChunkPtr[k]
+			sellChunkC8AVX2(&s.Vals[p], &s.Cols[p], &x[0], w, &acc)
+		}
+		sellScatterC8(s, y, k, &acc)
+	}
+}
+
+//spmv:hotpath
+func sellCS8RangeAVX512(s *formats.SellCS, x, y []float64, lo, hi int) {
+	for k := lo; k < hi; k++ {
+		var acc [8]float64
+		if w := int64(s.Width[k]); w > 0 {
+			p := s.ChunkPtr[k]
+			sellChunkC8AVX512(&s.Vals[p], &s.Cols[p], &x[0], w, &acc)
+		}
+		sellScatterC8(s, y, k, &acc)
+	}
+}
+
+//spmv:hotpath
+func csrBlock4AVX2(m *matrix.CSR, x, y []float64, lo, hi int) {
+	csrBlock4RangeAVX2(m.RowPtr, m.ColInd, m.Val, x, y, lo, hi)
+}
+
+//spmv:hotpath
+func csrBlock8AVX2(m *matrix.CSR, x, y []float64, lo, hi int) {
+	csrBlock8RangeAVX2(m.RowPtr, m.ColInd, m.Val, x, y, lo, hi)
+}
+
+//spmv:hotpath
+func csrBlock8AVX512(m *matrix.CSR, x, y []float64, lo, hi int) {
+	csrBlock8RangeAVX512(m.RowPtr, m.ColInd, m.Val, x, y, lo, hi)
+}

@@ -1,0 +1,24 @@
+//go:build !amd64 || noasm
+
+// Scalar fallback for the SIMD dispatch layer: non-amd64 hosts and
+// `-tags noasm` builds resolve every dispatched kernel to its pure-Go
+// oracle. CI builds this variant alongside the default one so the
+// oracle path stays a first-class, tested configuration — it is the
+// reference every asm body is differentially verified against.
+package kernels
+
+import "github.com/sparsekit/spmvtuner/internal/formats"
+
+// ISA names the instruction set the dispatched kernels execute on
+// this host; without assembly it is always "scalar".
+func ISA() string { return "scalar" }
+
+// ISALanes is the float64 vector width of the dispatched ISA; the
+// scalar kernels execute one lane.
+func ISALanes() int { return 1 }
+
+func dispatchCSRVec8() (RangeKernel, string) { return nil, "" }
+
+func dispatchSellC8() (func(s *formats.SellCS, x, y []float64, lo, hi int), string) {
+	return nil, ""
+}

@@ -1,0 +1,329 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sparsekit/spmvtuner/internal/formats"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// The asm-vs-scalar oracle contract (docs/guide/simd.md): every
+// dispatched SIMD body must agree with its pure-Go oracle within
+// 1e-12 relative over the generator families, including ragged,
+// empty and dense rows and non-finite x values. This file runs under
+// the default build (asm vs scalar) AND under `-tags noasm` (scalar
+// vs scalar — the trivial fixed point that keeps the suite
+// tag-portable); CI runs both.
+
+const oracleTol = 1e-12
+
+// sameFloat compares one output element under the oracle contract:
+// non-finite results must agree in class (NaN with NaN, infinities
+// with equal sign), finite results within 1e-12 relative.
+func sameFloat(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= oracleTol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func checkSame(t *testing.T, label string, want, got []float64) {
+	t.Helper()
+	for i := range want {
+		if !sameFloat(want[i], got[i]) {
+			t.Fatalf("%s: y[%d] = %g, oracle %g", label, i, got[i], want[i])
+		}
+	}
+}
+
+// dispatchMatrices are the differential shapes: the generator
+// families plus hand-built edge cases — empty rows between full ones,
+// ragged lengths straddling every unroll width, a dense row block,
+// and a single-row matrix.
+func dispatchMatrices() map[string]*matrix.CSR {
+	ms := testMatrices()
+	ms["ragged"] = raggedMatrix(97, 31)
+	ms["one-row"] = gen.Dense(1, 33)
+	ms["clustered"] = gen.ClusteredFEM(260, 24, 17, 44)
+	return ms
+}
+
+// raggedMatrix builds rows of every length 0..maxLen cyclically, so
+// each unroll width's main loop and tail both execute.
+func raggedMatrix(n, maxLen int) *matrix.CSR {
+	coo := matrix.NewCOO(n, n)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < n; i++ {
+		rl := i % (maxLen + 1) // includes empty rows
+		for j := 0; j < rl; j++ {
+			coo.Add(i, rng.Intn(n), rng.NormFloat64())
+		}
+	}
+	m := coo.ToCSR()
+	m.Name = "ragged"
+	return m
+}
+
+// TestDispatchCSRVec8Differential verifies the dispatched CSR vector
+// kernel against its pure-Go oracle over uneven row ranges.
+func TestDispatchCSRVec8Differential(t *testing.T) {
+	k := Variant(true, false, false)
+	for name, m := range dispatchMatrices() {
+		t.Run(name, func(t *testing.T) {
+			x := vec(m.NCols, 7)
+			want := make([]float64, m.NRows)
+			CSRVector8Range(m, x, want, 0, m.NRows)
+			got := make([]float64, m.NRows)
+			bounds := []int{0, m.NRows / 3, m.NRows/3 + 1, 2*m.NRows/3 + 1, m.NRows}
+			for b := 0; b+1 < len(bounds); b++ {
+				if bounds[b] < bounds[b+1] {
+					k(m, x, got, bounds[b], bounds[b+1])
+				}
+			}
+			checkSame(t, ISA(), want, got)
+		})
+	}
+}
+
+// TestDispatchSellC8Differential verifies the dispatched SELL-C-σ
+// chunk kernel against the pure-Go 8-accumulator oracle, which shares
+// its padded-slot semantics exactly (padding repeats the row's last
+// real column with value 0).
+func TestDispatchSellC8Differential(t *testing.T) {
+	for name, m := range dispatchMatrices() {
+		t.Run(name, func(t *testing.T) {
+			s := formats.ConvertSellCS(m, 8, formats.DefaultSortWindow(m.NRows))
+			k, _ := SellCSVariant(s, true)
+			x := vec(m.NCols, 8)
+			want := make([]float64, m.NRows)
+			SellCS8Range(s, x, want, 0, s.NChunks())
+			got := make([]float64, m.NRows)
+			nc := s.NChunks()
+			bounds := []int{0, nc / 3, 2*nc/3 + 1, nc}
+			for b := 0; b+1 < len(bounds); b++ {
+				if bounds[b] < bounds[b+1] && bounds[b+1] <= nc {
+					k(s, x, got, bounds[b], bounds[b+1])
+				} else if bounds[b] < nc && bounds[b+1] > nc {
+					k(s, x, got, bounds[b], nc)
+				}
+			}
+			checkSame(t, ISA(), want, got)
+		})
+	}
+}
+
+// TestDispatchBlockDifferential verifies the dispatched k=4/8
+// register-blocked SpMM bodies against ScalarCSRBlockRange on the
+// interleaved block layout.
+func TestDispatchBlockDifferential(t *testing.T) {
+	for name, m := range dispatchMatrices() {
+		for _, k := range []int{4, 8} {
+			t.Run(name, func(t *testing.T) {
+				x := vec(m.NCols*k, int64(10+k))
+				want := make([]float64, m.NRows*k)
+				ScalarCSRBlockRange(m, x, want, k, 0, m.NRows)
+				got := make([]float64, m.NRows*k)
+				bounds := []int{0, m.NRows/2 + 1, m.NRows}
+				for b := 0; b+1 < len(bounds); b++ {
+					if bounds[b] < bounds[b+1] {
+						CSRBlockRange(m, x, got, k, bounds[b], bounds[b+1])
+					}
+				}
+				checkSame(t, ISA(), want, got)
+			})
+		}
+	}
+}
+
+// TestDispatchNonFiniteX drives every dispatched body with x vectors
+// containing NaN, ±Inf and extreme magnitudes: results must agree
+// with the oracle in class (same NaN-ness, same infinity) — the
+// fused-multiply bodies must not manufacture or lose non-finites.
+func TestDispatchNonFiniteX(t *testing.T) {
+	m := raggedMatrix(64, 19)
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e308, -1e308, 5e-324, 0}
+	x := make([]float64, m.NCols)
+	rng := rand.New(rand.NewSource(3))
+	for i := range x {
+		if i%7 == 0 {
+			x[i] = specials[(i/7)%len(specials)]
+		} else {
+			x[i] = rng.NormFloat64()
+		}
+	}
+
+	t.Run("csr-vec8", func(t *testing.T) {
+		want := make([]float64, m.NRows)
+		CSRVector8Range(m, x, want, 0, m.NRows)
+		got := make([]float64, m.NRows)
+		Variant(true, false, false)(m, x, got, 0, m.NRows)
+		checkSame(t, ISA(), want, got)
+	})
+	t.Run("sellcs-c8", func(t *testing.T) {
+		s := formats.ConvertSellCS(m, 8, 32)
+		k, _ := SellCSVariant(s, true)
+		want := make([]float64, m.NRows)
+		SellCS8Range(s, x, want, 0, s.NChunks())
+		got := make([]float64, m.NRows)
+		k(s, x, got, 0, s.NChunks())
+		checkSame(t, ISA(), want, got)
+	})
+	for _, k := range []int{4, 8} {
+		t.Run("block", func(t *testing.T) {
+			xb := make([]float64, m.NCols*k)
+			for i := range xb {
+				x0 := x[i/k]
+				xb[i] = x0
+			}
+			want := make([]float64, m.NRows*k)
+			ScalarCSRBlockRange(m, xb, want, k, 0, m.NRows)
+			got := make([]float64, m.NRows*k)
+			CSRBlockRange(m, xb, got, k, 0, m.NRows)
+			checkSame(t, ISA(), want, got)
+		})
+	}
+}
+
+// TestDispatchQuick is the property form: arbitrary generated
+// matrices, every dispatched body against its oracle.
+func TestDispatchQuick(t *testing.T) {
+	f := func(seed int64, sel uint8) bool {
+		n := 40 + int(uint64(seed)%200)
+		var m *matrix.CSR
+		switch sel % 4 {
+		case 0:
+			m = gen.UniformRandom(n, 6, seed)
+		case 1:
+			m = gen.PowerLaw(n, 5, 2.0, n, seed)
+		case 2:
+			m = gen.ShortRows(n, 4, seed)
+		case 3:
+			m = gen.Dense(min(n, 96), seed)
+		}
+		x := vec(m.NCols, seed^0x5eed)
+
+		want := make([]float64, m.NRows)
+		CSRVector8Range(m, x, want, 0, m.NRows)
+		got := make([]float64, m.NRows)
+		Variant(true, false, false)(m, x, got, 0, m.NRows)
+		for i := range want {
+			if !sameFloat(want[i], got[i]) {
+				return false
+			}
+		}
+
+		s := formats.ConvertSellCS(m, 8, formats.DefaultSortWindow(m.NRows))
+		ks, _ := SellCSVariant(s, true)
+		SellCS8Range(s, x, want, 0, s.NChunks())
+		ks(s, x, got, 0, s.NChunks())
+		for i := range want {
+			if !sameFloat(want[i], got[i]) {
+				return false
+			}
+		}
+
+		for _, k := range []int{4, 8} {
+			xb := vec(m.NCols*k, seed+int64(k))
+			wb := make([]float64, m.NRows*k)
+			gb := make([]float64, m.NRows*k)
+			ScalarCSRBlockRange(m, xb, wb, k, 0, m.NRows)
+			CSRBlockRange(m, xb, gb, k, 0, m.NRows)
+			for i := range wb {
+				if !sameFloat(wb[i], gb[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzDispatchCSRVec8 fuzzes the dispatched CSR vector kernel against
+// its oracle with a matrix and x vector decoded from raw bytes: row
+// lengths, column targets and values all attacker-chosen, non-finite
+// x entries included.
+func FuzzDispatchCSRVec8(f *testing.F) {
+	f.Add([]byte{3, 1, 0, 255, 7, 9, 2, 0, 0, 1}, int64(1))
+	f.Add([]byte{}, int64(2))
+	f.Add([]byte{0, 0, 0, 0, 9, 9, 9}, int64(3))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		n := 1 + len(data)%32
+		coo := matrix.NewCOO(n, n)
+		for i := 0; i+2 < len(data); i += 3 {
+			r := int(data[i]) % n
+			c := int(data[i+1]) % n
+			v := float64(int8(data[i+2])) / 16
+			coo.Add(r, c, v)
+		}
+		m := coo.ToCSR()
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, n)
+		for i := range x {
+			switch rng.Intn(8) {
+			case 0:
+				x[i] = math.Inf(1)
+			case 1:
+				x[i] = math.NaN()
+			default:
+				x[i] = rng.NormFloat64()
+			}
+		}
+		want := make([]float64, n)
+		CSRVector8Range(m, x, want, 0, n)
+		got := make([]float64, n)
+		Variant(true, false, false)(m, x, got, 0, n)
+		for i := range want {
+			if !sameFloat(want[i], got[i]) {
+				t.Fatalf("y[%d] = %g, oracle %g (isa %s)", i, got[i], want[i], ISA())
+			}
+		}
+	})
+}
+
+// TestISAConsistency pins the dispatch API: the name and lane count
+// must agree, and the dispatched variants must carry the ISA suffix
+// exactly when assembly is in play.
+func TestISAConsistency(t *testing.T) {
+	switch ISA() {
+	case "avx512":
+		if ISALanes() != 8 {
+			t.Fatalf("avx512 lanes = %d", ISALanes())
+		}
+	case "avx2":
+		if ISALanes() != 4 {
+			t.Fatalf("avx2 lanes = %d", ISALanes())
+		}
+	case "scalar":
+		if ISALanes() != 1 {
+			t.Fatalf("scalar lanes = %d", ISALanes())
+		}
+	default:
+		t.Fatalf("unknown ISA %q", ISA())
+	}
+	wantVec := "csr-vec8"
+	if ISA() != "scalar" {
+		wantVec += "-" + ISA()
+	}
+	if got := VariantName(true, false, false); got != wantVec {
+		t.Fatalf("VariantName = %q, want %q", got, wantVec)
+	}
+	m := gen.UniformRandom(64, 5, 1)
+	s := formats.ConvertSellCS(m, 8, 64)
+	wantSell := "sellcs-c8"
+	if ISA() != "scalar" {
+		wantSell += "-" + ISA()
+	}
+	if _, name := SellCSVariant(s, true); name != wantSell {
+		t.Fatalf("SellCSVariant = %q, want %q", name, wantSell)
+	}
+}

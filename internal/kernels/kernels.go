@@ -1,11 +1,21 @@
-// Package kernels provides the native Go SpMV kernels corresponding to
+// Package kernels provides the native SpMV kernels corresponding to
 // the simulator's configurations: the scalar CSR baseline (Fig 2),
-// unrolled multi-accumulator variants (the vectorization stand-in,
-// DESIGN.md S3), a software-prefetch variant using look-ahead touch
-// loads (S4), DeltaCSR kernels, the two-phase SplitCSR kernel (Fig 6),
-// and the two modified bound kernels of Section III-B. All kernels
-// operate on row ranges so the parallel executor can drive them under
-// any schedule.
+// unrolled multi-accumulator variants, a software-prefetch variant
+// using look-ahead touch loads (S4), DeltaCSR kernels, the two-phase
+// SplitCSR kernel (Fig 6), and the two modified bound kernels of
+// Section III-B. All kernels operate on row ranges so the parallel
+// executor can drive them under any schedule.
+//
+// The hottest inner loops — the CSR vector kernel, the SELL-C-σ C=8
+// chunk kernel, and the register-blocked SpMM k=4/8 bodies — also
+// exist as real SIMD assembly (asm_amd64.s: AVX2+FMA and AVX-512F
+// tiers) behind runtime dispatch (dispatch_amd64.go); Variant,
+// SellCSVariant and CSRBlockRange hand out the widest body the host
+// executes, and VariantName/ISA record which one won. The pure-Go
+// forms below are kept verbatim: they are the differential-test
+// oracle every assembly body is verified against (dispatch_test.go),
+// and the only bodies built under `-tags noasm` or on non-amd64
+// hosts. See docs/guide/simd.md.
 package kernels
 
 import (
@@ -53,10 +63,11 @@ func CSRUnrolled4Range(m *matrix.CSR, x, y []float64, lo, hi int) {
 	}
 }
 
-// CSRVector8Range is the vectorization stand-in: eight independent
-// accumulators mirroring an 8-lane SIMD unit (Go has no portable
-// intrinsics; the unrolled form is what an auto-vectorizer would
-// produce for gather-based SpMV).
+// CSRVector8Range is the pure-Go vector kernel: eight independent
+// accumulators mirroring an 8-lane SIMD unit. Since the AVX2/AVX-512
+// gather bodies landed (asm_amd64.s) it is no longer a stand-in but
+// the differential-test oracle for them — Variant dispatches to the
+// assembly when the host has it and to this form otherwise.
 //
 //spmv:hotpath
 func CSRVector8Range(m *matrix.CSR, x, y []float64, lo, hi int) {
@@ -251,41 +262,60 @@ func SellCS8Range(s *formats.SellCS, x, y []float64, lo, hi int) {
 			acc[7] += s.Vals[p+7] * x[s.Cols[p+7]]
 			p += 8
 		}
-		base := k * 8
-		rows := 8
-		if base+rows > s.NRows {
-			rows = s.NRows - base
-		}
-		for r := 0; r < rows; r++ {
-			if s.RowLen[base+r] == 0 {
-				// An empty row's lanes are pure padding (column 0);
-				// write the exact zero the reference produces even
-				// when x[0] is non-finite.
-				y[s.Perm[base+r]] = 0
-				continue
-			}
-			y[s.Perm[base+r]] = acc[r]
-		}
+		sellScatterC8(s, y, k, &acc)
 	}
 }
 
-// SellCSVariant selects the SELL-C-σ chunk kernel: the 8-accumulator
-// column-major form when the chunk height matches the vector width and
-// vectorization is requested, the plain row walk otherwise.
+// sellScatterC8 writes one C=8 chunk's accumulators to y through the
+// permutation, shared by the pure-Go kernel and the asm dispatch
+// wrappers so the empty-row rule has exactly one implementation.
+//
+//spmv:hotpath
+func sellScatterC8(s *formats.SellCS, y []float64, k int, acc *[8]float64) {
+	base := k * 8
+	rows := 8
+	if base+rows > s.NRows {
+		rows = s.NRows - base
+	}
+	for r := 0; r < rows; r++ {
+		if s.RowLen[base+r] == 0 {
+			// An empty row's lanes are pure padding (column 0);
+			// write the exact zero the reference produces even
+			// when x[0] is non-finite.
+			y[s.Perm[base+r]] = 0
+			continue
+		}
+		y[s.Perm[base+r]] = acc[r]
+	}
+}
+
+// SellCSVariant selects the SELL-C-σ chunk kernel: when the chunk
+// height matches the vector width and vectorization is requested, the
+// widest column-major form the host dispatches (the AVX2/AVX-512 body
+// with an ISA-suffixed name, the 8-accumulator pure-Go form
+// otherwise); the plain row walk in every other case.
 func SellCSVariant(s *formats.SellCS, vectorize bool) (func(s *formats.SellCS, x, y []float64, lo, hi int), string) {
 	if vectorize && s.C == 8 {
+		if k, isa := dispatchSellC8(); k != nil {
+			return k, "sellcs-c8-" + isa
+		}
 		return SellCS8Range, "sellcs-c8"
 	}
 	return SellCSRange, "sellcs"
 }
 
 // VariantName names the kernel Variant selects for the same flags, for
-// diagnostics and prepared-kernel introspection.
+// diagnostics, prepared-kernel introspection and plan provenance.
+// Names of dispatched assembly bodies carry the ISA suffix ("-avx2",
+// "-avx512"); pure-Go bodies are unsuffixed.
 func VariantName(vectorize, prefetch, unroll bool) string {
 	switch {
 	case vectorize && prefetch:
 		return "csr-vec8-prefetch"
 	case vectorize:
+		if _, isa := dispatchCSRVec8(); isa != "" {
+			return "csr-vec8-" + isa
+		}
 		return "csr-vec8"
 	case prefetch:
 		return "csr-prefetch"
@@ -298,13 +328,20 @@ func VariantName(vectorize, prefetch, unroll bool) string {
 
 // Variant selects a range kernel by optimization flags (compression
 // and splitting are handled by the executor, which owns the converted
-// formats). Vectorization subsumes unrolling: the 8-accumulator kernel
-// is the unrolled form.
+// formats). Vectorization subsumes unrolling: the vector kernel is the
+// unrolled form. The plain vectorize case dispatches to the widest
+// assembly body the host executes; the vectorize+prefetch combination
+// stays pure Go — the gather body issues its x loads up front, which
+// is the latency remedy the touch-load variant emulates, so fusing a
+// software prefetch into it would only duplicate traffic.
 func Variant(vectorize, prefetch, unroll bool) RangeKernel {
 	switch {
 	case vectorize && prefetch:
 		return CSRVector8PrefetchRange
 	case vectorize:
+		if k, _ := dispatchCSRVec8(); k != nil {
+			return k
+		}
 		return CSRVector8Range
 	case prefetch:
 		return CSRPrefetchRange

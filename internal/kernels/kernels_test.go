@@ -3,6 +3,7 @@ package kernels
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -210,8 +211,10 @@ func TestSellCS8RangeFallsBackForOtherC(t *testing.T) {
 func TestSellCSVariantSelection(t *testing.T) {
 	m := gen.UniformRandom(200, 5, 10)
 	s8 := formats.ConvertSellCS(m, 8, 64)
-	if _, name := SellCSVariant(s8, true); name != "sellcs-c8" {
-		t.Fatalf("vectorized C=8 variant = %q, want sellcs-c8", name)
+	// The C=8 vectorized variant carries the dispatched ISA as a
+	// suffix ("sellcs-c8-avx512" etc.); "sellcs-c8" when scalar.
+	if _, name := SellCSVariant(s8, true); !strings.HasPrefix(name, "sellcs-c8") {
+		t.Fatalf("vectorized C=8 variant = %q, want sellcs-c8[-isa]", name)
 	}
 	if _, name := SellCSVariant(s8, false); name != "sellcs" {
 		t.Fatalf("scalar variant = %q, want sellcs", name)

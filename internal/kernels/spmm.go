@@ -22,11 +22,33 @@ import (
 type BlockKernel func(m *matrix.CSR, x, y []float64, k, lo, hi int)
 
 // CSRBlockRange is the CSR blocked kernel: it dispatches to the
-// register-blocked k=2/4/8 specializations and falls back to the
-// generic-k tail otherwise (k=1 degenerates to the scalar SpMV).
+// register-blocked k=2/4/8 specializations — the widest bodies the
+// host executes: the k=4/8 blocks have AVX2/AVX-512 assembly forms
+// (broadcast + unit-stride FMA, no gathers) selected at package init
+// — and falls back to the generic-k tail otherwise (k=1 degenerates
+// to the scalar SpMV).
 //
 //spmv:hotpath
 func CSRBlockRange(m *matrix.CSR, x, y []float64, k, lo, hi int) {
+	switch k {
+	case 1:
+		CSRRange(m, x, y, lo, hi)
+	case 2:
+		csrBlock2Range(m, x, y, lo, hi)
+	case 4:
+		block4Impl(m, x, y, lo, hi)
+	case 8:
+		block8Impl(m, x, y, lo, hi)
+	default:
+		csrBlockGenericRange(m, x, y, k, lo, hi)
+	}
+}
+
+// ScalarCSRBlockRange is CSRBlockRange pinned to the pure-Go bodies
+// regardless of dispatch: the differential oracle for the assembly
+// block kernels and the scalar side of the kernel-trajectory
+// benchmark (spmvbench -exp kernels).
+func ScalarCSRBlockRange(m *matrix.CSR, x, y []float64, k, lo, hi int) {
 	switch k {
 	case 1:
 		CSRRange(m, x, y, lo, hi)
@@ -40,6 +62,16 @@ func CSRBlockRange(m *matrix.CSR, x, y []float64, k, lo, hi int) {
 		csrBlockGenericRange(m, x, y, k, lo, hi)
 	}
 }
+
+// block4Impl and block8Impl are the dispatched register-blocked
+// bodies for the interleaved k=4 and k=8 layouts. They default to the
+// pure-Go forms; the amd64 dispatch init (dispatch_amd64.go) replaces
+// them with the assembly kernels when the host ISA supports them.
+// Written only during package init, read-only afterwards.
+var (
+	block4Impl func(m *matrix.CSR, x, y []float64, lo, hi int) = csrBlock4Range
+	block8Impl func(m *matrix.CSR, x, y []float64, lo, hi int) = csrBlock8Range
+)
 
 //spmv:hotpath
 func csrBlock2Range(m *matrix.CSR, x, y []float64, lo, hi int) {

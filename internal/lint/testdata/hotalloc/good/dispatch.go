@@ -1,0 +1,68 @@
+package fixture
+
+// The SIMD-dispatch pattern (internal/kernels): a package-level impl
+// variable selected once at init, hot wrappers that forward to it,
+// and a dispatch function handing out the selected kernel. None of
+// it may allocate on the hot path — indirect calls through a func
+// variable and stack-array accumulators are allocation-free.
+
+var blockImpl func(y, x []float64) = scalarBlock
+
+func init() {
+	if cpuHasSIMD() {
+		blockImpl = simdBlock
+	}
+}
+
+func cpuHasSIMD() bool { return false }
+
+//spmv:hotpath
+func scalarBlock(y, x []float64) {
+	for i := range y {
+		y[i] += x[i]
+	}
+}
+
+//spmv:hotpath
+func simdBlock(y, x []float64) {
+	for i := range y {
+		y[i] += 2 * x[i]
+	}
+}
+
+//spmv:hotpath
+func dispatchedBlock(y, x []float64) {
+	blockImpl(y, x)
+}
+
+// dispatchKernel is the Variant-style selector: returning a func
+// value chosen from named functions does not allocate per call.
+func dispatchKernel(simd bool) func(y, x []float64) {
+	if simd {
+		return simdBlock
+	}
+	return scalarBlock
+}
+
+//spmv:hotpath
+func chunkAccumulate(y, x []float64) {
+	// A fixed-size accumulator array stays on the stack even when its
+	// address is passed to a non-escaping callee — the SELL chunk
+	// wrapper pattern.
+	var acc [8]float64
+	fillAcc(&acc, x)
+	n := copy(y, acc[:])
+	_ = n
+}
+
+func fillAcc(acc *[8]float64, x []float64) {
+	for i := range acc {
+		if i < len(x) {
+			acc[i] = x[i]
+		}
+	}
+}
+
+var _ = dispatchKernel
+var _ = dispatchedBlock
+var _ = chunkAccumulate

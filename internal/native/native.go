@@ -17,6 +17,7 @@ import (
 	"github.com/sparsekit/spmvtuner/internal/calib"
 	ex "github.com/sparsekit/spmvtuner/internal/exec"
 	"github.com/sparsekit/spmvtuner/internal/formats"
+	"github.com/sparsekit/spmvtuner/internal/kernels"
 	"github.com/sparsekit/spmvtuner/internal/machine"
 	"github.com/sparsekit/spmvtuner/internal/matrix"
 	"github.com/sparsekit/spmvtuner/internal/plan"
@@ -62,7 +63,18 @@ type preparedKey struct {
 // pool lives until Close; a finalizer reclaims the workers if the
 // executor is dropped without closing.
 func New() *Executor {
-	return NewWithModel(machine.Host())
+	return NewWithModel(hostModel())
+}
+
+// hostModel is machine.Host with the SIMD width the dispatched kernels
+// actually execute at: the generic host guess says AVX2 (4 lanes), but
+// the cost model should price vector ops at the width kernel dispatch
+// detected — 8 on AVX-512 hosts, 1 when assembly is compiled out
+// (noasm or non-amd64), where "vectorized" kernels run scalar bodies.
+func hostModel() machine.Model {
+	m := machine.Host()
+	m.SIMDLanes = kernels.ISALanes()
+	return m
 }
 
 // NewWithModel returns a native executor describing itself with m —
@@ -530,6 +542,6 @@ func HostProbes() calib.Probes {
 // machine.Host(). Callers that want the measurement persisted should
 // use calib.LoadOrMeasure with these probes instead.
 func CalibratedHost() machine.Model {
-	base := machine.Host()
+	base := hostModel()
 	return calib.Measure(HostProbes(), base).Apply(base)
 }

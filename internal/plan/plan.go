@@ -74,6 +74,13 @@ type Plan struct {
 	// MeasuredGflops is the rate measured on real hardware at tune
 	// time (0 when the plan only ever ran through the cost model).
 	MeasuredGflops float64
+	// KernelISA is the instruction set the dispatched kernels executed
+	// on when the plan was bound ("avx512", "avx2", "scalar"; empty on
+	// plans from before ISA dispatch existed). A warm-started plan
+	// whose KernelISA differs from the running host's triggers a
+	// re-measure: the knobs stay valid, but the recorded rate was
+	// earned by different kernel bodies.
+	KernelISA string
 	// Library is the producing library's identity.
 	Library string
 }
@@ -102,6 +109,7 @@ type planJSON struct {
 	PreprocessSeconds float64  `json:"preprocessSeconds,omitempty"`
 	PredictedGflops   float64  `json:"predictedGflops,omitempty"`
 	MeasuredGflops    float64  `json:"measuredGflops,omitempty"`
+	KernelISA         string   `json:"kernelISA,omitempty"`
 	Library           string   `json:"library,omitempty"`
 }
 
@@ -199,6 +207,7 @@ func (p Plan) MarshalJSON() ([]byte, error) {
 		PreprocessSeconds: p.PreprocessSeconds,
 		PredictedGflops:   p.PredictedGflops,
 		MeasuredGflops:    p.MeasuredGflops,
+		KernelISA:         p.KernelISA,
 		Library:           p.Library,
 	}
 	w.Classes = make([]string, 0, 4)
@@ -257,6 +266,7 @@ func (p *Plan) UnmarshalJSON(data []byte) error {
 		PreprocessSeconds: w.PreprocessSeconds,
 		PredictedGflops:   w.PredictedGflops,
 		MeasuredGflops:    w.MeasuredGflops,
+		KernelISA:         w.KernelISA,
 		Library:           w.Library,
 	}
 	if err := out.Valid(); err != nil { // includes the classes/HasClasses consistency gate

@@ -49,6 +49,7 @@ func randomPlan(rng *rand.Rand) Plan {
 		PreprocessSeconds: rng.Float64() * 10,
 		PredictedGflops:   rng.Float64() * 50,
 		MeasuredGflops:    rng.Float64() * 50,
+		KernelISA:         []string{"", "scalar", "avx2", "avx512"}[rng.Intn(4)],
 		Library:           Library,
 	}
 }

@@ -307,6 +307,10 @@ type Analysis struct {
 	// Fingerprint is the matrix's structural identity — the key
 	// tuning decisions are stored and shipped under.
 	Fingerprint string
+	// KernelISA is the instruction set the dispatched kernels execute
+	// on this host ("avx512", "avx2", "scalar") — the provenance the
+	// plan carries so a warm start on different hardware re-measures.
+	KernelISA string
 	// Warm reports that the decision came from the plan store: no
 	// classification and no candidate sweep ran (Tune only; Analyze
 	// always diagnoses live).
@@ -330,6 +334,7 @@ func (t *Tuner) Analyze(m *Matrix) Analysis {
 		OptimizedGflops:   a.Optimized.Gflops,
 		PreprocessSeconds: a.Plan.PreprocessSeconds,
 		Fingerprint:       a.Plan.Fingerprint,
+		KernelISA:         a.Plan.KernelISA,
 	}
 }
 
@@ -372,6 +377,7 @@ func (t *Tuner) Tune(m *Matrix) *Tuned {
 		Optimizations:     pl.Opt.String(),
 		PreprocessSeconds: pl.PreprocessSeconds,
 		Fingerprint:       pl.Fingerprint,
+		KernelISA:         pl.KernelISA,
 		Warm:              warm,
 	}
 	if pl.MeasuredGflops > 0 {
