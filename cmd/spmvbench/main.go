@@ -15,6 +15,7 @@
 //	spmvbench -exp serve -scale 0.1     # serving: coalesced vs sequential
 //	spmvbench -exp twin -scale 0.1      # digital twin: predicted vs measured Gflops
 //	spmvbench -exp kernels -scale 0.1   # SIMD assembly kernels vs scalar oracles
+//	spmvbench -exp mixed -scale 0.25    # reduced-precision value streams vs f64
 //	spmvbench -exp all -scale 0.25      # every modeled experiment
 //
 // The reuse, sellcs, spmm, sym, warm and serve experiments run
@@ -26,9 +27,12 @@
 // sequential and reference-exact answers) and exit nonzero when they
 // fail, so CI can use them as smoke tests; twin likewise exits
 // nonzero when the cost model's mean prediction error exceeds its
-// gate, and kernels exits nonzero when any assembly body runs slower
-// than its scalar oracle. -json writes the serve, twin or kernels
-// result as JSON beside the table.
+// gate, kernels exits nonzero when any assembly body runs slower
+// than its scalar oracle, and mixed exits nonzero when a reduced
+// value stream breaks its documented error bound or the geomean f32
+// speedup over MB-classified matrices falls below its gate. -json
+// writes the serve, twin, kernels or mixed result as JSON beside the
+// table.
 //
 // Ablations: ablate-delta, ablate-split, ablate-sched,
 // ablate-prefetch, ablate-partitioned-ml.
@@ -57,7 +61,7 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1, fig3, fig7, table4, table5, platforms, features, reuse, sellcs, spmm, sym, warm, serve, twin, kernels, ablate-*, all")
+		exp      = flag.String("exp", "all", "experiment: fig1, fig3, fig7, table4, table5, platforms, features, reuse, sellcs, spmm, sym, warm, serve, twin, kernels, mixed, ablate-*, all")
 		platform = flag.String("platform", "", "fig7 platform: knc, knl, bdw (default: all three)")
 		scale    = flag.Float64("scale", 1.0, "suite size multiplier (1.0 = reproduction size)")
 		corpus   = flag.Int("corpus", 210, "training corpus size")
@@ -172,6 +176,25 @@ func run() error {
 			}
 		}
 		err = kerr
+	case "mixed":
+		// The mixed-precision gate returns the result alongside the
+		// error: emit the table either way so a failing gate shows
+		// which matrix lost or broke its error bound.
+		res, merr := experiments.Mixed(cfg)
+		if res != nil {
+			emit(res.Table())
+			if *jsonPath != "" {
+				var buf []byte
+				var jerr error
+				if buf, jerr = json.MarshalIndent(res, "", "  "); jerr == nil {
+					jerr = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+				}
+				if merr == nil {
+					merr = jerr
+				}
+			}
+		}
+		err = merr
 	case "twin":
 		// The accuracy gate returns the (partial) result alongside the
 		// error: emit the table either way so a failing smoke still

@@ -1,7 +1,8 @@
 // Mirrors the code samples of README.md, docs/guide/platforms.md,
 // docs/guide/formats.md, docs/guide/batching.md, docs/guide/symmetry.md,
 // docs/guide/plans.md, docs/guide/serving.md, docs/guide/twin.md,
-// docs/guide/lint.md and docs/guide/simd.md so the documented API
+// docs/guide/lint.md, docs/guide/simd.md and docs/guide/precision.md
+// so the documented API
 // cannot drift without breaking the build: every call here appears in
 // a published snippet.
 package spmvtuner_test
@@ -473,6 +474,64 @@ func TestSIMDGuideSamples(t *testing.T) {
 	defer tuner.Close()
 	if got := tuner.Tune(sm).Info().KernelISA; got != isa {
 		t.Fatalf("Info().KernelISA = %q, dispatch says %q", got, isa)
+	}
+}
+
+// TestPrecisionGuideSamples exercises docs/guide/precision.md: the
+// budget-gated facade flow, the variant ladder and plan strings the
+// guide tabulates, and the direct conversion sample with its
+// correction-stream promises.
+func TestPrecisionGuideSamples(t *testing.T) {
+	// The guide's budget-is-the-door sample on a modeled-MB matrix.
+	m := buildSymmetric(20000, 40)
+	tuner := spmvtuner.NewTuner(
+		spmvtuner.OnPlatform("bdw"),
+		spmvtuner.WithPrecisionBudget(1e-6),
+	)
+	defer tuner.Close()
+	tuned := tuner.Tune(m)
+	if got := tuned.Info().Precision; got != "f32" {
+		t.Fatalf("guide's budgeted sample selected %q, want f32", got)
+	}
+	if got := spmvtuner.NewTuner(spmvtuner.OnPlatform("bdw")).Analyze(m).Precision; got != "f64" {
+		t.Fatalf("unbudgeted tuner reports %q, want f64", got)
+	}
+
+	// The variant table: plan strings, documented bounds, and the
+	// budget ladder ("below 1e-12 admits no variant; [1e-12, 1e-6)
+	// admits only the split stream").
+	if ex.PrecF32.String() != "f32" || ex.PrecSplit.String() != "split64" {
+		t.Fatalf("plan strings drifted: %q %q", ex.PrecF32, ex.PrecSplit)
+	}
+	if formats.F32EntryBound != 1e-6 || formats.SplitEntryBound != 1e-12 {
+		t.Fatalf("documented bounds drifted: %g %g", formats.F32EntryBound, formats.SplitEntryBound)
+	}
+	if c := opt.PrecisionCandidates(1e-13); len(c) != 0 {
+		t.Fatalf("budget below 1e-12 admits %v", c)
+	}
+	if c := opt.PrecisionCandidates(1e-9); len(c) != 1 || c[0] != ex.PrecSplit {
+		t.Fatalf("budget in [1e-12, 1e-6) admits %v, want split only", c)
+	}
+	if c := opt.PrecisionCandidates(1e-6); len(c) != 2 || c[0] != ex.PrecF32 {
+		t.Fatalf("budget at 1e-6 admits %v, want f32 first", c)
+	}
+
+	// The guide's direct conversion sample (internal packages, as it
+	// notes), including its printed claims.
+	csr := gen.UniformRandom(5000, 8, 1)
+	p := formats.ConvertPrecCSR(csr, formats.F32EntryBound)
+	if p.CorrNNZ() != 0 {
+		t.Fatalf("guide promises zero corrections at 1e-6, got %d", p.CorrNNZ())
+	}
+	if p.Bytes() >= csr.Bytes() {
+		t.Fatalf("f32 stream %d bytes not below f64's %d", p.Bytes(), csr.Bytes())
+	}
+	s := formats.ConvertPrecCSR(csr, formats.SplitEntryBound)
+	if s.CorrNNZ() == 0 {
+		t.Fatal("guide promises corrections at 1e-12, got none")
+	}
+	if formats.CorrBytesPerEntry != 12 {
+		t.Fatalf("guide documents 12 bytes per correction, code says %d", formats.CorrBytesPerEntry)
 	}
 }
 

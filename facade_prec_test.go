@@ -1,0 +1,103 @@
+package spmvtuner_test
+
+// Facade-level mixed-precision coverage: the accuracy budget is the
+// only door into reduced-precision storage, the reported precision is
+// the one that executes, the tuned kernel honors the documented error
+// bound, and a reduced plan warm-starts across processes through the
+// on-disk plan store.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sparsekit/spmvtuner"
+)
+
+// bandedMB builds a wide-band matrix that the modeled Broadwell
+// analysis classifies bandwidth bound (the symmetry facade test pins
+// the same structure); values and probe vectors stay positive so the
+// reference result is its own componentwise error scale.
+func bandedMB(n, hw int) *spmvtuner.Matrix {
+	return buildSymmetric(n, hw)
+}
+
+func TestAnalyzePrecisionNeedsBudget(t *testing.T) {
+	m := bandedMB(20000, 40)
+	exact := spmvtuner.NewTuner(spmvtuner.OnPlatform("bdw")).Analyze(m)
+	if exact.Precision != "f64" {
+		t.Fatalf("unbudgeted analysis reports precision %q, want f64", exact.Precision)
+	}
+	a := spmvtuner.NewTuner(
+		spmvtuner.OnPlatform("bdw"),
+		spmvtuner.WithPrecisionBudget(1e-6),
+	).Analyze(m)
+	if a.Precision != "f32" {
+		t.Fatalf("budgeted modeled-MB analysis reports precision %q, want f32 (%s)",
+			a.Precision, a.Optimizations)
+	}
+}
+
+func TestTunedReducedPrecisionWithinBudget(t *testing.T) {
+	m := bandedMB(20000, 40)
+	tuner := spmvtuner.NewTuner(
+		spmvtuner.OnPlatform("bdw"),
+		spmvtuner.WithPrecisionBudget(1e-6),
+	)
+	defer tuner.Close()
+	tuned := tuner.Tune(m)
+	if got := tuned.Info().Precision; got != "f32" {
+		t.Fatalf("tuned precision %q, want f32", got)
+	}
+	x := make([]float64, m.Cols())
+	for i := range x {
+		x[i] = 0.5 + 0.1*float64(i%7)
+	}
+	want := make([]float64, m.Rows())
+	m.MulVec(x, want)
+	got := make([]float64, m.Rows())
+	tuned.MulVec(x, got)
+	for i := range want {
+		// All summands are positive, so want[i] bounds the row's
+		// magnitude scale; 2e-6 covers the storage bound plus
+		// accumulation slack.
+		if math.Abs(got[i]-want[i]) > 2e-6*want[i] {
+			t.Fatalf("reduced kernel out of budget at %d: %.12g vs %.12g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReducedPlanWarmStartsAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	m := bandedMB(20000, 40)
+	opts := func() []spmvtuner.Option {
+		return []spmvtuner.Option{
+			spmvtuner.OnPlatform("bdw"),
+			spmvtuner.WithPrecisionBudget(1e-6),
+			spmvtuner.WithPlanStore(dir),
+		}
+	}
+	t1 := spmvtuner.NewTuner(opts()...)
+	cold := t1.Tune(m)
+	if cold.Info().Warm {
+		t.Fatal("first Tune claims warm")
+	}
+	if cold.Info().Precision != "f32" {
+		t.Fatalf("cold precision %q, want f32", cold.Info().Precision)
+	}
+	if err := t1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	t2 := spmvtuner.NewTuner(opts()...)
+	defer t2.Close()
+	warm := t2.Tune(m)
+	if !warm.Info().Warm {
+		t.Fatal("second process did not warm-start from the stored reduced plan")
+	}
+	if warm.Info().Precision != "f32" {
+		t.Fatalf("warm precision %q, want f32", warm.Info().Precision)
+	}
+	if warm.Info().Optimizations != cold.Info().Optimizations {
+		t.Fatalf("warm plan differs: %q vs %q", warm.Info().Optimizations, cold.Info().Optimizations)
+	}
+}

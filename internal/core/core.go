@@ -65,6 +65,13 @@ type Pipeline struct {
 	// TwinTolerance is the relative deviation the validation gate
 	// accepts; zero means DefaultTwinTolerance.
 	TwinTolerance float64
+	// AccuracyBudget, when positive, opts the pipeline into reduced-
+	// precision value storage (f32 or f32+f64-correction streams): the
+	// optimizer may fold an in-budget precision into MB-classed plans
+	// after a measured error probe against the f64 reference. Zero —
+	// the default — keeps every result exact f64; nothing in the
+	// pipeline trades accuracy without this explicit grant.
+	AccuracyBudget float64
 }
 
 // DefaultTwinTolerance is the twin validation gate's default: a
@@ -113,10 +120,13 @@ func (p *Pipeline) optimizer() opt.Optimizer {
 			// cost, not a different contract.
 			break
 		}
-		return opt.NewFeatureGuided(p.Tree, p.TreeFeatures, fp)
+		fg := opt.NewFeatureGuided(p.Tree, p.TreeFeatures, fp)
+		fg.AccuracyBudget = p.AccuracyBudget
+		return fg
 	}
 	pg := opt.NewProfileGuided(fp)
 	pg.Th = p.Thresholds
+	pg.AccuracyBudget = p.AccuracyBudget
 	return pg
 }
 
@@ -209,11 +219,12 @@ func (p *Pipeline) PriceOn(twin ex.Executor, m *matrix.CSR) (plan.Plan, ex.Resul
 		}
 	}
 	tp := &Pipeline{
-		Exec:         twin,
-		Mode:         p.Mode,
-		Tree:         p.Tree,
-		TreeFeatures: p.TreeFeatures,
-		Thresholds:   p.Thresholds,
+		Exec:           twin,
+		Mode:           p.Mode,
+		Tree:           p.Tree,
+		TreeFeatures:   p.TreeFeatures,
+		Thresholds:     p.Thresholds,
+		AccuracyBudget: p.AccuracyBudget,
 	}
 	pl := tp.bind(fp, tp.optimizer().Plan(twin, m))
 	return pl, opt.Evaluate(twin, m, pl)

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/sparsekit/spmvtuner/internal/classify"
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/features"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/machine"
+	"github.com/sparsekit/spmvtuner/internal/ml"
+	"github.com/sparsekit/spmvtuner/internal/planstore"
+	"github.com/sparsekit/spmvtuner/internal/sim"
+)
+
+// mbTree builds a single-leaf tree that always predicts {MB}: it pins
+// the classification deterministically, so the budgeted pipeline must
+// fold reduced precision into the plan.
+func mbTree() (*ml.Tree, []features.Name) {
+	names := features.ONNZSubset()
+	labels := classify.NewSet(classify.MB).Labels()
+	ds, err := ml.NewDataset([]ml.Sample{
+		{X: make([]float64, len(names)), Y: labels},
+		{X: make([]float64, len(names)), Y: labels},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return ml.Fit(ds, ml.TreeParams{}), names
+}
+
+// TestPrepareWarmStartsReducedPrecisionPlan: a stored f32 plan must
+// warm-hit — re-prepared with zero new measurements — and keep its
+// precision through the store round trip.
+func TestPrepareWarmStartsReducedPrecisionPlan(t *testing.T) {
+	ce := &countingExec{Executor: sim.New(machine.KNL())}
+	p := New(ce)
+	p.Mode = FeatureGuided
+	p.Tree, p.TreeFeatures = mbTree()
+	p.AccuracyBudget = 1e-6
+	p.Store = planstore.New(8)
+	m := gen.Banded(400000, 16, 1.0, 6)
+
+	pl1, _, warm1 := p.Prepare(m)
+	if warm1 {
+		t.Fatal("first Prepare claims warm")
+	}
+	if got := pl1.Opt.EffectivePrecision(); got != ex.PrecF32 {
+		t.Fatalf("budgeted MB pipeline produced precision %s, want f32 (%+v)", got, pl1.Opt)
+	}
+	coldRuns := ce.runs
+
+	pl2, _, warm2 := p.Prepare(m)
+	if !warm2 {
+		t.Fatal("reduced-precision plan missed the store")
+	}
+	if ce.runs != coldRuns {
+		t.Fatalf("warm Prepare of an f32 plan ran %d measurements", ce.runs-coldRuns)
+	}
+	if !reflect.DeepEqual(pl1, pl2) {
+		t.Fatalf("warm plan differs:\n cold %+v\n warm %+v", pl1, pl2)
+	}
+}
+
+// TestPrepareWithoutBudgetStaysExact: the same pipeline minus the
+// budget must keep every plan at exact f64 — reduced precision is
+// opt-in at the pipeline boundary, not a default.
+func TestPrepareWithoutBudgetStaysExact(t *testing.T) {
+	p := New(sim.New(machine.KNL()))
+	p.Mode = FeatureGuided
+	p.Tree, p.TreeFeatures = mbTree()
+	m := gen.Banded(400000, 16, 1.0, 6)
+	pl := p.PlanOnly(m)
+	if got := pl.Opt.EffectivePrecision(); got != ex.PrecF64 {
+		t.Fatalf("unbudgeted pipeline reduced precision: %s", got)
+	}
+}

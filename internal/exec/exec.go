@@ -60,6 +60,12 @@ type Optim struct {
 	// arithmetic-intensity lift. Single-vector MulVec semantics are
 	// unaffected by this knob.
 	BlockWidth int
+	// Precision selects the stored value precision (the MB-class
+	// bandwidth lever that halves the value stream). The zero value is
+	// full float64. Reduced precision applies to the value payload of
+	// the effective format; see EffectivePrecision for the formats
+	// that honor it.
+	Precision Precision
 
 	// RegularizeX turns every access to x into a regular access by
 	// pointing all column indices at the row index: the P_ML bound
@@ -73,6 +79,55 @@ type Optim struct {
 // IsBoundKernel reports whether the configuration is a measurement
 // probe rather than a semantics-preserving optimization.
 func (o Optim) IsBoundKernel() bool { return o.RegularizeX || o.UnitStride }
+
+// Precision selects the value-storage precision of a configuration.
+// The zero value is full double precision, so every pre-existing knob
+// set keeps its meaning. Reduced precision shrinks only the stored
+// value stream: kernels always accumulate in float64, and x/y vectors
+// stay float64 everywhere.
+type Precision int
+
+const (
+	// PrecF64 stores values as float64 — the default and the only
+	// choice with bitwise-exact storage.
+	PrecF64 Precision = iota
+	// PrecF32 stores values as float32, halving the dominant value
+	// stream of a bandwidth-bound SpMV. Per-entry storage rounding is
+	// bounded by float32 epsilon (~1.2e-7 relative), so results carry
+	// a relative error on the order of 1e-7..1e-6.
+	PrecF32
+	// PrecSplit stores values as float32 plus a sparse float64
+	// correction array holding the rounding residual of every entry
+	// whose f32 representation is not essentially exact. Results match
+	// full double precision to ~1e-12 while most of the value stream
+	// still moves at 4 bytes per entry.
+	PrecSplit
+)
+
+// String renders the precision for plan wire forms and knob strings.
+func (p Precision) String() string {
+	switch p {
+	case PrecF32:
+		return "f32"
+	case PrecSplit:
+		return "split64"
+	default:
+		return "f64"
+	}
+}
+
+// ParsePrecision inverts Precision.String.
+func ParsePrecision(s string) (Precision, bool) {
+	switch s {
+	case "", "f64":
+		return PrecF64, true
+	case "f32":
+		return PrecF32, true
+	case "split64":
+		return PrecSplit, true
+	}
+	return PrecF64, false
+}
 
 // Format identifies the storage format a configuration executes.
 type Format int
@@ -117,6 +172,26 @@ func (o Optim) EffectiveFormat() Format {
 	return FormatCSR
 }
 
+// EffectivePrecision resolves the value precision a configuration
+// actually stores — the precision analogue of EffectiveFormat. Bound
+// kernels read the canonical f64 CSR (they are measurement probes of
+// the unmodified stream), and the Delta/Split re-encodings keep f64
+// values (their value arrays interleave with per-row metadata that the
+// precision converters do not reach), so reduced precision is honored
+// exactly on the formats with contiguous value payloads: CSR,
+// SELL-C-σ and SSS. Everywhere else the knob is inert — never
+// converted, never priced.
+func (o Optim) EffectivePrecision() Precision {
+	if o.Precision == PrecF64 || o.IsBoundKernel() {
+		return PrecF64
+	}
+	switch o.EffectiveFormat() {
+	case FormatCSR, FormatSellCS, FormatSSS:
+		return o.Precision
+	}
+	return PrecF64
+}
+
 // String renders the enabled optimizations compactly, e.g.
 // "compress+vec+prefetch@static-nnz".
 func (o Optim) String() string {
@@ -139,6 +214,7 @@ func (o Optim) String() string {
 	add("sym", o.Symmetric)
 	add("regx", o.RegularizeX)
 	add("unit", o.UnitStride)
+	add(o.Precision.String(), o.Precision != PrecF64)
 	if s == "" {
 		s = "none"
 	}

@@ -313,14 +313,18 @@ func machineKNC() machine.Model { return machine.KNC() }
 
 // TestWarmExperiment: the plan-store experiment is self-asserting
 // (zero warm measurements, identical plans); a nil error IS the
-// assertion. The table must carry one row per requested matrix.
+// assertion. The table must carry one row per requested matrix plus
+// the pinned reduced-precision row warmReducedPrecision appends.
 func TestWarmExperiment(t *testing.T) {
 	res, err := Warm(Config{Scale: 0.02, Matrices: []string{"poisson3Db", "ASIC_680k"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 2 {
-		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 2 requested + 1 pinned f32", len(res.Rows))
+	}
+	if last := res.Rows[len(res.Rows)-1]; last.Matrix != "banded-f32 (pinned MB)" || !strings.Contains(last.Plan, "f32") {
+		t.Fatalf("pinned reduced-precision row: %+v", last)
 	}
 	for _, row := range res.Rows {
 		if row.WarmRuns != 0 || row.FreshRuns != 0 {

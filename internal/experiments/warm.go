@@ -6,8 +6,12 @@ import (
 	"reflect"
 	"time"
 
+	"github.com/sparsekit/spmvtuner/internal/classify"
 	"github.com/sparsekit/spmvtuner/internal/core"
 	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/features"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/ml"
 	"github.com/sparsekit/spmvtuner/internal/native"
 	"github.com/sparsekit/spmvtuner/internal/planstore"
 	"github.com/sparsekit/spmvtuner/internal/report"
@@ -162,7 +166,104 @@ func Warm(cfg Config) (*WarmResult, error) {
 		}
 		res.Rows = append(res.Rows, row)
 	}
+	if err := warmReducedPrecision(&res); err != nil {
+		return nil, err
+	}
 	return &res, nil
+}
+
+// warmReducedPrecision asserts the mixed-precision warm-start path: a
+// pipeline whose classifier deterministically selects an f32 plan (a
+// constant-MB tree plus an accuracy budget) tunes cold, then a fresh
+// store handle and a fresh executor must warm-hit the stored reduced
+// plan with zero new measurements — and the plan must still carry f32
+// after the on-disk round trip. This is the proof that a reduced plan
+// shipped to another process re-prepares without re-tuning.
+func warmReducedPrecision(res *WarmResult) error {
+	dir, err := os.MkdirTemp("", "spmv-planstore-f32-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	names := features.ONNZSubset()
+	labels := classify.NewSet(classify.MB).Labels()
+	ds, err := ml.NewDataset([]ml.Sample{
+		{X: make([]float64, len(names)), Y: labels},
+		{X: make([]float64, len(names)), Y: labels},
+	})
+	if err != nil {
+		return err
+	}
+	tree := ml.Fit(ds, ml.TreeParams{})
+
+	m := gen.Banded(120000, 12, 1.0, 11)
+	pipeline := func(e ex.Executor, s *planstore.Store) *core.Pipeline {
+		p := core.New(e)
+		p.Mode = core.FeatureGuided
+		p.Tree = tree
+		p.TreeFeatures = names
+		p.AccuracyBudget = 1e-6
+		p.Store = s
+		return p
+	}
+
+	e1 := &countingExecutor{PreparedExecutor: native.New()}
+	defer e1.Close()
+	store, err := planstore.Open(dir, planstore.DefaultCapacity)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	coldPlan, _, hit := pipeline(e1, store).Prepare(m)
+	coldMs := time.Since(start).Seconds() * 1e3
+	coldRuns := e1.runs
+	if hit {
+		return fmt.Errorf("warm: f32: cold tune claims warm")
+	}
+	if got := coldPlan.Opt.EffectivePrecision(); got != ex.PrecF32 {
+		return fmt.Errorf("warm: f32: budgeted MB plan carries precision %s, want f32", got)
+	}
+	if err := store.Close(); err != nil {
+		return err
+	}
+
+	e2 := &countingExecutor{PreparedExecutor: native.New()}
+	defer e2.Close()
+	store2, err := planstore.Open(dir, planstore.DefaultCapacity)
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	freshPlan, freshK, hit := pipeline(e2, store2).Prepare(m)
+	freshMs := time.Since(start).Seconds() * 1e3
+	if !hit || freshK == nil {
+		return fmt.Errorf("warm: f32: fresh-process warm tune missed the on-disk reduced plan")
+	}
+	if e2.runs != 0 {
+		return fmt.Errorf("warm: f32: fresh-process warm tune performed %d executor measurements", e2.runs)
+	}
+	if !reflect.DeepEqual(coldPlan, freshPlan) {
+		return fmt.Errorf("warm: f32: warm plan differs from cold plan")
+	}
+	if err := store2.Close(); err != nil {
+		return err
+	}
+
+	row := WarmRow{
+		Matrix:    "banded-f32 (pinned MB)",
+		NNZ:       m.NNZ(),
+		Plan:      coldPlan.Opt.String(),
+		ColdMs:    coldMs,
+		FreshMs:   freshMs,
+		ColdRuns:  coldRuns,
+		PlanEqual: true,
+	}
+	if freshMs > 0 {
+		row.Speedup = coldMs / freshMs
+	}
+	res.Rows = append(res.Rows, row)
+	return nil
 }
 
 // Table renders the comparison.

@@ -1,0 +1,230 @@
+package formats
+
+// Differential and property tests for the precision-reduced value
+// formats. The contract under test is the per-entry error bound: for
+// every generator family, each reduced variant's result must stay
+// within its documented bound of the f64 CSR reference — measured
+// componentwise against the row's magnitude scale Σ_j |a_ij·x_j|, the
+// right yardstick when cancellation shrinks |y_i| — and non-finite or
+// f32-overflowing values must be carried exactly through the
+// correction stream, never silently truncated to ±Inf or 0.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/sparsekit/spmvtuner/internal/matrix"
+)
+
+// precSlack absorbs the reordering noise between the reduced kernels
+// (corrections accumulate after the main loop) and the reference: a
+// few f64 ulps per unit of row scale.
+const precSlack = 32 * 0x1p-52
+
+// precBounds pairs each variant's conversion bound with the result
+// tolerance the guide documents for it.
+func precBounds() []struct {
+	name  string
+	bound float64
+} {
+	return []struct {
+		name  string
+		bound float64
+	}{
+		{"f32", F32EntryBound},
+		{"split64", SplitEntryBound},
+	}
+}
+
+// precDiff multiplies through the reduced form and checks every finite
+// row against the f64 CSR reference within bound (componentwise,
+// scale-relative).
+func precDiff(t *testing.T, label string, m *matrix.CSR, bound float64, mul func(x, y []float64)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, m.NCols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ref := make([]float64, m.NRows)
+	scale := make([]float64, m.NRows)
+	for i := 0; i < m.NRows; i++ {
+		var sum, sc float64
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			p := m.Val[j] * x[m.ColInd[j]]
+			sum += p
+			sc += math.Abs(p)
+		}
+		ref[i], scale[i] = sum, sc
+	}
+	got := make([]float64, m.NRows)
+	for i := range got {
+		got[i] = math.NaN() // every row must be written
+	}
+	mul(x, got)
+	tol := bound + precSlack
+	for i := range ref {
+		if math.IsNaN(ref[i]) || math.IsInf(ref[i], 0) {
+			continue // non-finite reference rows are checked by the dedicated tests
+		}
+		if math.IsNaN(got[i]) && m.RowPtr[i] < m.RowPtr[i+1] {
+			t.Fatalf("%s: y[%d] is NaN for finite reference %g", label, i, ref[i])
+		}
+		if math.Abs(got[i]-ref[i]) > tol*scale[i] {
+			t.Fatalf("%s: y[%d] = %.17g, want %.17g within %g*%g",
+				label, i, got[i], ref[i], tol, scale[i])
+		}
+	}
+}
+
+// TestPrecDifferential sweeps every generator family and both
+// variants: the reduced CSR and SELL forms must track the f64
+// reference within the variant's documented bound.
+func TestPrecDifferential(t *testing.T) {
+	for _, fam := range families() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			for _, seed := range []int64{1, 2, 3, 4, 5} {
+				n := 40 + int(seed*37)%300
+				m := fam.build(n, seed)
+				for _, pb := range precBounds() {
+					pc := ConvertPrecCSR(m, pb.bound)
+					precDiff(t, "prec-csr/"+pb.name, m, pb.bound, pc.MulVec)
+					if got := int64(pc.CorrNNZ()); got != CountCorrections(m, pb.bound) {
+						t.Fatalf("seed %d %s: CorrNNZ %d != CountCorrections %d",
+							seed, pb.name, got, CountCorrections(m, pb.bound))
+					}
+					for _, s := range []*SellCS{ConvertSellCSAuto(m), ConvertSellCS(m, 3, 7)} {
+						ps := ConvertPrecSellCS(s, pb.bound)
+						precDiff(t, "prec-sellcs/"+pb.name, m, pb.bound, ps.MulVec)
+						if ps.NNZ() != m.NNZ() {
+							t.Fatalf("seed %d %s: sell nnz %d != %d", seed, pb.name, ps.NNZ(), m.NNZ())
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPrecDifferentialSSS sweeps the symmetric families: the reduced
+// symmetric storage must track the mirrored f64 reference.
+func TestPrecDifferentialSSS(t *testing.T) {
+	for _, fam := range symFamilies() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			for _, seed := range []int64{1, 2, 3} {
+				n := 40 + int(seed*37)%300
+				m := fam.build(n, seed)
+				s := ConvertSSS(m)
+				for _, pb := range precBounds() {
+					ps := ConvertPrecSSS(s, pb.bound)
+					precDiff(t, "prec-sss/"+pb.name, m, pb.bound, ps.MulVec)
+				}
+			}
+		})
+	}
+}
+
+// TestPrecNoSilentOverflow pins the non-finite contract: a finite f64
+// value beyond float32 range must flow through the correction stream
+// and come back exactly — never as ±Inf — in BOTH variants, and tiny
+// values must not silently flush to zero.
+func TestPrecNoSilentOverflow(t *testing.T) {
+	coo := matrix.NewCOO(4, 4)
+	coo.Add(0, 0, 1e300)  // overflows float32 to +Inf
+	coo.Add(1, 1, -4e38)  // overflows float32 to -Inf
+	coo.Add(2, 2, 1e-300) // flushes to 0 in float32
+	coo.Add(3, 3, 1.5)    // exactly representable
+	m := coo.ToCSR()
+	x := []float64{2, 3, 5, 7}
+	want := []float64{2e300, -1.2e39, 5e-300, 10.5}
+	for _, pb := range precBounds() {
+		p := ConvertPrecCSR(m, pb.bound)
+		if p.CorrNNZ() != 3 {
+			t.Fatalf("%s: corrected %d entries, want 3 (both overflows and the subnormal)",
+				pb.name, p.CorrNNZ())
+		}
+		y := make([]float64, 4)
+		p.MulVec(x, y)
+		for i := range want {
+			if y[i] != want[i] {
+				t.Fatalf("%s: y[%d] = %g, want %g exactly", pb.name, i, y[i], want[i])
+			}
+			if math.IsInf(y[i], 0) {
+				t.Fatalf("%s: y[%d] silently overflowed to %g", pb.name, i, y[i])
+			}
+		}
+	}
+}
+
+// TestPrecNonFinitePropagation: NaN and true ±Inf inputs are stored
+// faithfully (float32 has the same specials), so they propagate to the
+// result exactly as the f64 reference does.
+func TestPrecNonFinitePropagation(t *testing.T) {
+	coo := matrix.NewCOO(3, 3)
+	coo.Add(0, 0, math.NaN())
+	coo.Add(1, 1, math.Inf(1))
+	coo.Add(2, 2, math.Inf(-1))
+	m := coo.ToCSR()
+	x := []float64{1, 1, 1}
+	for _, pb := range precBounds() {
+		p := ConvertPrecCSR(m, pb.bound)
+		if p.CorrPtr != nil {
+			t.Fatalf("%s: non-finite inputs must store faithfully, not correct (%d corrections)",
+				pb.name, p.CorrNNZ())
+		}
+		y := make([]float64, 3)
+		p.MulVec(x, y)
+		if !math.IsNaN(y[0]) || !math.IsInf(y[1], 1) || !math.IsInf(y[2], -1) {
+			t.Fatalf("%s: specials did not propagate: y = %v", pb.name, y)
+		}
+	}
+}
+
+// TestPrecSplitTracksF64 pins the split variant's near-f64 promise on
+// values float32 cannot hold: random full-mantissa values all spill to
+// the correction stream under SplitEntryBound, and the product matches
+// the reference to 1e-12 while plain f32 visibly does not.
+func TestPrecSplitTracksF64(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 64
+	coo := matrix.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 4; k++ {
+			coo.Add(i, rng.Intn(n), 1+rng.Float64()) // full random mantissas
+		}
+	}
+	m := coo.ToCSR()
+	split := ConvertPrecCSR(m, SplitEntryBound)
+	if int64(split.CorrNNZ()) != CountCorrections(m, SplitEntryBound) || split.CorrNNZ() == 0 {
+		t.Fatalf("split: expected random mantissas to spill to corrections, got %d", split.CorrNNZ())
+	}
+	precDiff(t, "split-tracks-f64", m, SplitEntryBound, split.MulVec)
+
+	f32 := ConvertPrecCSR(m, F32EntryBound)
+	if f32.CorrPtr != nil {
+		t.Fatalf("f32: normal-range values must not correct, got %d", f32.CorrNNZ())
+	}
+	if f32.Bytes() >= m.Bytes() {
+		t.Fatalf("f32: reduced bytes %d not below f64 bytes %d", f32.Bytes(), m.Bytes())
+	}
+}
+
+// TestPrecBytesAccounting: the correction stream is priced into Bytes,
+// and a fully-corrected matrix costs more than f64 would save.
+func TestPrecBytesAccounting(t *testing.T) {
+	coo := matrix.NewCOO(2, 2)
+	coo.Add(0, 0, 1.0)
+	coo.Add(1, 1, 2.0)
+	m := coo.ToCSR()
+	p := ConvertPrecCSR(m, F32EntryBound)
+	want := int64(len(p.Val))*4 + int64(len(p.ColInd))*4 + int64(len(p.RowPtr))*8
+	if p.Bytes() != want {
+		t.Fatalf("correction-free Bytes %d, want %d", p.Bytes(), want)
+	}
+	if p.CorrPtr != nil {
+		t.Fatalf("exact values should need no corrections")
+	}
+}

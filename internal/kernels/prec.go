@@ -1,0 +1,260 @@
+package kernels
+
+import (
+	"github.com/sparsekit/spmvtuner/internal/formats"
+)
+
+// Precision-reduced kernels. The stored value stream is float32 (half
+// the bytes of the f64 formats — the MB-class win), every product and
+// accumulation is float64, and the sparse f64 correction stream is
+// applied inside the owning row's loop, so the parallel engine's row
+// (or chunk) partitioning carries over unchanged. A format without
+// corrections stores nil CorrPtr and takes the correction-free loop —
+// no per-row branch on the hot path.
+
+// PrecCSRRange is the scalar precision-reduced CSR kernel over a row
+// range.
+//
+//spmv:hotpath
+func PrecCSRRange(p *formats.PrecCSR, x, y []float64, lo, hi int) {
+	if p.CorrPtr == nil {
+		for i := lo; i < hi; i++ {
+			var sum float64
+			for j := p.RowPtr[i]; j < p.RowPtr[i+1]; j++ {
+				sum += float64(p.Val[j]) * x[p.ColInd[j]]
+			}
+			y[i] = sum
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		var sum float64
+		for j := p.RowPtr[i]; j < p.RowPtr[i+1]; j++ {
+			sum += float64(p.Val[j]) * x[p.ColInd[j]]
+		}
+		for j := p.CorrPtr[i]; j < p.CorrPtr[i+1]; j++ {
+			sum += p.CorrVal[j] * x[p.CorrCol[j]]
+		}
+		y[i] = sum
+	}
+}
+
+// PrecCSRVector8Range is the eight-accumulator form of PrecCSRRange —
+// the precision analogue of CSRVector8Range, mirroring an 8-lane SIMD
+// unit on the narrowed value stream.
+//
+//spmv:hotpath
+func PrecCSRVector8Range(p *formats.PrecCSR, x, y []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		jlo, jhi := p.RowPtr[i], p.RowPtr[i+1]
+		var s0, s1, s2, s3, s4, s5, s6, s7 float64
+		j := jlo
+		for ; j+8 <= jhi; j += 8 {
+			s0 += float64(p.Val[j]) * x[p.ColInd[j]]
+			s1 += float64(p.Val[j+1]) * x[p.ColInd[j+1]]
+			s2 += float64(p.Val[j+2]) * x[p.ColInd[j+2]]
+			s3 += float64(p.Val[j+3]) * x[p.ColInd[j+3]]
+			s4 += float64(p.Val[j+4]) * x[p.ColInd[j+4]]
+			s5 += float64(p.Val[j+5]) * x[p.ColInd[j+5]]
+			s6 += float64(p.Val[j+6]) * x[p.ColInd[j+6]]
+			s7 += float64(p.Val[j+7]) * x[p.ColInd[j+7]]
+		}
+		var tail float64
+		for ; j < jhi; j++ {
+			tail += float64(p.Val[j]) * x[p.ColInd[j]]
+		}
+		sum := ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7)) + tail
+		if p.CorrPtr != nil {
+			for c := p.CorrPtr[i]; c < p.CorrPtr[i+1]; c++ {
+				sum += p.CorrVal[c] * x[p.CorrCol[c]]
+			}
+		}
+		y[i] = sum
+	}
+}
+
+// PrecCSRBlockRange computes rows [lo, hi) of Y = A*X for k interleaved
+// right-hand sides from the reduced storage, streaming the 4-byte
+// value array once per block (the intensity lift of CSRBlockRange on
+// half the matrix bytes). The output row is the accumulator, as in the
+// generic-k f64 tail.
+//
+//spmv:hotpath
+func PrecCSRBlockRange(p *formats.PrecCSR, x, y []float64, k, lo, hi int) {
+	if k == 1 {
+		PrecCSRRange(p, x, y, lo, hi)
+		return
+	}
+	for i := lo; i < hi; i++ {
+		yr := y[i*k : i*k+k]
+		for l := range yr {
+			yr[l] = 0
+		}
+		for j := p.RowPtr[i]; j < p.RowPtr[i+1]; j++ {
+			v := float64(p.Val[j])
+			xr := x[int(p.ColInd[j])*k:][:k]
+			for l := range yr {
+				yr[l] += v * xr[l]
+			}
+		}
+		if p.CorrPtr != nil {
+			for j := p.CorrPtr[i]; j < p.CorrPtr[i+1]; j++ {
+				v := p.CorrVal[j]
+				xr := x[int(p.CorrCol[j])*k:][:k]
+				for l := range yr {
+					yr[l] += v * xr[l]
+				}
+			}
+		}
+	}
+}
+
+// PrecSellCSRange computes the rows of precision-reduced SELL-C-σ
+// chunks [lo, hi), writing each real row's dot product to y[original
+// row] through the permutation. Corrections are indexed by permuted
+// position and folded into the row's sum before the scatter, so chunk
+// ranges stay synchronization-free.
+//
+//spmv:hotpath
+func PrecSellCSRange(p *formats.PrecSellCS, x, y []float64, lo, hi int) {
+	c := p.C
+	for k := lo; k < hi; k++ {
+		ptr := p.ChunkPtr[k]
+		base := k * c
+		rows := c
+		if base+rows > p.NRows {
+			rows = p.NRows - base
+		}
+		for r := 0; r < rows; r++ {
+			var sum float64
+			at := ptr + int64(r)
+			for j := int32(0); j < p.RowLen[base+r]; j++ {
+				sum += float64(p.Vals[at]) * x[p.Cols[at]]
+				at += int64(c)
+			}
+			if p.CorrPtr != nil {
+				for j := p.CorrPtr[base+r]; j < p.CorrPtr[base+r+1]; j++ {
+					sum += p.CorrVal[j] * x[p.CorrCol[j]]
+				}
+			}
+			y[p.Perm[base+r]] = sum
+		}
+	}
+}
+
+// PrecSellCSBlockRange is the blocked multi-RHS form of
+// PrecSellCSRange for k interleaved right-hand sides.
+//
+//spmv:hotpath
+func PrecSellCSBlockRange(p *formats.PrecSellCS, x, y []float64, k, lo, hi int) {
+	c := p.C
+	for ch := lo; ch < hi; ch++ {
+		base := ch * c
+		rows := c
+		if base+rows > p.NRows {
+			rows = p.NRows - base
+		}
+		for r := 0; r < rows; r++ {
+			yr := y[int(p.Perm[base+r])*k:][:k]
+			for l := range yr {
+				yr[l] = 0
+			}
+			at := p.ChunkPtr[ch] + int64(r)
+			for j := int32(0); j < p.RowLen[base+r]; j++ {
+				v := float64(p.Vals[at])
+				xr := x[int(p.Cols[at])*k:][:k]
+				for l := range yr {
+					yr[l] += v * xr[l]
+				}
+				at += int64(c)
+			}
+			if p.CorrPtr != nil {
+				for j := p.CorrPtr[base+r]; j < p.CorrPtr[base+r+1]; j++ {
+					v := p.CorrVal[j]
+					xr := x[int(p.CorrCol[j])*k:][:k]
+					for l := range yr {
+						yr[l] += v * xr[l]
+					}
+				}
+			}
+		}
+	}
+}
+
+// PrecSSSRange computes rows [lo, hi) of the precision-reduced
+// symmetric kernel under the SSSRange contract: y[i] gets the diagonal
+// (kept f64) plus lower-triangle dot product, mirrored contributions
+// accumulate into scatter[col], and the caller must zero scatter[0:hi)
+// before the pass. Corrections apply twice exactly like stored
+// elements, so they ride the same two-phase reduction.
+//
+//spmv:hotpath
+func PrecSSSRange(p *formats.PrecSSS, x, y, scatter []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		xi := x[i]
+		sum := p.Diag[i] * xi
+		for j := p.RowPtr[i]; j < p.RowPtr[i+1]; j++ {
+			c := p.ColInd[j]
+			v := float64(p.Val[j])
+			sum += v * x[c]
+			scatter[c] += v * xi
+		}
+		if p.CorrPtr != nil {
+			for j := p.CorrPtr[i]; j < p.CorrPtr[i+1]; j++ {
+				c := p.CorrCol[j]
+				v := p.CorrVal[j]
+				sum += v * x[c]
+				scatter[c] += v * xi
+			}
+		}
+		y[i] = sum
+	}
+}
+
+// PrecSSSBlockRange is the blocked multi-RHS form of PrecSSSRange for k
+// interleaved right-hand sides; scatter[0 : hi*k] must be zeroed by the
+// caller.
+//
+//spmv:hotpath
+func PrecSSSBlockRange(p *formats.PrecSSS, x, y, scatter []float64, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		d := p.Diag[i]
+		xi := x[i*k : i*k+k]
+		yi := y[i*k : i*k+k]
+		for l := range yi {
+			yi[l] = d * xi[l]
+		}
+		for j := p.RowPtr[i]; j < p.RowPtr[i+1]; j++ {
+			c := int(p.ColInd[j])
+			v := float64(p.Val[j])
+			xc := x[c*k : c*k+k]
+			sc := scatter[c*k : c*k+k]
+			for l := 0; l < k; l++ {
+				yi[l] += v * xc[l]
+				sc[l] += v * xi[l]
+			}
+		}
+		if p.CorrPtr != nil {
+			for j := p.CorrPtr[i]; j < p.CorrPtr[i+1]; j++ {
+				c := int(p.CorrCol[j])
+				v := p.CorrVal[j]
+				xc := x[c*k : c*k+k]
+				sc := scatter[c*k : c*k+k]
+				for l := 0; l < k; l++ {
+					yi[l] += v * xc[l]
+					sc[l] += v * xi[l]
+				}
+			}
+		}
+	}
+}
+
+// PrecVariant selects the precision-reduced CSR range kernel by the
+// vectorize flag (no assembly bodies exist yet for the f32 stream;
+// both forms are pure Go) and names it for plan provenance.
+func PrecVariant(vectorize bool) (func(p *formats.PrecCSR, x, y []float64, lo, hi int), string) {
+	if vectorize {
+		return PrecCSRVector8Range, "prec-csr-vec8"
+	}
+	return PrecCSRRange, "prec-csr"
+}

@@ -1,0 +1,32 @@
+package fixture
+
+// The tempting-but-wrong reduced-precision shapes: widening the f32
+// stream into a scratch f64 slice per multiply, and logging a
+// correction count from the kernel. Both allocate on the hot path.
+
+//spmv:hotpath
+func hotF32Widen(rowPtr, colInd []int32, val []float32, x, y []float64) {
+	wide := make([]float64, len(val)) // want `hot path allocates: make`
+	for j := range val {
+		wide[j] = float64(val[j])
+	}
+	for i := 0; i+1 < len(rowPtr); i++ {
+		var acc float64
+		for j := rowPtr[i]; j < rowPtr[i+1]; j++ {
+			acc += wide[j] * x[colInd[j]]
+		}
+		y[i] = acc
+	}
+}
+
+//spmv:hotpath
+func hotF32Trace(val []float32, corr []float64) {
+	n := 0
+	for range corr {
+		n++
+	}
+	sink = n                        // want `hot path boxes into interface`
+	stats := []int{len(val), n}     // want `hot path allocates: composite literal`
+	stats = append(stats, cap(val)) // want `hot path allocates: append may grow`
+	_ = stats
+}

@@ -1,0 +1,28 @@
+package fixture
+
+// The reduced-precision kernel shape: f32 value stream, f64
+// accumulation, and a sparse f64 correction stream applied in place.
+// All state arrives through parameters, so the hot path allocates
+// nothing.
+
+//spmv:hotpath
+func hotF32Kernel(rowPtr, colInd []int32, val []float32, x, y []float64) {
+	for i := 0; i+1 < len(rowPtr); i++ {
+		var acc float64 // f64 accumulator over the f32 stream
+		for j := rowPtr[i]; j < rowPtr[i+1]; j++ {
+			acc += float64(val[j]) * x[colInd[j]]
+		}
+		y[i] = acc
+	}
+}
+
+//spmv:hotpath
+func hotF32Corrections(corrPtr, corrCol []int32, corrVal, x, y []float64) {
+	for i := 0; i+1 < len(corrPtr); i++ {
+		acc := y[i]
+		for j := corrPtr[i]; j < corrPtr[i+1]; j++ {
+			acc += corrVal[j] * x[corrCol[j]]
+		}
+		y[i] = acc
+	}
+}

@@ -2,9 +2,13 @@
 // SpMV tuner: a coordinate-format builder (COO), the canonical
 // Compressed Sparse Row format (CSR, Section II of the paper), and a
 // small dense matrix for reference computations. All structures use
-// 0-based indices, float64 values (the paper simulates scientific
-// workloads with double precision), and int32 column indices as in
-// common CSR implementations.
+// 0-based indices and int32 column indices as in common CSR
+// implementations. This package stores values as float64 — the
+// full-precision source of truth every other representation converts
+// from — but executable storage is not always double precision: under
+// an accuracy budget the planner may re-encode the value stream as f32
+// or as f32 plus a sparse f64 correction stream (internal/formats'
+// Prec* types); accumulation stays float64 everywhere.
 package matrix
 
 import (

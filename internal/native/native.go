@@ -35,12 +35,15 @@ type Executor struct {
 	// Close parks it permanently.
 	workers *Pool
 
-	mu       sync.Mutex
-	deltas   map[*matrix.CSR]*formats.DeltaCSR // guarded by mu
-	splits   map[*matrix.CSR]*formats.SplitCSR // guarded by mu
-	sells    map[*matrix.CSR]*formats.SellCS   // guarded by mu
-	ssses    map[*matrix.CSR]*formats.SSS      // guarded by mu
-	prepared map[preparedKey]*Prepared         // guarded by mu
+	mu        sync.Mutex
+	deltas    map[*matrix.CSR]*formats.DeltaCSR // guarded by mu
+	splits    map[*matrix.CSR]*formats.SplitCSR // guarded by mu
+	sells     map[*matrix.CSR]*formats.SellCS   // guarded by mu
+	ssses     map[*matrix.CSR]*formats.SSS      // guarded by mu
+	precCSRs  map[precKey]*formats.PrecCSR      // guarded by mu
+	precSells map[precKey]*formats.PrecSellCS   // guarded by mu
+	precSSSes map[precKey]*formats.PrecSSS      // guarded by mu
+	prepared  map[preparedKey]*Prepared         // guarded by mu
 
 	probeOnce sync.Once
 	usable    int // threads that actually speed up memory streaming
@@ -57,6 +60,21 @@ var (
 type preparedKey struct {
 	m *matrix.CSR
 	o ex.Optim
+}
+
+// precKey identifies one precision-reduced conversion: the same
+// matrix reduces differently under the f32 and split per-entry bounds.
+type precKey struct {
+	m *matrix.CSR
+	p ex.Precision
+}
+
+// precBound maps a reduced precision to its per-entry storage bound.
+func precBound(p ex.Precision) float64 {
+	if p == ex.PrecSplit {
+		return formats.SplitEntryBound
+	}
+	return formats.F32EntryBound
 }
 
 // New returns a native executor modeling itself as the host. Its worker
@@ -85,13 +103,16 @@ func hostModel() machine.Model {
 // regress hyperthreaded hosts).
 func NewWithModel(m machine.Model) *Executor {
 	e := &Executor{
-		model:    m,
-		Iters:    3,
-		deltas:   make(map[*matrix.CSR]*formats.DeltaCSR),
-		splits:   make(map[*matrix.CSR]*formats.SplitCSR),
-		sells:    make(map[*matrix.CSR]*formats.SellCS),
-		ssses:    make(map[*matrix.CSR]*formats.SSS),
-		prepared: make(map[preparedKey]*Prepared),
+		model:     m,
+		Iters:     3,
+		deltas:    make(map[*matrix.CSR]*formats.DeltaCSR),
+		splits:    make(map[*matrix.CSR]*formats.SplitCSR),
+		sells:     make(map[*matrix.CSR]*formats.SellCS),
+		ssses:     make(map[*matrix.CSR]*formats.SSS),
+		precCSRs:  make(map[precKey]*formats.PrecCSR),
+		precSells: make(map[precKey]*formats.PrecSellCS),
+		precSSSes: make(map[precKey]*formats.PrecSSS),
+		prepared:  make(map[preparedKey]*Prepared),
 	}
 	e.workers = NewPool(e.model.Threads())
 	// The pool's goroutines reference only the pool, so an unreachable
@@ -132,6 +153,11 @@ func (e *Executor) Release(m *matrix.CSR) {
 	delete(e.splits, m)
 	delete(e.sells, m)
 	delete(e.ssses, m)
+	for p := ex.PrecF32; p <= ex.PrecSplit; p++ {
+		delete(e.precCSRs, precKey{m, p})
+		delete(e.precSells, precKey{m, p})
+		delete(e.precSSSes, precKey{m, p})
+	}
 	for k := range e.prepared {
 		if k.m == m {
 			delete(e.prepared, k)
@@ -189,14 +215,14 @@ const maxFormatCacheEntries = maxPreparedKernels
 // cacheFormat inserts v into the memo map under the entry cap,
 // evicting an arbitrary entry when full (map order is effectively
 // random).
-func cacheFormat[V any](cache map[*matrix.CSR]V, m *matrix.CSR, v V) {
+func cacheFormat[K comparable, V any](cache map[K]V, key K, v V) {
 	if len(cache) >= maxFormatCacheEntries {
 		for k := range cache {
 			delete(cache, k)
 			break
 		}
 	}
-	cache[m] = v
+	cache[key] = v
 }
 
 // deltaOf memoizes the DeltaCSR conversion.
@@ -258,6 +284,51 @@ func (e *Executor) sellOf(m *matrix.CSR) *formats.SellCS {
 	s := formats.ConvertSellCSAuto(m)
 	cacheFormat(e.sells, m, s)
 	return s
+}
+
+// precCSROf memoizes the precision-reduced CSR conversion per
+// (matrix, precision).
+func (e *Executor) precCSROf(m *matrix.CSR, prec ex.Precision) *formats.PrecCSR {
+	key := precKey{m, prec}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.precCSRs[key]; ok {
+		return p
+	}
+	p := formats.ConvertPrecCSR(m, precBound(prec))
+	cacheFormat(e.precCSRs, key, p)
+	return p
+}
+
+// precSellOf memoizes the precision-reduced SELL-C-σ conversion,
+// derived from the memoized f64 conversion so the geometry is shared.
+func (e *Executor) precSellOf(m *matrix.CSR, prec ex.Precision) *formats.PrecSellCS {
+	s := e.sellOf(m)
+	key := precKey{m, prec}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.precSells[key]; ok {
+		return p
+	}
+	p := formats.ConvertPrecSellCS(s, precBound(prec))
+	cacheFormat(e.precSells, key, p)
+	return p
+}
+
+// precSSSOf memoizes the precision-reduced symmetric conversion,
+// derived from the memoized f64 SSS so the lower-triangle structure is
+// shared.
+func (e *Executor) precSSSOf(m *matrix.CSR, prec ex.Precision) *formats.PrecSSS {
+	s := e.sssOf(m)
+	key := precKey{m, prec}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.precSSSes[key]; ok {
+		return p
+	}
+	p := formats.ConvertPrecSSS(s, precBound(prec))
+	cacheFormat(e.precSSSes, key, p)
+	return p
 }
 
 // Run implements exec.Executor: it executes the configuration and

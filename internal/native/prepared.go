@@ -264,14 +264,28 @@ func (e *Executor) buildPrepared(m *matrix.CSR, o ex.Optim, nt int) *Prepared {
 	case o.UnitStride:
 		p.bindRange(m, kernels.UnitStrideRange, "unit-stride", o.Schedule)
 	default:
+		prec := o.EffectivePrecision()
 		switch o.EffectiveFormat() {
 		case ex.FormatSSS:
+			if prec != ex.PrecF64 {
+				s := e.sssOf(m)
+				ps := e.precSSSOf(m, prec)
+				p.matrixBytes = ps.Bytes()
+				p.bindPrecSSS(ps, s, o)
+				break
+			}
 			s := e.sssOf(m)
 			p.matrixBytes = s.Bytes()
 			p.bindSSS(s, o)
 		case ex.FormatSplit:
 			p.bindSplit(e.splitOf(m), o)
 		case ex.FormatSellCS:
+			if prec != ex.PrecF64 {
+				ps := e.precSellOf(m, prec)
+				p.matrixBytes = ps.Bytes()
+				p.bindPrecSellCS(ps, o)
+				break
+			}
 			s := e.sellOf(m)
 			p.matrixBytes = s.Bytes()
 			p.bindSellCS(s, o)
@@ -280,6 +294,12 @@ func (e *Executor) buildPrepared(m *matrix.CSR, o ex.Optim, nt int) *Prepared {
 			p.matrixBytes = d.Bytes()
 			p.bindDelta(d, m, o.Schedule)
 		default:
+			if prec != ex.PrecF64 {
+				pc := e.precCSROf(m, prec)
+				p.matrixBytes = pc.Bytes()
+				p.bindPrecCSR(pc, m, o)
+				break
+			}
 			p.bindRange(m, kernels.Variant(o.Vectorize, o.Prefetch, o.Unroll),
 				kernels.VariantName(o.Vectorize, o.Prefetch, o.Unroll), o.Schedule)
 		}
@@ -456,6 +476,126 @@ func (p *Prepared) bindSellCS(s *formats.SellCS, o ex.Optim) {
 // weight array).
 func sellChunkParts(s *formats.SellCS, nt int) []sched.Range {
 	return sched.PartitionPrefix(s.ChunkPtr, s.NChunks(), nt)
+}
+
+// bindPrecCSR compiles the precision-reduced CSR kernel under the
+// resolved schedule — the narrowed-value-stream twin of bindRange. m is
+// the source matrix: the schedule partitions by its nnz weights, which
+// the reduced form shares exactly (structure arrays are aliased).
+func (p *Prepared) bindPrecCSR(pc *formats.PrecCSR, m *matrix.CSR, o ex.Optim) {
+	kern, name := kernels.PrecVariant(o.Vectorize)
+	p.kernelName = name + "-" + o.EffectivePrecision().String()
+	sp := sched.Prepare(o.Schedule, m, p.nt)
+	if sp.Chunks != nil {
+		chunks := sp.Chunks
+		p.body = p.wrap(func(t int) {
+			for {
+				idx := int(p.next.Add(1)) - 1
+				if idx >= len(chunks) {
+					break
+				}
+				c := chunks[idx]
+				kern(pc, p.x, p.y, c.Lo, c.Hi)
+			}
+		})
+		p.bodyBlock = p.wrap(func(t int) {
+			for {
+				idx := int(p.next.Add(1)) - 1
+				if idx >= len(chunks) {
+					break
+				}
+				c := chunks[idx]
+				kernels.PrecCSRBlockRange(pc, p.x, p.y, p.bk, c.Lo, c.Hi)
+			}
+		})
+		return
+	}
+	parts := sp.Parts
+	p.body = p.wrap(func(t int) {
+		r := parts[t]
+		kern(pc, p.x, p.y, r.Lo, r.Hi)
+	})
+	p.bodyBlock = p.wrap(func(t int) {
+		r := parts[t]
+		kernels.PrecCSRBlockRange(pc, p.x, p.y, p.bk, r.Lo, r.Hi)
+	})
+}
+
+// bindPrecSellCS compiles the precision-reduced SELL-C-σ kernel:
+// identical chunk ownership and partitioning to bindSellCS (the
+// geometry arrays are shared), with corrections folded in-row, so the
+// permuted scatter stays synchronization-free.
+func (p *Prepared) bindPrecSellCS(ps *formats.PrecSellCS, o ex.Optim) {
+	p.kernelName = "prec-sellcs-" + o.EffectivePrecision().String()
+	if r := sched.Resolve(o.Schedule, p.m); r == sched.Dynamic || r == sched.Guided {
+		chunks := sched.Chunks(r, ps.NChunks(), p.nt, 0)
+		p.body = p.wrap(func(t int) {
+			for {
+				idx := int(p.next.Add(1)) - 1
+				if idx >= len(chunks) {
+					break
+				}
+				c := chunks[idx]
+				kernels.PrecSellCSRange(ps, p.x, p.y, c.Lo, c.Hi)
+			}
+		})
+		p.bodyBlock = p.wrap(func(t int) {
+			for {
+				idx := int(p.next.Add(1)) - 1
+				if idx >= len(chunks) {
+					break
+				}
+				c := chunks[idx]
+				kernels.PrecSellCSBlockRange(ps, p.x, p.y, p.bk, c.Lo, c.Hi)
+			}
+		})
+		return
+	}
+	parts := sched.PartitionPrefix(ps.ChunkPtr, ps.NChunks(), p.nt)
+	p.body = p.wrap(func(t int) {
+		r := parts[t]
+		kernels.PrecSellCSRange(ps, p.x, p.y, r.Lo, r.Hi)
+	})
+	p.bodyBlock = p.wrap(func(t int) {
+		r := parts[t]
+		kernels.PrecSellCSBlockRange(ps, p.x, p.y, p.bk, r.Lo, r.Hi)
+	})
+}
+
+// bindPrecSSS compiles the precision-reduced symmetric kernel with the
+// same two-phase reduction as bindSSS; s is the f64 conversion the
+// reduced form was derived from, used only to partition the lower
+// triangle by nnz (the structure is shared). Corrections ride the same
+// scatter slots as stored elements, so the reduction geometry is
+// unchanged.
+func (p *Prepared) bindPrecSSS(ps *formats.PrecSSS, s *formats.SSS, o ex.Optim) {
+	p.kernelName = "prec-sss-" + o.EffectivePrecision().String()
+	parts := sched.Prepare(o.Schedule, s.Lower, p.nt).Parts
+	rparts := sched.PartitionRows(ps.N, p.nt)
+	red := newReducer(p.nt, ps.N, p.blockW, nil)
+	p.body = p.wrap(func(t int) {
+		r := parts[t]
+		slot := red.slot(t)
+		clear(slot[:r.Hi])
+		kernels.PrecSSSRange(ps, p.x, p.y, slot, r.Lo, r.Hi)
+	})
+	reduce := p.wrap(func(t int) {
+		r := rparts[t]
+		red.reduceRange(p.y, r.Lo, r.Hi)
+	})
+	p.finish = func() { p.runPhase(reduce) }
+	p.ensureBlock = red.ensureBlock
+	p.bodyBlock = p.wrap(func(t int) {
+		r := parts[t]
+		slot := red.slotBlock(t, p.bk)
+		clear(slot[:r.Hi*p.bk])
+		kernels.PrecSSSBlockRange(ps, p.x, p.y, slot, p.bk, r.Lo, r.Hi)
+	})
+	reduceBlock := p.wrap(func(t int) {
+		r := rparts[t]
+		red.reduceRangeBlock(p.y, p.bk, r.Lo, r.Hi)
+	})
+	p.finishBlock = func() { p.runPhase(reduceBlock) }
 }
 
 // bindDelta compiles the DeltaCSR kernel with per-partition overflow

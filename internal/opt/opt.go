@@ -229,15 +229,22 @@ func rowSweepSeconds(m *matrix.CSR, mdl machine.Model) float64 {
 // sweeps) before the count + emit passes. The remaining members only
 // select kernels.
 func ConversionSeconds(m *matrix.CSR, mdl machine.Model, o ex.Optim) float64 {
+	var s float64
 	switch o.EffectiveFormat() {
 	case ex.FormatSplit, ex.FormatDelta:
-		return 2 * sweepSeconds(m, mdl)
+		s = 2 * sweepSeconds(m, mdl)
 	case ex.FormatSellCS:
-		return 3 * sweepSeconds(m, mdl)
+		s = 3 * sweepSeconds(m, mdl)
 	case ex.FormatSSS:
-		return 4 * sweepSeconds(m, mdl)
+		s = 4 * sweepSeconds(m, mdl)
 	}
-	return 0
+	if o.EffectivePrecision() != ex.PrecF64 {
+		// The reduced value stream is emitted in one extra pass over
+		// the effective storage (narrow each value, collect the
+		// out-of-bound entries into the correction stream).
+		s += sweepSeconds(m, mdl)
+	}
+	return s
 }
 
 // FeatureExtractionSeconds prices extracting the named features: one
@@ -283,6 +290,11 @@ type ProfileGuided struct {
 	Th     classify.Thresholds
 	Costs  CostParams
 	FeatPr features.Params
+	// AccuracyBudget, when positive, opts the classifier into reduced-
+	// precision value storage for MB-classed matrices: the strongest
+	// variant whose documented bound and measured probe error fit the
+	// budget is folded into the plan. Zero keeps every result exact f64.
+	AccuracyBudget float64
 }
 
 // NewProfileGuided returns the optimizer with the paper's tuned
@@ -300,6 +312,14 @@ func (p *ProfileGuided) Plan(e ex.Executor, m *matrix.CSR) plan.Plan {
 	set := classify.ProfileGuided{Th: p.Th}.Classify(b)
 	fs := features.Extract(m, p.FeatPr)
 	o := OptimFor(set, fs)
+	probe := 0.0
+	if p.AccuracyBudget > 0 && set.Has(classify.MB) {
+		// Reduced precision is an MB-class remedy: only a bandwidth-
+		// bound classification proposes it, and only after the measured
+		// probe confirms the budget on this matrix.
+		o = ApplyPrecision(m, o, p.AccuracyBudget)
+		probe = probeSeconds(m, e)
+	}
 
 	// t_pre: the profiling micro-benchmarks (three timed kernels), the
 	// O(N) features consulted for the IMB subcategory, conversion of
@@ -315,6 +335,7 @@ func (p *ProfileGuided) Plan(e ex.Executor, m *matrix.CSR) plan.Plan {
 	pre := float64(p.Costs.ProfileIters)*perIter +
 		rowSweepSeconds(m, mdl) +
 		ConversionSeconds(m, mdl, o) +
+		probe +
 		p.Costs.JITSeconds
 	return plan.Plan{Optimizer: p.Name(), Classes: set, HasClasses: true, Opt: o, PreprocessSeconds: pre}
 }
@@ -328,6 +349,9 @@ type FeatureGuided struct {
 	Names  []features.Name
 	Costs  CostParams
 	FeatPr features.Params
+	// AccuracyBudget mirrors ProfileGuided.AccuracyBudget: positive
+	// opts MB-classed matrices into in-budget reduced precision.
+	AccuracyBudget float64
 }
 
 // NewFeatureGuided wraps a trained tree over the given feature subset.
@@ -343,9 +367,15 @@ func (f *FeatureGuided) Plan(e ex.Executor, m *matrix.CSR) plan.Plan {
 	fs := features.Extract(m, f.FeatPr)
 	set := classify.SetFromLabels(f.Tree.Predict(fs.Vector(f.Names)))
 	o := OptimFor(set, fs)
+	probe := 0.0
+	if f.AccuracyBudget > 0 && set.Has(classify.MB) {
+		o = ApplyPrecision(m, o, f.AccuracyBudget)
+		probe = probeSeconds(m, e)
+	}
 	mdl := e.Machine()
 	pre := FeatureExtractionSeconds(m, mdl, f.Names) +
 		ConversionSeconds(m, mdl, o) +
+		probe +
 		f.Costs.JITSeconds
 	return plan.Plan{Optimizer: f.Name(), Classes: set, HasClasses: true, Opt: o, PreprocessSeconds: pre}
 }
@@ -493,6 +523,12 @@ type Oracle struct {
 	// folds the best into the plan. Zero keeps the paper's
 	// single-vector oracle unchanged.
 	Batch int
+	// AccuracyBudget, when positive, adds a reduced-precision
+	// post-pass on the sweep winner (bestPrecisionFrom): variants are
+	// measured like any other candidate but kept only when the f64
+	// winner is bandwidth bound and the probe confirms the budget.
+	// Zero keeps the oracle exact f64.
+	AccuracyBudget float64
 }
 
 // NewOracle returns the oracle with default cost constants.
@@ -501,6 +537,14 @@ func NewOracle() *Oracle { return &Oracle{Costs: DefaultCostParams()} }
 // Plan implements Optimizer.
 func (o *Oracle) Plan(e ex.Executor, m *matrix.CSR) plan.Plan {
 	best, bestSecs, pre := sweep(e, m, o.Costs, true, true, true)
+	if o.AccuracyBudget > 0 {
+		// Precision runs before the block-width pass so a widened batch
+		// kernel is measured over the value stream it will actually
+		// read.
+		var dp float64
+		best, bestSecs, dp = bestPrecisionFrom(e, m, best, bestSecs, o.AccuracyBudget, o.Costs)
+		pre += dp
+	}
 	if o.Batch > 1 {
 		// The sweep already timed the winner at width 1; only the
 		// non-unit widths run, each priced like any other measured

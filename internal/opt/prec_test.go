@@ -1,0 +1,216 @@
+package opt
+
+// Planner tests for the reduced-precision selection. The acceptance
+// contract is pinned in both directions on the analytic model: with a
+// budget, the oracle folds a reduced variant into the plan exactly when
+// the f64 winner is bandwidth bound, and never when compute (or
+// latency) binds — halving the value stream cannot move a roofline term
+// that contains no matrix bytes.
+
+import (
+	"testing"
+
+	"github.com/sparsekit/spmvtuner/internal/classify"
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/features"
+	"github.com/sparsekit/spmvtuner/internal/formats"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/machine"
+	"github.com/sparsekit/spmvtuner/internal/ml"
+	"github.com/sparsekit/spmvtuner/internal/sim"
+)
+
+func TestPrecisionCandidatesByBudget(t *testing.T) {
+	if got := PrecisionCandidates(0); len(got) != 0 {
+		t.Fatalf("zero budget must propose nothing, got %v", got)
+	}
+	if got := PrecisionCandidates(1e-13); len(got) != 0 {
+		t.Fatalf("budget below every bound must propose nothing, got %v", got)
+	}
+	if got := PrecisionCandidates(formats.SplitEntryBound); len(got) != 1 || got[0] != ex.PrecSplit {
+		t.Fatalf("1e-12 budget must propose only split, got %v", got)
+	}
+	if got := PrecisionCandidates(formats.F32EntryBound); len(got) != 2 || got[0] != ex.PrecF32 || got[1] != ex.PrecSplit {
+		t.Fatalf("1e-6 budget must propose f32 then split, got %v", got)
+	}
+}
+
+func TestPrecisionWithinBudgetProbe(t *testing.T) {
+	m := gen.UniformRandom(500, 8, 3)
+	if !PrecisionWithinBudget(m, ex.PrecF32, formats.F32EntryBound) {
+		t.Fatal("f32 must fit its own bound on normal-range values")
+	}
+	if !PrecisionWithinBudget(m, ex.PrecSplit, formats.SplitEntryBound) {
+		t.Fatal("split must fit 1e-12 on any finite matrix")
+	}
+	// A budget below the variant's documented bound can never be
+	// promised, whatever the matrix measures.
+	if PrecisionWithinBudget(m, ex.PrecF32, 1e-9) {
+		t.Fatal("f32 must refuse a budget below its storage bound")
+	}
+	if PrecisionWithinBudget(m, ex.PrecF64, 1) {
+		t.Fatal("f64 is not a reduced variant; the probe must refuse it")
+	}
+}
+
+// TestOracleSelectsPrecisionWhenBandwidthBound is the positive
+// direction of the acceptance pin: the large vectorizable banded matrix
+// is bandwidth bound on the model (the sim suite pins its binding), so
+// the budgeted oracle's plan must carry a reduced precision, run
+// strictly faster than the exact oracle plan, and pay a priced
+// precision pass.
+func TestOracleSelectsPrecisionWhenBandwidthBound(t *testing.T) {
+	e := sim.New(machine.KNC())
+	m := gen.Banded(400000, 16, 1.0, 2)
+	o := NewOracle()
+	o.AccuracyBudget = formats.F32EntryBound
+	pl := o.Plan(e, m)
+	if got := pl.Opt.EffectivePrecision(); got == ex.PrecF64 {
+		t.Fatalf("budgeted oracle kept f64 on a bandwidth-bound matrix: %+v", pl.Opt)
+	}
+	exact := NewOracle().Plan(e, m)
+	rRed := Evaluate(e, m, pl)
+	rF64 := Evaluate(e, m, exact)
+	if rRed.Seconds >= rF64.Seconds {
+		t.Fatalf("reduced plan %.3g s not below f64 oracle plan %.3g s", rRed.Seconds, rF64.Seconds)
+	}
+	if pl.PreprocessSeconds <= exact.PreprocessSeconds {
+		t.Fatalf("precision pass must be priced: pre %.3g <= %.3g",
+			pl.PreprocessSeconds, exact.PreprocessSeconds)
+	}
+}
+
+// TestOracleKeepsF64WhenNotBandwidthBound is the negative direction: a
+// matrix whose winning configuration is not bandwidth bound must never
+// pick up a reduced precision, whatever the budget. The small banded
+// matrix is cache resident and its winner unrolls into the compute
+// regime — the model prices reduced precision as exactly time-neutral
+// there (the sim suite pins that inertness), so the post-pass cannot
+// keep it.
+func TestOracleKeepsF64WhenNotBandwidthBound(t *testing.T) {
+	e := sim.New(machine.KNC())
+	m := gen.Banded(2000, 8, 1.0, 3)
+	o := NewOracle()
+	o.AccuracyBudget = formats.F32EntryBound
+	pl := o.Plan(e, m)
+	if b := Evaluate(e, m, pl).Breakdown.Binding(); b == "bandwidth" {
+		t.Fatalf("setup expected a non-bandwidth-bound winner, got %s (%+v)", b, pl.Opt)
+	}
+	if got := pl.Opt.EffectivePrecision(); got != ex.PrecF64 {
+		t.Fatalf("budgeted oracle chose %s on a compute-bound matrix (%+v)", got, pl.Opt)
+	}
+}
+
+// TestOracleWithoutBudgetNeverReduces: no budget, no precision — the
+// default oracle stays bit-exact f64 even on the most MB-bound input.
+func TestOracleWithoutBudgetNeverReduces(t *testing.T) {
+	e := sim.New(machine.KNC())
+	m := gen.Banded(400000, 16, 1.0, 2)
+	pl := NewOracle().Plan(e, m)
+	if got := pl.Opt.EffectivePrecision(); got != ex.PrecF64 {
+		t.Fatalf("unbudgeted oracle reduced precision: %s", got)
+	}
+}
+
+// TestFeatureGuidedAppliesPrecisionOnMB: the classifier path folds an
+// in-budget variant into MB-classed plans — trading delta compression
+// for the reduced stream when they collide — and the probe is priced
+// into t_pre. A stub tree pins the MB classification deterministically.
+func TestFeatureGuidedAppliesPrecisionOnMB(t *testing.T) {
+	e := sim.New(machine.KNL())
+	m := gen.Banded(400000, 16, 1.0, 2)
+	tree := trainMBTree()
+
+	fg := NewFeatureGuided(tree, features.ONNZSubset(), features.DefaultParams)
+	fg.AccuracyBudget = formats.F32EntryBound
+	pl := fg.Plan(e, m)
+	if !pl.Classes.Has(classify.MB) {
+		t.Fatalf("stub tree must classify MB, got %v", pl.Classes)
+	}
+	if got := pl.Opt.EffectivePrecision(); got != ex.PrecF32 {
+		t.Fatalf("budgeted MB plan precision %s, want f32 (%+v)", got, pl.Opt)
+	}
+
+	exact := NewFeatureGuided(tree, features.ONNZSubset(), features.DefaultParams).Plan(e, m)
+	if got := exact.Opt.EffectivePrecision(); got != ex.PrecF64 {
+		t.Fatalf("unbudgeted plan reduced precision: %s", got)
+	}
+	if exact.PreprocessSeconds >= pl.PreprocessSeconds {
+		t.Fatalf("probe must be priced: pre %.3g >= %.3g",
+			exact.PreprocessSeconds, pl.PreprocessSeconds)
+	}
+}
+
+// trainMBTree builds a single-leaf tree over the O(NNZ) feature subset
+// that always predicts {MB}.
+func trainMBTree() *ml.Tree {
+	labels := classify.NewSet(classify.MB).Labels()
+	width := len(features.ONNZSubset())
+	samples := []ml.Sample{
+		{X: make([]float64, width), Y: labels},
+		{X: make([]float64, width), Y: labels},
+	}
+	ds, err := ml.NewDataset(samples)
+	if err != nil {
+		panic(err)
+	}
+	return ml.Fit(ds, ml.TreeParams{})
+}
+
+// TestApplyPrecisionTradesDelta: MB plans select DeltaCSR, which has no
+// reduced value stream; ApplyPrecision must drop Compress to honor the
+// variant rather than silently keeping f64, while leaving unrelated
+// knobs and configurations it cannot honor untouched.
+func TestApplyPrecisionTradesDelta(t *testing.T) {
+	m := gen.Banded(5000, 8, 1.0, 3)
+	o := CompressVec.Apply(ex.Optim{})
+	got := ApplyPrecision(m, o, formats.F32EntryBound)
+	if got.Compress {
+		t.Fatalf("ApplyPrecision kept Compress alongside a reduced stream: %+v", got)
+	}
+	if got.EffectivePrecision() != ex.PrecF32 {
+		t.Fatalf("ApplyPrecision did not fold f32: %+v", got)
+	}
+	if !got.Vectorize {
+		t.Fatalf("ApplyPrecision dropped unrelated knobs: %+v", got)
+	}
+	// Split-format configurations cannot honor the stream: unchanged.
+	so := SplitRows.Apply(ex.Optim{})
+	if got := ApplyPrecision(m, so, formats.F32EntryBound); got != so {
+		t.Fatalf("ApplyPrecision changed a split-format config: %+v", got)
+	}
+	// And a budget below every bound changes nothing.
+	if got := ApplyPrecision(m, o, 1e-13); got != o {
+		t.Fatalf("ApplyPrecision acted on an unusable budget: %+v", got)
+	}
+}
+
+// TestApplyPrecisionRespectsBudgetLadder: a 1e-12 budget must skip f32
+// (its 1e-6 bound exceeds the budget) and land on split.
+func TestApplyPrecisionRespectsBudgetLadder(t *testing.T) {
+	m := gen.UniformRandom(800, 6, 9)
+	got := ApplyPrecision(m, ex.Optim{}, formats.SplitEntryBound)
+	if got.EffectivePrecision() != ex.PrecSplit {
+		t.Fatalf("1e-12 budget: precision %s, want split64", got.EffectivePrecision())
+	}
+}
+
+// TestConversionSecondsPricesPrecision: the narrowing pass costs one
+// extra sweep over the same format's f64 conversion, and nothing where
+// the knob is inert.
+func TestConversionSecondsPricesPrecision(t *testing.T) {
+	m := gen.UniformRandom(20000, 8, 1)
+	mdl := machine.KNL()
+	base := ConversionSeconds(m, mdl, ex.Optim{})
+	red := ConversionSeconds(m, mdl, ex.Optim{Precision: ex.PrecF32})
+	if red <= base {
+		t.Fatalf("precision conversion not priced: %.3g <= %.3g", red, base)
+	}
+	if got, want := red-base, sweepSeconds(m, mdl); got != want {
+		t.Fatalf("precision conversion = %+.3g sweeps-worth, want exactly one (%.3g)", got, want)
+	}
+	inert := ConversionSeconds(m, mdl, ex.Optim{Compress: true, Precision: ex.PrecF32})
+	if inert != ConversionSeconds(m, mdl, ex.Optim{Compress: true}) {
+		t.Fatal("precision conversion priced on delta where the knob is inert")
+	}
+}

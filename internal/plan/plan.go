@@ -106,6 +106,7 @@ type planJSON struct {
 	Split             bool     `json:"split,omitempty"`
 	SellCS            bool     `json:"sellcs,omitempty"`
 	Symmetric         bool     `json:"symmetric,omitempty"`
+	Precision         string   `json:"precision,omitempty"`
 	PreprocessSeconds float64  `json:"preprocessSeconds,omitempty"`
 	PredictedGflops   float64  `json:"predictedGflops,omitempty"`
 	MeasuredGflops    float64  `json:"measuredGflops,omitempty"`
@@ -145,6 +146,9 @@ func (p Plan) Valid() error {
 	}
 	if _, err := sched.ParsePolicy(p.Opt.Schedule.String()); err != nil {
 		return fmt.Errorf("plan: unserializable schedule policy %d", int(p.Opt.Schedule))
+	}
+	if p.Opt.Precision < ex.PrecF64 || p.Opt.Precision > ex.PrecSplit {
+		return fmt.Errorf("plan: unknown precision %d", int(p.Opt.Precision))
 	}
 	if !p.HasClasses && !p.Classes.Empty() {
 		return fmt.Errorf("plan: classes %s without HasClasses", p.Classes)
@@ -210,6 +214,9 @@ func (p Plan) MarshalJSON() ([]byte, error) {
 		KernelISA:         p.KernelISA,
 		Library:           p.Library,
 	}
+	if p.Opt.Precision != ex.PrecF64 {
+		w.Precision = p.Opt.Precision.String()
+	}
 	w.Classes = make([]string, 0, 4)
 	for _, c := range p.Classes.Classes() {
 		w.Classes = append(w.Classes, c.String())
@@ -237,6 +244,10 @@ func (p *Plan) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return fmt.Errorf("plan: %w", err)
 	}
+	prec, ok := ex.ParsePrecision(w.Precision)
+	if !ok {
+		return fmt.Errorf("plan: unknown precision %q", w.Precision)
+	}
 	var set classify.Set
 	for _, name := range w.Classes {
 		c, ok := parseClass(name)
@@ -262,6 +273,7 @@ func (p *Plan) UnmarshalJSON(data []byte) error {
 			Symmetric:  w.Symmetric,
 			Schedule:   policy,
 			BlockWidth: w.BlockWidth,
+			Precision:  prec,
 		},
 		PreprocessSeconds: w.PreprocessSeconds,
 		PredictedGflops:   w.PredictedGflops,

@@ -1,0 +1,112 @@
+package sim
+
+// Cost-model tests for reduced-precision value storage: the model must
+// price the halved value stream (and the correction stream) so that
+// the variants help exactly where the engine's reduced kernels do —
+// bandwidth-bound configurations — and remain strictly inert where the
+// paper's analysis says they cannot pay (compute- and latency-bound
+// matrices, whose roofline term does not contain matrix bytes).
+
+import (
+	"testing"
+
+	ex "github.com/sparsekit/spmvtuner/internal/exec"
+	"github.com/sparsekit/spmvtuner/internal/formats"
+	"github.com/sparsekit/spmvtuner/internal/gen"
+	"github.com/sparsekit/spmvtuner/internal/machine"
+)
+
+func TestPrecReducesTrafficAndHelpsMB(t *testing.T) {
+	e := New(machine.KNC())
+	// Vectorized large banded: the bandwidth-bound regime of
+	// TestBreakdownBindingNames.
+	m := gen.Banded(400000, 16, 1.0, 2)
+	base := run(e, m, ex.Optim{Vectorize: true})
+	if base.Breakdown.Binding() != "bandwidth" {
+		t.Fatalf("setup: expected bandwidth binding, got %s", base.Breakdown.Binding())
+	}
+	f32 := run(e, m, ex.Optim{Vectorize: true, Precision: ex.PrecF32})
+	if f32.MemBytes >= base.MemBytes {
+		t.Fatalf("f32 did not reduce traffic: %.3g -> %.3g", base.MemBytes, f32.MemBytes)
+	}
+	if f32.Seconds >= base.Seconds {
+		t.Fatalf("f32 did not help bandwidth-bound matrix: %.3g -> %.3g", base.Seconds, f32.Seconds)
+	}
+	// The split variant on random-valued matrices corrects nearly every
+	// entry: its traffic must price the correction stream and land
+	// between f32 and a gratuitous win.
+	split := run(e, m, ex.Optim{Vectorize: true, Precision: ex.PrecSplit})
+	if split.MemBytes <= f32.MemBytes {
+		t.Fatalf("split traffic %.3g must exceed f32's %.3g (correction stream)",
+			split.MemBytes, f32.MemBytes)
+	}
+	if corr := formats.CountCorrections(m, formats.SplitEntryBound); corr == 0 {
+		t.Fatal("setup: expected random-valued entries to need split corrections")
+	}
+}
+
+// TestPrecInertWhenComputeBound pins the negative direction: when the
+// roofline's compute term dominates, halving matrix bytes must not
+// change the modeled time at all — this is what lets the oracle reject
+// reduced precision on compute-bound matrices by simple comparison.
+func TestPrecInertWhenComputeBound(t *testing.T) {
+	e := New(machine.KNC())
+	// Scalar large banded on KNC is stall-dominated (compute binding,
+	// per TestBreakdownBindingNames).
+	m := gen.Banded(400000, 16, 1.0, 2)
+	base := run(e, m, ex.Optim{})
+	if base.Breakdown.Binding() != "compute" {
+		t.Fatalf("setup: expected compute binding, got %s", base.Breakdown.Binding())
+	}
+	f32 := run(e, m, ex.Optim{Precision: ex.PrecF32})
+	if f32.Seconds != base.Seconds {
+		t.Fatalf("f32 changed a compute-bound run: %.6g vs %.6g", f32.Seconds, base.Seconds)
+	}
+}
+
+// TestPrecInertOnUnsupportedFormats: Delta and Split have no reduced
+// value stream; the model must treat the knob as inert there, exactly
+// like the engine does, or the oracle would rank identical runtime
+// configurations differently.
+func TestPrecInertOnUnsupportedFormats(t *testing.T) {
+	e := New(machine.KNC())
+	m := gen.Banded(200000, 12, 1.0, 3)
+	for name, o := range map[string]ex.Optim{
+		"delta": {Compress: true, Vectorize: true},
+		"split": {Split: true},
+	} {
+		base := run(e, m, o)
+		po := o
+		po.Precision = ex.PrecF32
+		got := run(e, m, po)
+		if got.Seconds != base.Seconds || got.MemBytes != base.MemBytes {
+			t.Fatalf("%s: precision knob must be inert: %.6g/%.3g vs %.6g/%.3g",
+				name, got.Seconds, got.MemBytes, base.Seconds, base.MemBytes)
+		}
+	}
+}
+
+// TestPrecComposesWithBlockWidth: the halved value stream and the
+// blocked-SpMM intensity lift must compose — the reduced blocked run
+// streams fewer bytes per vector than the f64 blocked run.
+func TestPrecComposesWithBlockWidth(t *testing.T) {
+	e := New(machine.KNL())
+	m := gen.UniformRandom(400000, 12, 7)
+	base := run(e, m, ex.Optim{BlockWidth: 8})
+	red := run(e, m, ex.Optim{BlockWidth: 8, Precision: ex.PrecF32})
+	if red.MemBytes >= base.MemBytes {
+		t.Fatalf("blocked f32 traffic %.3g not below blocked f64 %.3g", red.MemBytes, base.MemBytes)
+	}
+}
+
+// TestPrecHelpsSymmetricStream: the reduced lower-triangle stream must
+// compose with SSS on a bandwidth-bound symmetric matrix.
+func TestPrecHelpsSymmetricStream(t *testing.T) {
+	e := New(machine.KNL())
+	m := symmetrizeT(gen.Banded(100000, 40, 1.0, 8))
+	base := run(e, m, ex.Optim{Symmetric: true})
+	red := run(e, m, ex.Optim{Symmetric: true, Precision: ex.PrecF32})
+	if red.MemBytes >= base.MemBytes {
+		t.Fatalf("reduced SSS traffic %.3g not below f64 SSS %.3g", red.MemBytes, base.MemBytes)
+	}
+}

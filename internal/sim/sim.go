@@ -161,6 +161,13 @@ type profile struct {
 	symOnce  sync.Once
 	symLower int64
 
+	// Precision-reduction statistics: how many values each per-entry
+	// bound sends to the f64 correction stream (index 0: f32, 1:
+	// split). Computed lazily (precStats) — the scan is O(NNZ) and
+	// only reduced-precision configurations consult it.
+	precOnce [2]sync.Once
+	precCorr [2]int64
+
 	// Split decomposition statistics at the default threshold.
 	splitThreshold int
 	nLong          int
@@ -270,6 +277,19 @@ func (p *profile) sellStats(m *matrix.CSR) (paddedNNZ int64, nChunks int) {
 			formats.DefaultChunkHeight, formats.DefaultSortWindow(m.NRows))
 	})
 	return p.sellPadded, p.sellChunks
+}
+
+// precStats returns the memoized correction-stream length of m under
+// the precision's per-entry bound.
+func (p *profile) precStats(m *matrix.CSR, prec ex.Precision) int64 {
+	i, bound := 0, formats.F32EntryBound
+	if prec == ex.PrecSplit {
+		i, bound = 1, formats.SplitEntryBound
+	}
+	p.precOnce[i].Do(func() {
+		p.precCorr[i] = formats.CountCorrections(m, bound)
+	})
+	return p.precCorr[i]
 }
 
 // symStats returns the memoized strictly-lower element count of m.
@@ -404,8 +424,9 @@ func (e *Executor) Run(cfg ex.Config) ex.Result {
 	// per row on top of the row pointers. The reduction cost appears
 	// below as per-thread partial-buffer traffic.
 	symReduceBytes := 0.0
+	lowerFrac := 1.0
 	if sssActive && m.NNZ() > 0 {
-		lowerFrac := float64(p.symStats(m)) / float64(m.NNZ())
+		lowerFrac = float64(p.symStats(m)) / float64(m.NNZ())
 		valBytes *= lowerFrac
 		idxBytes *= lowerFrac
 		rowBytes += 8
@@ -428,6 +449,23 @@ func (e *Executor) Run(cfg ex.Config) ex.Result {
 		// DeltaBytesPerElem carries the amortized escape overhead.
 		idxBytes = costs.DeltaBytesPerElem
 		rowBytes += 4
+	}
+	// Precision-reduced value storage: the value stream halves (4-byte
+	// stored values), and the sparse f64 correction stream adds its
+	// per-entry wire cost amortized over all elements plus an 8-byte
+	// CorrPtr read per row. The model follows the engine's gating
+	// exactly (EffectivePrecision: CSR, SELL-C-σ and SSS only), so a
+	// superseded precision knob is never priced — and a compute-bound
+	// matrix sees its compute terms unchanged, which is why the oracle
+	// only gains from the knob when bandwidth is what binds.
+	if prec := o.EffectivePrecision(); prec != ex.PrecF64 && (format != ex.FormatSSS || sssActive) {
+		valBytes *= 0.5
+		if corr := p.precStats(m, prec); corr > 0 && m.NNZ() > 0 {
+			// Corrections distribute over the stored elements; under SSS
+			// only the lower triangle's share is streamed.
+			valBytes += float64(formats.CorrBytesPerEntry) * float64(corr) / float64(m.NNZ()) * lowerFrac
+			rowBytes += 8
+		}
 	}
 	if o.UnitStride {
 		idxBytes = 0 // the P_CMP kernel loads no column indices

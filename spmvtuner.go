@@ -226,6 +226,27 @@ func WithCalibration(dir string) Option {
 	}
 }
 
+// WithPrecisionBudget grants the planner an accuracy budget: a
+// componentwise relative error bound eps the application tolerates on
+// y = A*x. With a budget, bandwidth-bound matrices may be stored with
+// reduced-precision values — a plain f32 stream (documented bound
+// 1e-6) or the split f32+f64-correction stream (bound 1e-12) — halving
+// the dominant memory traffic; the planner verifies the actual error
+// on each matrix against the f64 reference before committing, and
+// non-finite or f32-overflowing values are always carried exactly,
+// never silently truncated. Without this option every result stays
+// exact f64 — the tuner never trades accuracy by default. See
+// docs/guide/precision.md.
+func WithPrecisionBudget(eps float64) Option {
+	return func(t *Tuner) error {
+		if eps <= 0 {
+			return fmt.Errorf("spmvtuner: precision budget must be positive")
+		}
+		t.pipeline.AccuracyBudget = eps
+		return nil
+	}
+}
+
 // WithThresholds overrides the profile-guided classifier
 // hyperparameters (defaults: the paper's T_ML=1.25, T_IMB=1.24).
 func WithThresholds(tml, timb float64) Option {
@@ -311,6 +332,11 @@ type Analysis struct {
 	// on this host ("avx512", "avx2", "scalar") — the provenance the
 	// plan carries so a warm start on different hardware re-measures.
 	KernelISA string
+	// Precision is the value-storage precision the plan executes:
+	// "f64" (exact, the default), "f32", or "split64" (f32 values plus
+	// an exact f64 correction stream). Reduced precisions appear only
+	// under WithPrecisionBudget.
+	Precision string
 	// Warm reports that the decision came from the plan store: no
 	// classification and no candidate sweep ran (Tune only; Analyze
 	// always diagnoses live).
@@ -335,6 +361,7 @@ func (t *Tuner) Analyze(m *Matrix) Analysis {
 		PreprocessSeconds: a.Plan.PreprocessSeconds,
 		Fingerprint:       a.Plan.Fingerprint,
 		KernelISA:         a.Plan.KernelISA,
+		Precision:         a.Plan.Opt.EffectivePrecision().String(),
 	}
 }
 
@@ -378,6 +405,7 @@ func (t *Tuner) Tune(m *Matrix) *Tuned {
 		PreprocessSeconds: pl.PreprocessSeconds,
 		Fingerprint:       pl.Fingerprint,
 		KernelISA:         pl.KernelISA,
+		Precision:         pl.Opt.EffectivePrecision().String(),
 		Warm:              warm,
 	}
 	if pl.MeasuredGflops > 0 {
